@@ -1,0 +1,249 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section at bench scale (reduced problem sizes with the same qualitative
+// behaviour; use cmd/experiments -scale paper for the full-size runs).
+// Each benchmark iteration regenerates the complete experiment — a full
+// protocol × processor sweep — and reports headline metrics from it.
+package lrcdsm_test
+
+import (
+	"strconv"
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/network"
+)
+
+const benchScale = harness.ScaleBench
+
+func reportCell(b *testing.B, t *harness.Table, row, col, metric string) {
+	b.Helper()
+	if v, err := strconv.ParseFloat(t.Cell(row, col), 64); err == nil {
+		b.ReportMetric(v, metric)
+	}
+}
+
+// BenchmarkFigure6 regenerates "Speedup for Jacobi on Ethernet".
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Figure6(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, t, "LH", "8p", "speedup@8p")
+		reportCell(b, t, "LH", "16p", "speedup@16p")
+	}
+}
+
+func benchFigureSet(b *testing.B, gen func(*harness.Runner, harness.Scale) (*harness.FigureSet, error)) {
+	for i := 0; i < b.N; i++ {
+		fs, err := gen(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, fs.Speedup, "LH", "16p", "LH-speedup@16p")
+		reportCell(b, fs.Speedup, "EU", "16p", "EU-speedup@16p")
+	}
+}
+
+// BenchmarkFigure7to9 regenerates the Jacobi-on-ATM speedup, message and
+// data plots.
+func BenchmarkFigure7to9(b *testing.B) { benchFigureSet(b, harness.Figures7to9) }
+
+// BenchmarkFigure10to12 regenerates the TSP plots.
+func BenchmarkFigure10to12(b *testing.B) { benchFigureSet(b, harness.Figures10to12) }
+
+// BenchmarkFigure13to15 regenerates the Water plots.
+func BenchmarkFigure13to15(b *testing.B) { benchFigureSet(b, harness.Figures13to15) }
+
+// BenchmarkFigure16to18 regenerates the Cholesky plots.
+func BenchmarkFigure16to18(b *testing.B) { benchFigureSet(b, harness.Figures16to18) }
+
+// BenchmarkTable1 measures the message cost of the primitive operations of
+// Table 1 directly: a remote lock acquisition and an access miss.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Protocol = core.LH
+		cfg.Procs = 4
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := sys.AllocPage(64)
+		lk := sys.NewLocks(4)
+		_ = lk
+		st, err := sys.Run(func(p *core.Proc) {
+			if p.ID() != 0 {
+				return
+			}
+			p.Lock(2) // remote manager
+			p.WriteF64(a, 1)
+			p.Unlock(2)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.LockMsgs), "lock-msgs")
+	}
+}
+
+// BenchmarkTable2 regenerates "Speedups With Different Network
+// Characteristics" (LH, 16 processors).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table2(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, t, "100 Mbit ATM", "Jacobi", "jacobi-atm100")
+		reportCell(b, t, "10 Mbit Ethernet w/ Coll", "Jacobi", "jacobi-eth")
+	}
+}
+
+// BenchmarkTable3 regenerates "Speedups With Varying Software Overhead".
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table3(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, t, "water/Zero", "LH", "water-zero-LH")
+		reportCell(b, t, "water/Normal", "LH", "water-normal-LH")
+	}
+}
+
+// BenchmarkTable4 regenerates "Speedups with Different Processor Speeds".
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table4(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, t, "20", "Water", "water@20MHz")
+		reportCell(b, t, "80", "Water", "water@80MHz")
+	}
+}
+
+// BenchmarkTable5 regenerates "Effect of Page Size".
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table5(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, t, "16p/4096B", "Water", "water-4096")
+		reportCell(b, t, "16p/1024B", "Water", "water-1024")
+	}
+}
+
+// BenchmarkSyncShare measures the Section 6.2 statistics (sync-message
+// share per workload under LH).
+func BenchmarkSyncShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.SyncStats(harness.NewRunner(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = t
+	}
+}
+
+// ---- ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationDiffs contrasts diff-based data movement (LH) with
+// whole-page movement (EI) on Water: the diff mechanism is what keeps data
+// volume proportional to what actually changed.
+func BenchmarkAblationDiffs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := harness.DefaultSpec("water", benchScale)
+		spec.Procs = 8
+		lh, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Protocol = core.EI
+		ei, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lh.Stats.DataKB(), "LH-dataKB")
+		b.ReportMetric(ei.Stats.DataKB(), "EI-dataKB")
+	}
+}
+
+// BenchmarkAblationCopyset contrasts LH (copyset-directed diff
+// piggybacking) with LI (no piggybacking): the copyset heuristic is what
+// removes access misses on migratory data.
+func BenchmarkAblationCopyset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := harness.DefaultSpec("water", benchScale)
+		spec.Procs = 8
+		lh, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Protocol = core.LI
+		li, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(lh.Stats.AccessMisses), "LH-misses")
+		b.ReportMetric(float64(li.Stats.AccessMisses), "LI-misses")
+	}
+}
+
+// BenchmarkAblationLockForward contrasts the paper's distributed lock
+// queue (release grants directly to the next acquirer) with a centralized
+// manager that the token returns to at every release.
+func BenchmarkAblationLockForward(b *testing.B) {
+	run := func(central bool) *core.RunStats {
+		cfg := core.DefaultConfig()
+		cfg.Protocol = core.LH
+		cfg.Procs = 8
+		cfg.Net = network.ATMNet(100, core.DefaultClockMHz)
+		cfg.CentralizedLocks = central
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := sys.Alloc(8)
+		lk := sys.NewLock()
+		st, err := sys.Run(func(p *core.Proc) {
+			for i := 0; i < 40; i++ {
+				p.Lock(lk)
+				p.WriteI64(a, p.ReadI64(a)+1)
+				p.Unlock(lk)
+				p.Compute(20_000)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	for i := 0; i < b.N; i++ {
+		d := run(false)
+		c := run(true)
+		b.ReportMetric(float64(d.Msgs), "distributed-msgs")
+		b.ReportMetric(float64(c.Msgs), "centralized-msgs")
+	}
+}
+
+// BenchmarkReacquire measures the Section 6.2 lock-reacquisition effect:
+// lazy releases of a repeatedly reacquired lock are silent, eager ones
+// flush to every cacher.
+func BenchmarkReacquire(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.ReacquireExperiment(8, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, err := strconv.ParseFloat(t.Cell("LH", "msgs"), 64); err == nil {
+			b.ReportMetric(v, "LH-msgs")
+		}
+		if v, err := strconv.ParseFloat(t.Cell("EU", "msgs"), 64); err == nil {
+			b.ReportMetric(v, "EU-msgs")
+		}
+	}
+}

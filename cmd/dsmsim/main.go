@@ -1,0 +1,166 @@
+// Command dsmsim runs one DSM simulation: an application on a protocol,
+// network and processor count, and prints the measured statistics.
+//
+// Usage:
+//
+//	dsmsim -app water -protocol LH -procs 16 -net atm -bw 100 -scale bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/network"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "jacobi", "workload: jacobi, tsp, water, cholesky")
+		protocol = flag.String("protocol", "LH", "protocol: LH, LI, LU, EI, EU")
+		procs    = flag.Int("procs", 16, "number of processors (1..64)")
+		netKind  = flag.String("net", "atm", "network: atm, ethernet, ethernet+coll, ideal")
+		bw       = flag.Float64("bw", 100, "network bandwidth in Mbit/s (ATM/ideal)")
+		clock    = flag.Float64("mhz", core.DefaultClockMHz, "processor clock in MHz")
+		pageSize = flag.Int("page", core.DefaultPageSize, "page size in bytes")
+		overhead = flag.Float64("overhead", 1, "software overhead factor (0, 1, 2)")
+		scale    = flag.String("scale", "bench", "problem scale: paper, bench, test")
+		base     = flag.Bool("speedup", false, "also run 1 processor and report speedup")
+		traceN   = flag.Int("trace", 0, "dump the last N protocol events after the run")
+		perProc  = flag.Bool("perproc", false, "print the per-processor time breakdown")
+	)
+	flag.Parse()
+
+	prot, err := core.ParseProtocol(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := harness.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var net network.Params
+	switch *netKind {
+	case "atm":
+		net = network.ATMNet(*bw, *clock)
+	case "ethernet":
+		net = network.Ethernet10(*clock, false)
+	case "ethernet+coll":
+		net = network.Ethernet10(*clock, true)
+	case "ideal":
+		net = network.IdealNet(*bw, *clock)
+	default:
+		fatal(fmt.Errorf("unknown network %q", *netKind))
+	}
+
+	spec := harness.Spec{
+		App:            *app,
+		Scale:          sc,
+		Protocol:       prot,
+		Procs:          *procs,
+		Net:            net,
+		ClockMHz:       *clock,
+		PageSize:       *pageSize,
+		OverheadFactor: *overhead,
+	}
+
+	if *base {
+		r := harness.NewRunner()
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res, speedup, *perProc)
+		return
+	}
+	if *traceN > 0 {
+		runTraced(spec, *traceN, *perProc)
+		return
+	}
+	res, err := harness.Run(spec)
+	if err != nil {
+		fatal(err)
+	}
+	report(res, 0, *perProc)
+}
+
+// runTraced runs the spec with event tracing enabled and dumps the tail of
+// the protocol event log after the statistics.
+func runTraced(spec harness.Spec, n int, perProc bool) {
+	cfg := core.DefaultConfig()
+	cfg.Protocol = spec.Protocol
+	cfg.Procs = spec.Procs
+	cfg.Net = spec.Net
+	cfg.Net.ClockMHz = spec.ClockMHz
+	cfg.ClockMHz = spec.ClockMHz
+	cfg.PageSize = spec.PageSize
+	cfg.OverheadFactor = spec.OverheadFactor
+	cfg.MaxSharedBytes = 64 << 20
+	cfg.TraceCapacity = n
+	app, err := harness.NewApp(spec.App, spec.Scale)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	app.Configure(sys)
+	stats, err := sys.Run(app.Worker)
+	if err != nil {
+		fatal(err)
+	}
+	if err := app.Verify(sys); err != nil {
+		fatal(err)
+	}
+	report(&harness.Result{Spec: spec, Stats: stats}, 0, perProc)
+	fmt.Printf("\n-- last %d protocol events (%d dropped) --\n", n, sys.Trace().Dropped())
+	sys.Trace().Summarize().WriteSummary(os.Stdout)
+	sys.Trace().Dump(os.Stdout)
+}
+
+func report(res *harness.Result, speedup float64, perProc bool) {
+	st := res.Stats
+	fmt.Printf("app=%s protocol=%v procs=%d net=%v scale=%d\n",
+		res.Spec.App, res.Spec.Protocol, res.Spec.Procs, res.Spec.Net.Kind, res.Spec.Scale)
+	fmt.Printf("cycles            %d (%.3f s at %.0f MHz)\n",
+		st.Cycles, st.Seconds(res.Spec.ClockMHz), res.Spec.ClockMHz)
+	if speedup > 0 {
+		fmt.Printf("speedup           %.2f\n", speedup)
+	}
+	fmt.Printf("messages          %d (sync %d = %.0f%%, data %d, grants w/ data %d)\n",
+		st.Msgs, st.SyncMsgs, 100*st.SyncShare(), st.DataMsgs, st.SyncDataMsgs)
+	fmt.Printf("data moved        %.1f KB\n", st.DataKB())
+	fmt.Printf("access misses     %d (page fetches %d)\n", st.AccessMisses, st.PageFetches)
+	fmt.Printf("diffs             created %d, applied %d; twins %d\n",
+		st.DiffsCreated, st.DiffsApplied, st.TwinsCreated)
+	fmt.Printf("locks             %d acquires (%d local), wait %d cycles\n",
+		st.LockAcquires, st.LocalReacquires, st.LockWaitCycles)
+	fmt.Printf("barriers          %d episodes, wait %d cycles\n",
+		st.BarrierEpisodes, st.BarrierWaitCycles)
+	fmt.Printf("network           %d frames, %d KB on wire, wait %d cycles, backoffs %d\n",
+		st.Network.Frames, st.Network.WireBytes/1024, st.Network.WaitCycles, st.Network.Backoffs)
+	fmt.Printf("cache             %d hits, %d misses\n", st.CacheHits, st.CacheMisses)
+	if perProc {
+		fmt.Printf("\n%-5s %-12s %-7s %-7s %-7s %-7s %-7s\n",
+			"proc", "cycles", "busy%", "lock%", "barr%", "miss%", "flush%")
+		for i, pp := range st.PerProc {
+			pct := func(x float64) float64 { return 100 * x }
+			c := float64(pp.Cycles)
+			if c == 0 {
+				c = 1
+			}
+			fmt.Printf("p%-4d %-12d %-7.1f %-7.1f %-7.1f %-7.1f %-7.1f\n",
+				i, pp.Cycles, pct(pp.BusyShare()),
+				pct(float64(pp.LockWait)/c), pct(float64(pp.BarrierWait)/c),
+				pct(float64(pp.MissWait)/c), pct(float64(pp.FlushWait)/c))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Figures 6–18, Tables 2–5, and the Section 6.2
+// message statistics).
+//
+// Usage:
+//
+//	experiments                 # all experiments at bench scale
+//	experiments -scale paper    # the paper's problem sizes (slow)
+//	experiments -only fig6,t2   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lrcdsm/internal/harness"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "bench", "problem scale: paper, bench, test")
+		only      = flag.String("only", "", "comma-separated subset: fig6,fig7-9,fig10-12,fig13-15,fig16-18,t2,t3,t4,t5,stats")
+	)
+	flag.Parse()
+	scale, err := harness.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	r := harness.NewRunner()
+
+	type step struct {
+		key string
+		run func() error
+	}
+	steps := []step{
+		{"fig6", func() error {
+			t, err := harness.Figure6(r, scale)
+			return show(t, err)
+		}},
+		{"fig7-9", func() error { return showSet(harness.Figures7to9(r, scale)) }},
+		{"fig10-12", func() error { return showSet(harness.Figures10to12(r, scale)) }},
+		{"fig13-15", func() error { return showSet(harness.Figures13to15(r, scale)) }},
+		{"fig16-18", func() error { return showSet(harness.Figures16to18(r, scale)) }},
+		{"t2", func() error {
+			t, err := harness.Table2(r, scale)
+			return show(t, err)
+		}},
+		{"t3", func() error {
+			t, err := harness.Table3(r, scale)
+			return show(t, err)
+		}},
+		{"t4", func() error {
+			t, err := harness.Table4(r, scale)
+			return show(t, err)
+		}},
+		{"t5", func() error {
+			t, err := harness.Table5(r, scale)
+			return show(t, err)
+		}},
+		{"stats", func() error {
+			t, err := harness.SyncStats(r, scale)
+			return show(t, err)
+		}},
+	}
+	for _, s := range steps {
+		if !sel(s.key) {
+			continue
+		}
+		start := time.Now()
+		if err := s.run(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", s.key, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func show(t *harness.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func showSet(fs *harness.FigureSet, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(fs.Speedup.String())
+	fmt.Println(fs.Msgs.String())
+	fmt.Println(fs.DataKB.String())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Grid relaxation on a DSM: a small Jacobi solver written directly against
+// the public API (independent of the internal benchmark workloads),
+// showing the barrier-synchronized nearest-neighbor pattern the paper's
+// coarse-grained results are built on, swept across Ethernet and ATM.
+//
+//	go run ./examples/jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrcdsm"
+)
+
+const (
+	n     = 64 // grid dimension
+	iters = 8
+)
+
+// run executes the solver and returns elapsed cycles and a checksum.
+func run(cfg lrcdsm.Config) (cycles int64, sum float64) {
+	sys, err := lrcdsm.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := [2]lrcdsm.Addr{sys.AllocPage(n * n * 8), sys.AllocPage(n * n * 8)}
+	// hot top edge
+	for c := 0; c < n; c++ {
+		sys.InitF64(grid[0]+lrcdsm.Addr(8*c), 100)
+		sys.InitF64(grid[1]+lrcdsm.Addr(8*c), 100)
+	}
+	bar := sys.NewBarrier()
+
+	at := func(g lrcdsm.Addr, r, c int) lrcdsm.Addr { return g + lrcdsm.Addr(8*(r*n+c)) }
+	stats, err := sys.Run(func(p *lrcdsm.Proc) {
+		lo := 1 + p.ID()*(n-2)/p.N()
+		hi := 1 + (p.ID()+1)*(n-2)/p.N()
+		for it := 0; it < iters; it++ {
+			src, dst := grid[it%2], grid[(it+1)%2]
+			for r := lo; r < hi; r++ {
+				for c := 1; c < n-1; c++ {
+					v := 0.25 * (p.ReadF64(at(src, r-1, c)) + p.ReadF64(at(src, r+1, c)) +
+						p.ReadF64(at(src, r, c-1)) + p.ReadF64(at(src, r, c+1)))
+					p.WriteF64(at(dst, r, c), v)
+					p.Compute(10)
+				}
+			}
+			p.Barrier(bar)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := grid[iters%2]
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			sum += sys.PeekF64(at(final, r, c))
+		}
+	}
+	return int64(stats.Cycles), sum
+}
+
+func main() {
+	nets := []struct {
+		name string
+		net  lrcdsm.NetworkParams
+	}{
+		{"10 Mbit Ethernet (w/ collisions)", lrcdsm.Ethernet10(40, true)},
+		{"100 Mbit ATM", lrcdsm.ATMNet(100, 40)},
+	}
+	fmt.Printf("Jacobi %dx%d, %d iterations, LH protocol\n\n", n, n, iters)
+	for _, nc := range nets {
+		fmt.Printf("-- %s --\n", nc.name)
+		base := int64(0)
+		var baseSum float64
+		for _, procs := range []int{1, 2, 4, 8} {
+			cfg := lrcdsm.DefaultConfig()
+			cfg.Protocol = lrcdsm.LH
+			cfg.Procs = procs
+			cfg.Net = nc.net
+			cycles, sum := run(cfg)
+			if procs == 1 {
+				base, baseSum = cycles, sum
+			} else if sum != baseSum {
+				log.Fatalf("checksum mismatch at %d procs: %v != %v", procs, sum, baseSum)
+			}
+			fmt.Printf("  %2d procs: %12d cycles  speedup %.2f\n",
+				procs, cycles, float64(base)/float64(cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println("The point-to-point ATM sustains speedup where the shared Ethernet saturates.")
+}

@@ -1,0 +1,73 @@
+// Protocol anatomy: a tiny two-processor program annotated with the
+// message counts each of the five protocols produces, making the
+// eager-versus-lazy and invalidate-versus-update trade-offs concrete.
+//
+// The program is the paper's critical-section pattern: processor 0 writes
+// a page under a lock; processor 1, which also caches the page, later
+// acquires the same lock and reads the data.
+//
+//	go run ./examples/protocols
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrcdsm"
+)
+
+func trial(prot lrcdsm.Protocol) *lrcdsm.RunStats {
+	cfg := lrcdsm.DefaultConfig()
+	cfg.Protocol = prot
+	cfg.Procs = 2
+	cfg.Net = lrcdsm.ATMNet(100, 40)
+	sys, err := lrcdsm.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := sys.AllocPage(64)
+	lock := sys.NewLock()
+	stats, err := sys.Run(func(p *lrcdsm.Proc) {
+		if p.ID() == 1 {
+			_ = p.ReadF64(data) // cache the page early
+			p.Compute(5_000_000)
+			p.Lock(lock)
+			if p.ReadF64(data) != 42 { // must observe the release-ordered write
+				log.Fatalf("%v: stale read after acquire", prot)
+			}
+			p.Unlock(lock)
+		} else {
+			p.Compute(1_000_000)
+			p.Lock(lock)
+			p.WriteF64(data, 42)
+			p.Unlock(lock)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stats
+}
+
+func main() {
+	fmt.Println("One locked write on processor 0, one locked read on processor 1.")
+	fmt.Println("(Both processors cache the page; proc 1's initial fetch costs 2 msgs.)")
+	fmt.Println()
+	fmt.Printf("%-4s  %6s  %6s  %8s  %8s  %s\n",
+		"prot", "msgs", "misses", "data B", "w/ data", "how the write travelled")
+	how := map[lrcdsm.Protocol]string{
+		lrcdsm.EU: "pushed to all cachers at the release (update)",
+		lrcdsm.EI: "cachers invalidated at release; refetch whole page on miss",
+		lrcdsm.LI: "notice on the grant; invalidate; diff fetched on miss",
+		lrcdsm.LU: "notice on the grant; diffs pulled before acquire returns",
+		lrcdsm.LH: "diff piggybacked on the lock grant itself (no miss)",
+	}
+	for _, prot := range lrcdsm.Protocols {
+		st := trial(prot)
+		fmt.Printf("%-4v  %6d  %6d  %8d  %8d  %s\n",
+			prot, st.Msgs, st.AccessMisses, st.DataBytes, st.SyncDataMsgs, how[prot])
+	}
+	fmt.Println()
+	fmt.Println("LH gets LI's three-message lock transfer *and* LU's zero access misses —")
+	fmt.Println("the combination the paper introduces it for.")
+}

@@ -1,0 +1,76 @@
+// Task queue: a work-stealing-style shared queue with a global result
+// accumulator — the fine-grained synchronization pattern that makes
+// Cholesky-like workloads hard for software DSMs. Sweeps task granularity
+// to show the paper's central finding: below a certain computation-to-
+// synchronization ratio, speedup evaporates no matter the protocol.
+//
+//	go run ./examples/taskqueue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrcdsm"
+)
+
+const nTasks = 200
+
+// run executes nTasks units of `grain` cycles each, dequeued from a shared
+// lock-protected queue, and returns elapsed cycles.
+func run(prot lrcdsm.Protocol, procs int, grain int64) int64 {
+	cfg := lrcdsm.DefaultConfig()
+	cfg.Protocol = prot
+	cfg.Procs = procs
+	cfg.Net = lrcdsm.ATMNet(100, 40)
+	sys, err := lrcdsm.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	next := sys.AllocPage(8)
+	result := sys.AllocPage(8)
+	qlock := sys.NewLock()
+	rlock := sys.NewLock()
+	stats, err := sys.Run(func(p *lrcdsm.Proc) {
+		for {
+			p.Lock(qlock)
+			t := p.ReadI64(next)
+			if t < nTasks {
+				p.WriteI64(next, t+1)
+			}
+			p.Unlock(qlock)
+			if t >= nTasks {
+				return
+			}
+			p.Compute(grain) // the "task"
+			p.Lock(rlock)
+			p.WriteI64(result, p.ReadI64(result)+t)
+			p.Unlock(rlock)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := int64(nTasks * (nTasks - 1) / 2)
+	if got := sys.PeekI64(result); got != want {
+		log.Fatalf("result %d, want %d", got, want)
+	}
+	return int64(stats.Cycles)
+}
+
+func main() {
+	fmt.Printf("%d tasks from a lock-protected shared queue, LH vs EU, 8 processors\n\n", nTasks)
+	fmt.Printf("%-14s  %-10s  %-10s\n", "task grain", "LH speedup", "EU speedup")
+	for _, grain := range []int64{1_000, 10_000, 100_000, 1_000_000} {
+		row := fmt.Sprintf("%-14d", grain)
+		for _, prot := range []lrcdsm.Protocol{lrcdsm.LH, lrcdsm.EU} {
+			base := run(prot, 1, grain)
+			par := run(prot, 8, grain)
+			row += fmt.Sprintf("  %-10.2f", float64(base)/float64(par))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nCoarse tasks scale; fine tasks drown in lock-acquisition latency —")
+	fmt.Println("the paper's conclusion that synchronization, not bandwidth, is the")
+	fmt.Println("residual bottleneck for software DSM.")
+}

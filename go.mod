@@ -1,0 +1,3 @@
+module lrcdsm
+
+go 1.22

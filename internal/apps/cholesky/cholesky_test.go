@@ -1,0 +1,103 @@
+package cholesky
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+func cfg(prot core.Protocol, procs int) core.Config {
+	c := core.DefaultConfig()
+	c.Protocol = prot
+	c.Procs = procs
+	c.Net = network.ATMNet(100, core.DefaultClockMHz)
+	c.MaxSharedBytes = 16 << 20
+	return c
+}
+
+func runChol(t *testing.T, prot core.Protocol, procs int, p Params) *core.RunStats {
+	t.Helper()
+	s, err := core.NewSystem(cfg(prot, procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := New(p)
+	app.Configure(s)
+	st, err := s.Run(app.Worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCorrectAllProtocols(t *testing.T) {
+	for _, prot := range core.Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			runChol(t, prot, 4, Small())
+		})
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	st := runChol(t, core.LH, 1, Small())
+	if st.Msgs != 0 {
+		t.Errorf("1-proc run sent %d messages", st.Msgs)
+	}
+}
+
+func TestSynchronizationDominates(t *testing.T) {
+	// The paper: for Cholesky, ~96% of messages are for synchronization
+	// and most of each processor's time goes to lock acquisition.
+	st := runChol(t, core.LH, 4, Small())
+	if st.SyncShare() < 0.5 {
+		t.Errorf("sync share = %.2f, expected lock traffic to dominate", st.SyncShare())
+	}
+	if st.LockAcquires == 0 {
+		t.Error("no lock acquisitions")
+	}
+}
+
+func TestDependencyCounts(t *testing.T) {
+	a := New(Params{Grid: 4, FlopCycles: 1, SpinCycles: 10})
+	counts := a.nmodInit()
+	if counts[0] != 0 {
+		t.Errorf("column 0 must be initially ready, nmod=%d", counts[0])
+	}
+	// total updates equals total off-diagonal nonzeros
+	var total, offdiag int64
+	for _, c := range counts {
+		total += c
+	}
+	offdiag = int64(a.sym.NNZ() - a.N())
+	if total != offdiag {
+		t.Errorf("Σnmod = %d, want %d", total, offdiag)
+	}
+}
+
+func TestReadCoherence(t *testing.T) {
+	// Fully synchronized program: every read must be HB-fresh.
+	for _, prot := range core.Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			c := cfg(prot, 4)
+			c.DebugCheckReads = true
+			s, err := core.NewSystem(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := New(Params{Grid: 6, FlopCycles: 4, SpinCycles: 200})
+			app.Configure(s)
+			if _, err := s.Run(app.Worker); err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Verify(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package jacobi
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+func cfg(prot core.Protocol, procs int) core.Config {
+	c := core.DefaultConfig()
+	c.Protocol = prot
+	c.Procs = procs
+	c.Net = network.ATMNet(100, core.DefaultClockMHz)
+	c.MaxSharedBytes = 8 << 20
+	return c
+}
+
+func runJacobi(t *testing.T, prot core.Protocol, procs int, p Params) *core.RunStats {
+	t.Helper()
+	s, err := core.NewSystem(cfg(prot, procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := New(p)
+	app.Configure(s)
+	st, err := s.Run(app.Worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCorrectAllProtocols(t *testing.T) {
+	for _, prot := range core.Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			runJacobi(t, prot, 4, Small())
+		})
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	st := runJacobi(t, core.LH, 1, Small())
+	if st.Msgs != 0 {
+		t.Errorf("1-proc run sent %d messages", st.Msgs)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	p := Params{N: 64, Iters: 4, PointCycles: 200}
+	t1 := runJacobi(t, core.LH, 1, p).Cycles
+	t4 := runJacobi(t, core.LH, 4, p).Cycles
+	if float64(t1)/float64(t4) < 1.5 {
+		t.Errorf("speedup at 4 procs = %.2f, want > 1.5", float64(t1)/float64(t4))
+	}
+}
+
+func TestOddIterationParity(t *testing.T) {
+	runJacobi(t, core.LI, 3, Params{N: 32, Iters: 3, PointCycles: 10})
+}
+
+func TestBoundaryRowsShared(t *testing.T) {
+	// With one row per page and contiguous bands, only boundary pages move.
+	st := runJacobi(t, core.LI, 4, Params{N: 32, Iters: 4, PointCycles: 10})
+	if st.AccessMisses == 0 {
+		t.Error("expected boundary misses")
+	}
+}
+
+func TestBandPartitionCoversInterior(t *testing.T) {
+	j := New(Params{N: 100, Iters: 1})
+	covered := make([]bool, 100)
+	for id := 0; id < 7; id++ {
+		lo, hi := j.band(id, 7)
+		for r := lo; r < hi; r++ {
+			if covered[r] {
+				t.Fatalf("row %d assigned twice", r)
+			}
+			covered[r] = true
+		}
+	}
+	for r := 1; r < 99; r++ {
+		if !covered[r] {
+			t.Fatalf("row %d unassigned", r)
+		}
+	}
+	if covered[0] || covered[99] {
+		t.Fatal("boundary rows must not be assigned")
+	}
+}

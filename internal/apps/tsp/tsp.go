@@ -1,0 +1,337 @@
+// Package tsp implements the paper's second coarse-grained workload: a
+// branch-and-bound traveling salesman solver over a shared queue of partial
+// tours. The global tour queue is protected by a lock ("fully 10% of a
+// 16-processor execution is wasted waiting for the queue lock"); the global
+// minimum is read *without* synchronization to prune searches and is only
+// lock-protected for updates, so lazy protocols may prune against a stale
+// bound and explore more unpromising tours — the effect that makes the
+// eager protocols slightly faster on TSP.
+package tsp
+
+import (
+	"fmt"
+	"sort"
+
+	"lrcdsm/internal/core"
+)
+
+// Params configures the workload.
+type Params struct {
+	Cities      int   // tour length; the paper uses 18-city tours
+	PrefixDepth int   // cities fixed per queued partial tour
+	NodeCycles  int64 // private computation charged per search-tree node
+	Seed        int64
+}
+
+// Default returns the paper's configuration (18-city tours).
+func Default() Params { return Params{Cities: 18, PrefixDepth: 3, NodeCycles: 40, Seed: 1} }
+
+// Small returns a scaled-down configuration for tests.
+func Small() Params { return Params{Cities: 10, PrefixDepth: 2, NodeCycles: 40, Seed: 1} }
+
+// App is one configured TSP instance.
+type App struct {
+	p    Params
+	dist [][]int64
+
+	minEdge     []int64 // cheapest edge incident to each city
+	twoEdgeHalf []int64 // (two cheapest incident edges)/2, for lower bounds
+	greedyBound int64   // nearest-neighbor tour length, the initial bound
+
+	tasks  [][]int8 // partial tours, fixed order
+	tasksA core.Addr
+	nextA  core.Addr
+	minA   core.Addr
+
+	queueLock int
+	minLock   int
+
+	// host-side instrumentation
+	NodesVisited []int64 // per processor, filled during Run
+}
+
+// New returns a TSP instance with a deterministic seeded distance matrix.
+func New(p Params) *App {
+	a := &App{p: p}
+	n := p.Cities
+	a.dist = make([][]int64, n)
+	for i := range a.dist {
+		a.dist[i] = make([]int64, n)
+	}
+	// xorshift-seeded symmetric distances in [1, 100]
+	s := uint64(p.Seed)*2685821657736338717 + 1442695040888963407
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := int64(next()%100) + 1
+			a.dist[i][j] = d
+			a.dist[j][i] = d
+		}
+	}
+	a.minEdge = make([]int64, n)
+	a.twoEdgeHalf = make([]int64, n)
+	for i := 0; i < n; i++ {
+		best, second := int64(1<<40), int64(1<<40)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			switch d := a.dist[i][j]; {
+			case d < best:
+				best, second = d, best
+			case d < second:
+				second = d
+			}
+		}
+		a.minEdge[i] = best
+		a.twoEdgeHalf[i] = (best + second) / 2
+	}
+	a.greedyBound = a.greedyTour()
+	a.buildTasks()
+	// The paper's queue is a priority queue of partial tours: workers take
+	// the most promising (lowest lower-bound) tour first.
+	sort.SliceStable(a.tasks, func(i, j int) bool {
+		bi := a.lowerBound(a.prefixLen(a.tasks[i]), visitedMask(a.tasks[i]))
+		bj := a.lowerBound(a.prefixLen(a.tasks[j]), visitedMask(a.tasks[j]))
+		return bi < bj
+	})
+	return a
+}
+
+// visitedMask returns the bitmask of cities on a partial tour.
+func visitedMask(t []int8) uint32 {
+	var m uint32
+	for _, c := range t {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// greedyTour returns the length of the nearest-neighbor tour from city 0,
+// used as the initial global bound (as real branch-and-bound codes do).
+func (a *App) greedyTour() int64 {
+	n := a.p.Cities
+	visited := make([]bool, n)
+	visited[0] = true
+	cur, total := 0, int64(0)
+	for step := 1; step < n; step++ {
+		best, bd := -1, int64(1<<40)
+		for c := 1; c < n; c++ {
+			if !visited[c] && a.dist[cur][c] < bd {
+				best, bd = c, a.dist[cur][c]
+			}
+		}
+		visited[best] = true
+		total += bd
+		cur = best
+	}
+	return total + a.dist[cur][0]
+}
+
+// buildTasks enumerates all partial tours of PrefixDepth cities starting at
+// city 0, in deterministic order.
+func (a *App) buildTasks() {
+	var rec func(prefix []int8)
+	rec = func(prefix []int8) {
+		if len(prefix) == a.p.PrefixDepth {
+			t := make([]int8, len(prefix))
+			copy(t, prefix)
+			a.tasks = append(a.tasks, t)
+			return
+		}
+		for c := int8(1); c < int8(a.p.Cities); c++ {
+			used := false
+			for _, u := range prefix {
+				if u == c {
+					used = true
+					break
+				}
+			}
+			if !used {
+				rec(append(prefix, c))
+			}
+		}
+	}
+	rec([]int8{0})
+}
+
+// Name implements the harness App interface.
+func (a *App) Name() string { return "tsp" }
+
+// Configure allocates the shared distance matrix, task array, task cursor
+// and global minimum.
+func (a *App) Configure(s *core.System) {
+	n := a.p.Cities
+	// Shared read-only copy of the distance matrix.
+	distA := s.AllocPage(n * n * 8)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.InitI64(distA+core.Addr(8*(i*n+j)), a.dist[i][j])
+		}
+	}
+	// Tasks, flattened: PrefixDepth cities each.
+	a.tasksA = s.AllocPage(len(a.tasks) * a.p.PrefixDepth * 8)
+	for t, task := range a.tasks {
+		for i, c := range task {
+			s.InitI64(a.tasksA+core.Addr(8*(t*a.p.PrefixDepth+i)), int64(c))
+		}
+	}
+	a.nextA = s.AllocPage(8)
+	a.minA = s.AllocPage(8)
+	s.InitI64(a.minA, a.greedyBound+1) // nearest-neighbor initial bound
+	a.queueLock = s.NewLock()
+	a.minLock = s.NewLock()
+	a.NodesVisited = make([]int64, s.Config().Procs)
+}
+
+// prefixLen returns the path length of a partial tour.
+func (a *App) prefixLen(task []int8) int64 {
+	var l int64
+	for i := 1; i < len(task); i++ {
+		l += a.dist[task[i-1]][task[i]]
+	}
+	return l
+}
+
+// lowerBound returns prefix length plus half the sum of the two cheapest
+// edges incident to each remaining city — the classic admissible
+// branch-and-bound lower bound.
+func (a *App) lowerBound(curLen int64, visited uint32) int64 {
+	lb := curLen
+	for c := 0; c < a.p.Cities; c++ {
+		if visited&(1<<uint(c)) == 0 {
+			lb += a.twoEdgeHalf[c]
+		}
+	}
+	return lb
+}
+
+// Worker runs the branch-and-bound search on one processor.
+func (a *App) Worker(p *core.Proc) {
+	n := a.p.Cities
+	nTasks := int64(len(a.tasks))
+	for {
+		// Dequeue a promising task, holding the queue lock while checking
+		// the topmost tour against the (now fresh) bound, as in the paper.
+		p.Lock(a.queueLock)
+		var task []int8
+		for {
+			ti := p.ReadI64(a.nextA)
+			if ti >= nTasks {
+				break
+			}
+			p.WriteI64(a.nextA, ti+1)
+			t := make([]int8, a.p.PrefixDepth)
+			for i := range t {
+				t[i] = int8(p.ReadI64(a.tasksA + core.Addr(8*(int(ti)*a.p.PrefixDepth+i))))
+			}
+			visited := visitedMask(t)
+			// The bound may be stale (the queue lock does not synchronize
+			// with bound updates) — stale bounds are only ever too large,
+			// which prunes less but never incorrectly.
+			best := p.ReadI64(a.minA)
+			if a.lowerBound(a.prefixLen(t), visited) < best {
+				task = t
+				break
+			}
+			// unpromising: remove another tour while still holding the lock
+		}
+		p.Unlock(a.queueLock)
+		if task == nil {
+			return
+		}
+		var visited uint32
+		for _, c := range task {
+			visited |= 1 << uint(c)
+		}
+		path := make([]int8, n)
+		copy(path, task)
+		a.search(p, path, len(task), visited, a.prefixLen(task))
+	}
+}
+
+// search explores the subtree below a partial tour. The global bound is
+// read unsynchronized at every node; updates re-check under the lock.
+func (a *App) search(p *core.Proc, path []int8, depth int, visited uint32, curLen int64) {
+	a.NodesVisited[p.ID()]++
+	p.Compute(a.p.NodeCycles)
+	n := a.p.Cities
+	best := p.ReadI64(a.minA) // possibly stale under lazy protocols
+	if a.lowerBound(curLen, visited) >= best {
+		return
+	}
+	if depth == n {
+		total := curLen + a.dist[path[n-1]][0]
+		if total < best {
+			p.Lock(a.minLock)
+			if fresh := p.ReadI64(a.minA); total < fresh {
+				p.WriteI64(a.minA, total)
+			}
+			p.Unlock(a.minLock)
+		}
+		return
+	}
+	last := path[depth-1]
+	for c := int8(1); c < int8(n); c++ {
+		if visited&(1<<uint(c)) != 0 {
+			continue
+		}
+		path[depth] = c
+		a.search(p, path, depth+1, visited|1<<uint(c), curLen+a.dist[last][c])
+	}
+}
+
+// SequentialBest solves the instance with the same bounding logic, host
+// side, returning the optimal tour length.
+func (a *App) SequentialBest() int64 {
+	n := a.p.Cities
+	best := a.greedyBound + 1
+	path := make([]int8, n)
+	path[0] = 0
+	var rec func(depth int, visited uint32, curLen int64)
+	rec = func(depth int, visited uint32, curLen int64) {
+		if a.lowerBound(curLen, visited) >= best {
+			return
+		}
+		if depth == n {
+			if t := curLen + a.dist[path[n-1]][0]; t < best {
+				best = t
+			}
+			return
+		}
+		last := path[depth-1]
+		for c := int8(1); c < int8(n); c++ {
+			if visited&(1<<uint(c)) == 0 {
+				path[depth] = c
+				rec(depth+1, visited|1<<uint(c), curLen+a.dist[last][c])
+			}
+		}
+	}
+	rec(1, 1, 0)
+	return best
+}
+
+// Verify checks that the parallel search found the true optimum.
+func (a *App) Verify(s *core.System) error {
+	want := a.SequentialBest()
+	got := s.PeekI64(a.minA)
+	if got != want {
+		return fmt.Errorf("tsp: found %d, optimum is %d", got, want)
+	}
+	return nil
+}
+
+// TotalNodes returns the number of search nodes visited across processors
+// (larger under lazy protocols when stale bounds prune less).
+func (a *App) TotalNodes() int64 {
+	var t int64
+	for _, n := range a.NodesVisited {
+		t += n
+	}
+	return t
+}

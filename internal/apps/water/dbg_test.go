@@ -1,0 +1,29 @@
+package water
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+)
+
+// TestReadCoherence runs Water with the core's read-coherence checker: the
+// program is fully synchronized, so every shared read must return the
+// happened-before-latest value.
+func TestReadCoherence(t *testing.T) {
+	for _, prot := range core.Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			c := cfg(prot, 4)
+			c.DebugCheckReads = true
+			s, err := core.NewSystem(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := New(Small())
+			app.Configure(s)
+			if _, err := s.Run(app.Worker); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package water
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+func cfg(prot core.Protocol, procs int) core.Config {
+	c := core.DefaultConfig()
+	c.Protocol = prot
+	c.Procs = procs
+	c.Net = network.ATMNet(100, core.DefaultClockMHz)
+	c.MaxSharedBytes = 8 << 20
+	return c
+}
+
+func runWater(t *testing.T, prot core.Protocol, procs int, p Params) *core.RunStats {
+	t.Helper()
+	s, err := core.NewSystem(cfg(prot, procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := New(p)
+	app.Configure(s)
+	st, err := s.Run(app.Worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCorrectAllProtocols(t *testing.T) {
+	for _, prot := range core.Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			runWater(t, prot, 4, Small())
+		})
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	st := runWater(t, core.LH, 1, Small())
+	if st.Msgs != 0 {
+		t.Errorf("1-proc run sent %d messages", st.Msgs)
+	}
+}
+
+func TestInteractionsExist(t *testing.T) {
+	a := New(Small())
+	pos, _, _ := a.Reference()
+	moved := false
+	for i := range pos {
+		if pos[i] != a.initPos[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("no molecule moved; cutoff too small for the test to be meaningful")
+	}
+}
+
+func TestFalseSharingPresent(t *testing.T) {
+	// 9-word molecules pack ~56 per 4096-byte page: concurrent writers on
+	// one page are the norm, so twins must be created on multiple procs.
+	st := runWater(t, core.LH, 4, Small())
+	if st.TwinsCreated == 0 {
+		t.Error("no twins created")
+	}
+	if st.LockAcquires == 0 {
+		t.Error("no lock traffic")
+	}
+}
+
+// The paper's headline Water result: EU sends an order of magnitude more
+// messages than the lazy protocols, because releases cause updates to be
+// sent to many other processors.
+func TestEUSendsMoreMessagesThanLH(t *testing.T) {
+	p := Small()
+	lh := runWater(t, core.LH, 4, p)
+	eu := runWater(t, core.EU, 4, p)
+	if eu.Msgs <= lh.Msgs {
+		t.Errorf("EU msgs (%d) should exceed LH msgs (%d)", eu.Msgs, lh.Msgs)
+	}
+}
+
+func TestBlockPartitionCovers(t *testing.T) {
+	a := New(Params{Molecules: 97, Steps: 1, Cutoff: 0.3})
+	covered := make([]bool, 97)
+	for id := 0; id < 5; id++ {
+		lo, hi := a.block(id, 5)
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Fatalf("molecule %d assigned twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("molecule %d unassigned", i)
+		}
+	}
+}

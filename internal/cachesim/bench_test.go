@@ -1,0 +1,20 @@
+package cachesim
+
+import "testing"
+
+// BenchmarkAccessHit measures the fast path charged on every shared access.
+func BenchmarkAccessHit(b *testing.B) {
+	c := Default()
+	c.Access(64)
+	for i := 0; i < b.N; i++ {
+		c.Access(64)
+	}
+}
+
+// BenchmarkAccessStream measures a sequential sweep (Jacobi-like).
+func BenchmarkAccessStream(b *testing.B) {
+	c := Default()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i*8) & (1<<20 - 1))
+	}
+}

@@ -1,0 +1,91 @@
+// Package cachesim models the per-processor data cache of the paper's
+// architectural model: a 64 KByte direct-mapped cache with a 12-cycle
+// memory latency on a miss and infinite local memory (no capacity misses at
+// the memory level).
+package cachesim
+
+import "lrcdsm/internal/sim"
+
+// Default parameters from the paper's architectural model (Section 5.2).
+const (
+	DefaultSizeBytes   = 64 * 1024
+	DefaultLineBytes   = 32
+	DefaultHitCycles   = 1
+	DefaultMissPenalty = 12
+)
+
+// Cache is a direct-mapped cache addressed by global shared-memory address.
+type Cache struct {
+	lineShift uint
+	mask      int64
+	tags      []int64 // tag per line, -1 when empty
+
+	hitCycles   sim.Time
+	missPenalty sim.Time
+
+	hits   int64
+	misses int64
+}
+
+// New returns a direct-mapped cache. sizeBytes and lineBytes must be powers
+// of two with sizeBytes >= lineBytes.
+func New(sizeBytes, lineBytes int, hitCycles, missPenalty sim.Time) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || sizeBytes%lineBytes != 0 ||
+		lineBytes&(lineBytes-1) != 0 || sizeBytes&(sizeBytes-1) != 0 {
+		panic("cachesim: size and line must be powers of two")
+	}
+	n := sizeBytes / lineBytes
+	c := &Cache{
+		mask:        int64(n - 1),
+		tags:        make([]int64, n),
+		hitCycles:   hitCycles,
+		missPenalty: missPenalty,
+	}
+	for lineBytes > 1 {
+		lineBytes >>= 1
+		c.lineShift++
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Default returns a cache with the paper's parameters.
+func Default() *Cache {
+	return New(DefaultSizeBytes, DefaultLineBytes, DefaultHitCycles, DefaultMissPenalty)
+}
+
+// Access models a load or store to the given byte address and returns its
+// cost in cycles.
+func (c *Cache) Access(addr int64) sim.Time {
+	line := addr >> c.lineShift
+	idx := line & c.mask
+	if c.tags[idx] == line {
+		c.hits++
+		return c.hitCycles
+	}
+	c.tags[idx] = line
+	c.misses++
+	return c.hitCycles + c.missPenalty
+}
+
+// InvalidateRange evicts all lines covering [addr, addr+n): used when a DSM
+// page is replaced underneath the cache (a fresh copy or applied diffs must
+// not hit stale cache lines).
+func (c *Cache) InvalidateRange(addr int64, n int) {
+	first := addr >> c.lineShift
+	last := (addr + int64(n) - 1) >> c.lineShift
+	for line := first; line <= last; line++ {
+		idx := line & c.mask
+		if c.tags[idx] == line {
+			c.tags[idx] = -1
+		}
+	}
+}
+
+// Hits returns the number of cache hits observed.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of cache misses observed.
+func (c *Cache) Misses() int64 { return c.misses }

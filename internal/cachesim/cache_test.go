@@ -1,0 +1,114 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := Default()
+	if got := c.Access(0); got != DefaultHitCycles+DefaultMissPenalty {
+		t.Errorf("cold access = %d cycles", got)
+	}
+	if got := c.Access(8); got != DefaultHitCycles {
+		t.Errorf("same-line access = %d cycles, want hit", got)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestConflictMiss(t *testing.T) {
+	c := Default()
+	c.Access(0)
+	c.Access(DefaultSizeBytes) // maps to same line in a direct-mapped cache
+	if got := c.Access(0); got != DefaultHitCycles+DefaultMissPenalty {
+		t.Errorf("conflicting line should have evicted: %d cycles", got)
+	}
+}
+
+func TestLineGranularity(t *testing.T) {
+	c := Default()
+	c.Access(100)
+	if got := c.Access(100 - 100%DefaultLineBytes); got != DefaultHitCycles {
+		t.Errorf("line start should hit: %d", got)
+	}
+	if got := c.Access(100 + DefaultLineBytes); got == DefaultHitCycles {
+		t.Errorf("next line should miss")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := Default()
+	for a := int64(0); a < 4096; a += DefaultLineBytes {
+		c.Access(a)
+	}
+	c.InvalidateRange(0, 4096)
+	if got := c.Access(64); got != DefaultHitCycles+DefaultMissPenalty {
+		t.Errorf("invalidated line should miss: %d", got)
+	}
+}
+
+func TestInvalidateRangeLeavesOthers(t *testing.T) {
+	c := Default()
+	c.Access(0)
+	c.Access(8192)
+	c.InvalidateRange(0, 4096)
+	if got := c.Access(8192); got != DefaultHitCycles {
+		t.Errorf("untouched line should still hit: %d", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1000, 32, 1, 12)
+}
+
+// Property: repeating any access sequence entirely within a working set
+// smaller than the cache yields all hits on the second pass when addresses
+// are line-disjoint modulo the cache size.
+func TestQuickSecondPassHits(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := Default()
+		// choose distinct lines within one cache-sized window
+		nAddrs := 1 + r.Intn(100)
+		addrs := make([]int64, nAddrs)
+		for i := range addrs {
+			addrs[i] = int64(r.Intn(DefaultSizeBytes/DefaultLineBytes)) * DefaultLineBytes
+		}
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		for _, a := range addrs {
+			if c.Access(a) != DefaultHitCycles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits+misses equals total accesses.
+func TestQuickAccountingBalances(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := Default()
+		n := r.Intn(500)
+		for i := 0; i < n; i++ {
+			c.Access(int64(r.Intn(1 << 20)))
+		}
+		return c.Hits()+c.Misses() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,626 @@
+package core
+
+import (
+	"testing"
+
+	"lrcdsm/internal/network"
+)
+
+// testConfig returns a small, fast configuration for micro-programs.
+func testConfig(prot Protocol, procs int) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = prot
+	cfg.Procs = procs
+	cfg.PageSize = 256
+	cfg.MaxSharedBytes = 1 << 20
+	cfg.Net = network.ATMNet(100, DefaultClockMHz)
+	return cfg
+}
+
+func mustSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func run(t *testing.T, s *System, worker func(*Proc)) *RunStats {
+	t.Helper()
+	st, err := s.Run(worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSingleProcReadWrite(t *testing.T) {
+	s := mustSystem(t, testConfig(LH, 1))
+	a := s.Alloc(64)
+	s.InitF64(a, 1.5)
+	st := run(t, s, func(p *Proc) {
+		if got := p.ReadF64(a); got != 1.5 {
+			t.Errorf("initial read = %v", got)
+		}
+		p.WriteF64(a+8, 2.5)
+		if got := p.ReadF64(a + 8); got != 2.5 {
+			t.Errorf("read back = %v", got)
+		}
+	})
+	if s.PeekF64(a+8) != 2.5 {
+		t.Errorf("oracle = %v", s.PeekF64(a+8))
+	}
+	if st.Msgs != 0 {
+		t.Errorf("single proc sent %d messages", st.Msgs)
+	}
+}
+
+// A lock-protected counter incremented by every processor must end at the
+// exact total under every protocol: the core release-consistency guarantee.
+func TestLockProtectedCounterAllProtocols(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs, iters = 4, 10
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8)
+			lk := s.NewLock()
+			run(t, s, func(p *Proc) {
+				for i := 0; i < iters; i++ {
+					p.Lock(lk)
+					p.WriteI64(a, p.ReadI64(a)+1)
+					p.Unlock(lk)
+					p.Compute(500)
+				}
+			})
+			if got := s.PeekI64(a); got != procs*iters {
+				t.Errorf("counter = %d, want %d", got, procs*iters)
+			}
+		})
+	}
+}
+
+// Barrier-ordered producer/consumer: proc 0 writes, everyone reads after
+// the barrier.
+func TestBarrierPublishesAllProtocols(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs = 4
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8 * procs)
+			bar := s.NewBarrier()
+			bad := make([]bool, procs)
+			run(t, s, func(p *Proc) {
+				p.WriteF64(a+Addr(8*p.ID()), float64(p.ID()+1))
+				p.Barrier(bar)
+				sum := 0.0
+				for i := 0; i < procs; i++ {
+					sum += p.ReadF64(a + Addr(8*i))
+				}
+				if sum != 10 {
+					bad[p.ID()] = true
+				}
+			})
+			for i, b := range bad {
+				if b {
+					t.Errorf("proc %d read wrong sum after barrier", i)
+				}
+			}
+		})
+	}
+}
+
+// Concurrent writers to disjoint words of the same page (false sharing)
+// must both survive the barrier merge — the multiple-writer property.
+func TestFalseSharingMergesAllProtocols(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs = 4
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8 * procs) // all words on one 256-byte page
+			bar := s.NewBarrier()
+			bad := make([]bool, procs)
+			run(t, s, func(p *Proc) {
+				p.WriteF64(a+Addr(8*p.ID()), float64(100+p.ID()))
+				p.Barrier(bar)
+				for i := 0; i < procs; i++ {
+					if p.ReadF64(a+Addr(8*i)) != float64(100+i) {
+						bad[p.ID()] = true
+					}
+				}
+			})
+			for i, b := range bad {
+				if b {
+					t.Errorf("proc %d lost a concurrent write", i)
+				}
+			}
+		})
+	}
+}
+
+// Migratory data under a lock: the classic LRC pattern. Every protocol
+// must move the new value with (or after) the lock.
+func TestMigratoryDataAllProtocols(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs = 3
+			const rounds = 6
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8)
+			lk := s.NewLock()
+			bad := make([]bool, procs)
+			run(t, s, func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					p.Lock(lk)
+					v := p.ReadI64(a)
+					p.WriteI64(a, v+1)
+					p.Unlock(lk)
+					p.Compute(1000 * int64(p.ID()+1))
+				}
+			})
+			if got := s.PeekI64(a); got != procs*rounds {
+				t.Errorf("final = %d, want %d", got, procs*rounds)
+			}
+			for i, b := range bad {
+				if b {
+					t.Errorf("proc %d saw torn value", i)
+				}
+			}
+		})
+	}
+}
+
+// Lock reacquisition by the same processor must not generate messages
+// under the lazy protocols.
+func TestLocalReacquireNoMessages(t *testing.T) {
+	for _, prot := range []Protocol{LH, LI, LU} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			s := mustSystem(t, testConfig(prot, 2))
+			a := s.Alloc(8)
+			lk := s.NewLock() // lock 0: manager/initial holder is proc 0
+			st := run(t, s, func(p *Proc) {
+				if p.ID() != 0 {
+					return
+				}
+				for i := 0; i < 5; i++ {
+					p.Lock(lk)
+					p.WriteI64(a, int64(i))
+					p.Unlock(lk)
+				}
+			})
+			if st.Msgs != 0 {
+				t.Errorf("%d messages for local reacquires", st.Msgs)
+			}
+			if st.LocalReacquires != 5 {
+				t.Errorf("LocalReacquires = %d, want 5", st.LocalReacquires)
+			}
+		})
+	}
+}
+
+// Table 1: a remote lock acquisition costs 3 messages for LH and LI
+// (request, forward, grant) when no diffs must be fetched.
+func TestLockMessageCostTable1(t *testing.T) {
+	for _, prot := range []Protocol{LH, LI, EI, EU} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			s := mustSystem(t, testConfig(prot, 4))
+			lk := s.NewLocks(4) // lock ids 0..3; use lock 2 -> manager proc 2
+			_ = lk
+			st := run(t, s, func(p *Proc) {
+				if p.ID() != 0 {
+					return
+				}
+				p.Lock(2)
+				p.Unlock(2)
+			})
+			// proc 0 acquires lock 2: req to manager 2, fwd handled locally
+			// at 2 (manager==holder), grant to 0 => 2 messages here.
+			if st.LockMsgs != 2 {
+				t.Errorf("lock messages = %d, want 2 (req+grant, manager is holder)", st.LockMsgs)
+			}
+		})
+	}
+}
+
+// Table 1: an access miss on an unmodified page costs 2 messages
+// (request to the owner, page reply).
+func TestMissMessageCost(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			cfg := testConfig(prot, 2)
+			s := mustSystem(t, cfg)
+			a := s.AllocPage(8) // page 0? AllocPage from brk 0 -> page 0, owner 0
+			s.InitF64(a, 7)
+			bad := false
+			st := run(t, s, func(p *Proc) {
+				if p.ID() == 1 {
+					if p.ReadF64(a) != 7 {
+						bad = true
+					}
+				}
+			})
+			if bad {
+				t.Fatal("read wrong value")
+			}
+			if st.MissMsgs != 2 {
+				t.Errorf("miss messages = %d, want 2", st.MissMsgs)
+			}
+			if st.AccessMisses != 1 {
+				t.Errorf("misses = %d, want 1", st.AccessMisses)
+			}
+			if st.DataBytes != int64(cfg.PageSize) {
+				t.Errorf("data bytes = %d, want one page (%d)", st.DataBytes, cfg.PageSize)
+			}
+		})
+	}
+}
+
+// The eager protocols flush at release: after EU's release, the other
+// cacher's copy is updated in place and its subsequent read needs no miss;
+// after EI's release, the other cacher is invalidated and must re-fetch.
+func TestEagerReleaseSemantics(t *testing.T) {
+	build := func(prot Protocol) (*System, Addr, int, int) {
+		s := mustSystem(t, testConfig(prot, 2))
+		a := s.AllocPage(16)
+		lk := s.NewLock()
+		bar := s.NewBarrier()
+		return s, a, lk, bar
+	}
+	t.Run("EU-update-in-place", func(t *testing.T) {
+		s, a, lk, bar := build(EU)
+		st := run(t, s, func(p *Proc) {
+			if p.ID() == 1 {
+				_ = p.ReadF64(a) // join the copyset
+			}
+			p.Barrier(bar)
+			if p.ID() == 0 {
+				p.Lock(lk)
+				p.WriteF64(a, 42)
+				p.Unlock(lk) // pushes the diff to proc 1
+			}
+			p.Barrier(bar)
+			if p.ID() == 1 && p.ReadF64(a) != 42 {
+				t.Errorf("proc 1 missed the update")
+			}
+		})
+		if st.AccessMisses != 1 { // only proc 1's initial read
+			t.Errorf("EU misses = %d, want 1", st.AccessMisses)
+		}
+	})
+	t.Run("EI-invalidate", func(t *testing.T) {
+		s, a, lk, bar := build(EI)
+		st := run(t, s, func(p *Proc) {
+			if p.ID() == 1 {
+				_ = p.ReadF64(a)
+			}
+			p.Barrier(bar)
+			if p.ID() == 0 {
+				p.Lock(lk)
+				p.WriteF64(a, 42)
+				p.Unlock(lk) // invalidates proc 1
+			}
+			p.Barrier(bar)
+			if p.ID() == 1 && p.ReadF64(a) != 42 {
+				t.Errorf("proc 1 read stale data after invalidation")
+			}
+		})
+		if st.AccessMisses != 2 { // initial read + refetch after invalidation
+			t.Errorf("EI misses = %d, want 2", st.AccessMisses)
+		}
+	})
+}
+
+// LH piggybacks diffs on the grant when the releaser knows the acquirer
+// caches the page, so the acquirer's next read does not miss; LI
+// invalidates, so it does.
+func TestHybridAvoidsMissLIInvalidates(t *testing.T) {
+	trial := func(prot Protocol) (misses int64, syncData int64) {
+		cfg := testConfig(prot, 2)
+		s, err := NewSystem(cfg)
+		if err != nil {
+			panic(err)
+		}
+		a := s.AllocPage(16)
+		lk := s.NewLock()
+		st, err := s.Run(func(p *Proc) {
+			if p.ID() == 1 {
+				_ = p.ReadF64(a) // cache the page; proc 0 (owner) learns
+				p.Compute(3_000_000)
+				p.Lock(lk) // well after proc 0's release: grant brings notices
+				if p.ReadF64(a) != 9 {
+					panic("stale read after acquire")
+				}
+				p.Unlock(lk)
+			} else {
+				p.Compute(500_000)
+				p.Lock(lk)
+				p.WriteF64(a, 9)
+				p.Unlock(lk)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return st.AccessMisses, st.SyncDataMsgs
+	}
+	lhMiss, lhData := trial(LH)
+	liMiss, liData := trial(LI)
+	if lhMiss >= liMiss {
+		t.Errorf("LH misses (%d) should be fewer than LI (%d)", lhMiss, liMiss)
+	}
+	if lhData == 0 {
+		t.Errorf("LH grant should have carried data")
+	}
+	if liData != 0 {
+		t.Errorf("LI grants must not carry data, got %d", liData)
+	}
+	_ = lhData
+}
+
+// Deterministic replay: identical configurations produce identical cycle
+// counts and message counts.
+func TestDeterministicRuns(t *testing.T) {
+	trial := func() (int64, int64) {
+		s, err := NewSystem(testConfig(LH, 4))
+		if err != nil {
+			panic(err)
+		}
+		a := s.Alloc(256)
+		lk := s.NewLock()
+		bar := s.NewBarrier()
+		st, err := s.Run(func(p *Proc) {
+			for i := 0; i < 8; i++ {
+				p.Lock(lk)
+				p.WriteI64(a+Addr(8*(i%4)), p.ReadI64(a)+int64(p.ID()))
+				p.Unlock(lk)
+				p.Compute(int64(100 * (p.ID() + 1)))
+				p.Barrier(bar)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		return int64(st.Cycles), st.Msgs
+	}
+	c1, m1 := trial()
+	c2, m2 := trial()
+	if c1 != c2 || m1 != m2 {
+		t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", c1, m1, c2, m2)
+	}
+}
+
+// Barrier message count: 2(n-1) sync messages per episode for LI (no
+// pushes, no data).
+func TestBarrierMessageCountLI(t *testing.T) {
+	const procs = 5
+	s := mustSystem(t, testConfig(LI, procs))
+	bar := s.NewBarrier()
+	st := run(t, s, func(p *Proc) {
+		p.Compute(int64(p.ID()) * 50)
+		p.Barrier(bar)
+	})
+	want := int64(2 * (procs - 1))
+	if st.BarrierMsgs != want {
+		t.Errorf("barrier messages = %d, want %d", st.BarrierMsgs, want)
+	}
+	if st.SyncMsgs != want || st.DataMsgs != 0 {
+		t.Errorf("sync=%d data=%d, want %d/0", st.SyncMsgs, st.DataMsgs, want)
+	}
+}
+
+// Unsynchronized reads may be stale under lazy protocols but must never be
+// torn, and a subsequent acquire must expose the fresh value (the TSP
+// bound pattern).
+func TestStaleReadThenAcquireFreshens(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			s := mustSystem(t, testConfig(prot, 2))
+			a := s.Alloc(8)
+			lk := s.NewLock()
+			bar := s.NewBarrier()
+			bad := false
+			run(t, s, func(p *Proc) {
+				if p.ID() == 1 {
+					_ = p.ReadF64(a)
+				}
+				p.Barrier(bar)
+				if p.ID() == 0 {
+					p.Lock(lk)
+					p.WriteF64(a, 5)
+					p.Unlock(lk)
+				}
+				p.Barrier(bar)
+				if p.ID() == 1 {
+					v := p.ReadF64(a) // racy read: any committed value OK
+					if v != 0 && v != 5 {
+						bad = true
+					}
+					p.Lock(lk)
+					if p.ReadF64(a) != 5 {
+						bad = true
+					}
+					p.Unlock(lk)
+				}
+			})
+			if bad {
+				t.Error("torn or stale-after-acquire read")
+			}
+		})
+	}
+}
+
+// Chained lock handoff through three processors preserves migratory
+// updates and exercises the distributed queue (request while held).
+func TestLockQueueUnderContention(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs = 4
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8)
+			lk := s.NewLock()
+			run(t, s, func(p *Proc) {
+				// everyone contends at nearly the same time
+				p.Compute(int64(p.ID()))
+				p.Lock(lk)
+				p.WriteI64(a, p.ReadI64(a)+10)
+				p.Compute(20000) // hold the lock while others queue
+				p.Unlock(lk)
+			})
+			if got := s.PeekI64(a); got != procs*10 {
+				t.Errorf("sum = %d, want %d", got, procs*10)
+			}
+		})
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.Procs = 0
+	if bad.Validate() == nil {
+		t.Error("Procs=0 accepted")
+	}
+	bad = cfg
+	bad.PageSize = 1000
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two page accepted")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, p := range Protocols {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProtocol("xx"); err == nil {
+		t.Error("bad name accepted")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := mustSystem(t, testConfig(LH, 1))
+	run(t, s, func(p *Proc) {})
+	if _, err := s.Run(func(p *Proc) {}); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+// Heavy false sharing with per-word locks on a single page: every counter
+// must be exact under every protocol. This is the Water force-accumulation
+// pattern distilled.
+func TestFalseSharingCountersAllProtocols(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs, words, iters = 4, 4, 12
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8 * words)
+			lk := s.NewLocks(words)
+			_ = lk
+			run(t, s, func(p *Proc) {
+				for r := 0; r < iters; r++ {
+					for j := 0; j < words; j++ {
+						p.Lock(j)
+						addr := a + Addr(8*j)
+						p.WriteI64(addr, p.ReadI64(addr)+1)
+						p.Unlock(j)
+					}
+					p.Compute(int64(37 * (p.ID() + 1)))
+				}
+			})
+			for j := 0; j < words; j++ {
+				if got := s.PeekI64(a + Addr(8*j)); got != procs*iters {
+					t.Errorf("counter %d = %d, want %d", j, got, procs*iters)
+				}
+			}
+		})
+	}
+}
+
+// Same pattern with barriers interleaved, mixing the lock-release and
+// barrier-winner paths of EI.
+func TestFalseSharingCountersWithBarriers(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs, words, iters = 4, 4, 6
+			s := mustSystem(t, testConfig(prot, procs))
+			a := s.Alloc(8 * (words + procs))
+			s.NewLocks(words)
+			bar := s.NewBarrier()
+			run(t, s, func(p *Proc) {
+				for r := 0; r < iters; r++ {
+					// unlocked single-writer word on the same page
+					own := a + Addr(8*(words+p.ID()))
+					p.WriteI64(own, p.ReadI64(own)+1)
+					for j := 0; j < words; j++ {
+						p.Lock(j)
+						addr := a + Addr(8*j)
+						p.WriteI64(addr, p.ReadI64(addr)+1)
+						p.Unlock(j)
+					}
+					p.Barrier(bar)
+				}
+			})
+			for j := 0; j < words; j++ {
+				if got := s.PeekI64(a + Addr(8*j)); got != procs*iters {
+					t.Errorf("counter %d = %d, want %d", j, got, procs*iters)
+				}
+			}
+			for q := 0; q < procs; q++ {
+				if got := s.PeekI64(a + Addr(8*(words+q))); got != iters {
+					t.Errorf("own word %d = %d, want %d", q, got, iters)
+				}
+			}
+		})
+	}
+}
+
+// The centralized-lock ablation must preserve correctness while costing
+// extra messages per release (the token always returns to the manager).
+func TestCentralizedLocksAblation(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			const procs, iters = 4, 8
+			run1 := func(central bool) (int64, int64) {
+				cfg := testConfig(prot, procs)
+				cfg.CentralizedLocks = central
+				s := mustSystem(t, cfg)
+				a := s.Alloc(8)
+				lk := s.NewLock()
+				st := run(t, s, func(p *Proc) {
+					for i := 0; i < iters; i++ {
+						p.Lock(lk)
+						p.WriteI64(a, p.ReadI64(a)+1)
+						p.Unlock(lk)
+						p.Compute(3000)
+					}
+				})
+				if got := s.PeekI64(a); got != procs*iters {
+					t.Fatalf("central=%v: counter = %d, want %d", central, got, procs*iters)
+				}
+				return st.Msgs, int64(st.Cycles)
+			}
+			dMsgs, _ := run1(false)
+			cMsgs, _ := run1(true)
+			if cMsgs <= dMsgs {
+				t.Errorf("centralized (%d msgs) should cost more than distributed (%d)", cMsgs, dMsgs)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Package core implements the paper's primary contribution: a software
+// distributed shared memory supporting release consistency under five
+// multiple-writer protocols over a simulated network.
+//
+// # Protocol walkthrough
+//
+// Memory is divided into pages. Each simulated processor holds private
+// copies of the pages it uses; a copy is either valid (readable) or
+// invalid (the next access faults). The first write to a valid page in a
+// synchronization interval snapshots the page into a twin; when the
+// interval closes (at a release or barrier arrival) the twin is compared
+// with the current contents to produce a diff — a run-length encoding of
+// the modified words. Diffs are what travels: concurrent writers to
+// disjoint words of one page (false sharing) merge instead of fighting
+// over ownership.
+//
+// The five protocols differ in when and where consistency information
+// moves:
+//
+//   - EU (eager update): at every release, the releaser sends its diffs to
+//     every processor in the modified pages' copysets and waits for
+//     acknowledgements. Copies stay valid everywhere; releases are
+//     expensive.
+//   - EI (eager invalidate): like EU but sends invalidations instead of
+//     data; a target with a dirty twin returns its own words on the
+//     acknowledgement. Misses re-fetch whole pages.
+//   - LI (lazy invalidate): nothing moves at a release. The next acquire
+//     of a lock carries write notices — (processor, interval) pairs tagged
+//     with vector timestamps — for every interval the acquirer has not
+//     seen; the acquirer invalidates the noticed pages. Data moves only on
+//     access misses, as diffs pulled from the concurrent last modifiers.
+//   - LU (lazy update): like LI, but the acquire does not complete until
+//     the diffs for every noticed, locally cached page have been fetched
+//     (batched, one request per concurrent last modifier). Pages are never
+//     invalidated.
+//   - LH (lazy hybrid, the paper's contribution): like LI, but the grant
+//     piggybacks the diffs of noticed pages the releaser believes the
+//     acquirer caches (per its copyset) and that it can serve; only the
+//     remaining noticed pages are invalidated. One message pair per lock
+//     transfer, like LI, with most of LU's miss avoidance.
+//
+// Locks use a distributed queue (request to a static manager, forward to
+// the current holder, grant directly to the requester); reacquiring a
+// token still held locally is free — the lazy protocols' signature
+// advantage. Barriers use a master that gathers arrivals (releases) and
+// broadcasts departures (acquires of everyone's intervals); LH and LU
+// additionally push fresh diffs to cachers before arriving, and EI
+// designates a winner per concurrently modified page, with losers
+// forwarding their diffs.
+//
+// # Correctness machinery
+//
+// The subtle parts, each guarded by tests in this package:
+//
+//   - Happened-before ordering of diff application. Diffs can arrive out
+//     of order; applying an old diff over a newer dominating one would
+//     resurrect dead values. Application is gated on noticed predecessors
+//     (canApply), repaired by re-applying dominating applied diffs
+//     (repairDominators), and short-circuited by the page's adopted
+//     coverage vector (a full copy reflects intervals the requester has no
+//     records of).
+//   - Exact applied-interval tracking. Per page and writer the
+//     incorporated intervals are a contiguous base plus a sorted overflow
+//     list; the base advances only through index ranges where the notice
+//     set is provably complete (at or below the processor's vector time).
+//   - Eager race control. Invalidation flushes serialize per page, the
+//     page owner defers requests during a flush, in-flight fetches are
+//     poisoned by invalidations/updates and retried with fresh reply
+//     tokens, and barrier winners are chosen among currently valid
+//     holders.
+//
+// Simulation-level validation backs all of this: a write-through oracle
+// records the happened-before-final value of every word, and
+// Config.DebugCheckReads makes every read of a fully synchronized program
+// assert against it.
+package core

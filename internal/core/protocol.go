@@ -1,0 +1,53 @@
+package core
+
+import (
+	"lrcdsm/internal/page"
+	"lrcdsm/internal/vc"
+)
+
+// grantInfo is the consistency content of a lock grant: the releaser's
+// vector time, the write notices (interval records) the acquirer has not
+// seen, and — for LH and LU — piggybacked diffs.
+type grantInfo struct {
+	vt    vc.VC
+	recs  []*intervalRec
+	diffs []taggedDiff
+}
+
+// protocolImpl is the per-protocol behaviour behind the five protocols.
+// Methods marked "proc ctx" run on the application processor's goroutine
+// and may advance its clock and block; the others run in event-handler
+// context at the named processor.
+type protocolImpl interface {
+	// releaseFlush performs the eager protocols' release-time work
+	// (flushing updates or invalidations and awaiting acknowledgements).
+	// Proc ctx, called by Unlock before any queued grant.
+	releaseFlush(p *Proc)
+
+	// buildGrant assembles the grant's consistency content at releaser r
+	// for acquirer `to` whose vector time is acqVT.
+	buildGrant(r *Proc, to int, acqVT vc.VC) *grantInfo
+
+	// applyGrant performs the acquire-side actions at p and eventually
+	// calls wake (possibly deferred: LU must first fetch diffs).
+	applyGrant(p *Proc, g *grantInfo, wake func())
+
+	// barrierPush performs the pre-arrival work at p (closing the interval,
+	// pushing updates) and returns the arrival's consistency content.
+	// Proc ctx; may block (LU/EU acknowledgements).
+	barrierPush(p *Proc) *arrival
+
+	// applyDepart performs the departure-side actions at p and eventually
+	// calls wake (possibly deferred: LU fetches, EI winners await flushes).
+	applyDepart(p *Proc, d *departInfo, wake func())
+
+	// handleMiss resolves an access fault on pg. Proc ctx; blocks until the
+	// page is valid.
+	handleMiss(p *Proc, pg page.ID)
+
+	// handlePageReq serves (or forwards) a page copy request at p.
+	handlePageReq(p *Proc, m *msg)
+
+	// handleUpdate applies a pushed update at p and acknowledges if asked.
+	handleUpdate(p *Proc, m *msg)
+}

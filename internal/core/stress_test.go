@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// stressProgram is a randomized but deterministic mixed workload: each
+// processor performs a seeded sequence of lock-protected counter
+// increments, unlocked single-writer updates, barrier phases, and private
+// computation. All cross-processor effects are commutative (counter
+// additions), so the final memory state is protocol-independent and exactly
+// checkable.
+type stressProgram struct {
+	procs    int
+	counters int
+	words    int // single-writer words per proc
+	rounds   int
+	seed     int64
+}
+
+func (sp stressProgram) run(t *testing.T, prot Protocol) *RunStats {
+	t.Helper()
+	cfg := testConfig(prot, sp.procs)
+	s := mustSystem(t, cfg)
+	ctrs := s.AllocPage(8 * sp.counters)
+	own := s.AllocPage(8 * sp.procs * sp.words)
+	s.NewLocks(sp.counters)
+	bar := s.NewBarrier()
+
+	expected := make([]int64, sp.counters)
+	ownExpected := make([][]int64, sp.procs)
+	type op struct{ kind, arg, val int }
+	plans := make([][]op, sp.procs)
+	for id := 0; id < sp.procs; id++ {
+		r := rand.New(rand.NewSource(sp.seed + int64(id)))
+		ownExpected[id] = make([]int64, sp.words)
+		for round := 0; round < sp.rounds; round++ {
+			n := 3 + r.Intn(6)
+			for i := 0; i < n; i++ {
+				switch r.Intn(3) {
+				case 0:
+					c := r.Intn(sp.counters)
+					plans[id] = append(plans[id], op{kind: 0, arg: c})
+					expected[c]++
+				case 1:
+					w := r.Intn(sp.words)
+					v := r.Intn(1000)
+					plans[id] = append(plans[id], op{kind: 1, arg: w, val: v})
+					ownExpected[id][w] += int64(v)
+				case 2:
+					plans[id] = append(plans[id], op{kind: 2, val: 100 + r.Intn(5000)})
+				}
+			}
+			plans[id] = append(plans[id], op{kind: 3})
+		}
+	}
+
+	st, err := s.Run(func(p *Proc) {
+		for _, o := range plans[p.ID()] {
+			switch o.kind {
+			case 0:
+				p.Lock(o.arg)
+				a := ctrs + Addr(8*o.arg)
+				p.WriteI64(a, p.ReadI64(a)+1)
+				p.Unlock(o.arg)
+			case 1:
+				a := own + Addr(8*(p.ID()*sp.words+o.arg))
+				p.WriteI64(a, p.ReadI64(a)+int64(o.val))
+			case 2:
+				p.Compute(int64(o.val))
+			case 3:
+				p.Barrier(bar)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < sp.counters; c++ {
+		if got := s.PeekI64(ctrs + Addr(8*c)); got != expected[c] {
+			t.Errorf("%v: counter %d = %d, want %d", prot, c, got, expected[c])
+		}
+	}
+	for id := 0; id < sp.procs; id++ {
+		for w := 0; w < sp.words; w++ {
+			a := own + Addr(8*(id*sp.words+w))
+			if got := s.PeekI64(a); got != ownExpected[id][w] {
+				t.Errorf("%v: own[%d][%d] = %d, want %d", prot, id, w, got, ownExpected[id][w])
+			}
+		}
+	}
+	return st
+}
+
+// TestStressRandomProgramsAllProtocols runs several random seeds through
+// every protocol; counters and single-writer sums must be exact.
+func TestStressRandomProgramsAllProtocols(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		sp := stressProgram{procs: 5, counters: 6, words: 4, rounds: 4, seed: seed * 977}
+		for _, prot := range Protocols {
+			prot, sp := prot, sp
+			t.Run(fmt.Sprintf("seed%d/%v", sp.seed, prot), func(t *testing.T) {
+				sp.run(t, prot)
+			})
+		}
+	}
+}
+
+// TestStressDeterministic: the same stress program yields bit-identical
+// cycle and message counts across runs.
+func TestStressDeterministic(t *testing.T) {
+	sp := stressProgram{procs: 4, counters: 4, words: 3, rounds: 3, seed: 4242}
+	a := sp.run(t, LH)
+	b := sp.run(t, LH)
+	if a.Cycles != b.Cycles || a.Msgs != b.Msgs || a.DataBytes != b.DataBytes {
+		t.Errorf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Cycles, a.Msgs, a.DataBytes, b.Cycles, b.Msgs, b.DataBytes)
+	}
+}
+
+// TestStressSmallPages runs the stress program with 64-byte pages, the
+// harshest false-sharing regime.
+func TestStressSmallPages(t *testing.T) {
+	for _, prot := range Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			cfg := testConfig(prot, 4)
+			cfg.PageSize = 64
+			s := mustSystem(t, cfg)
+			a := s.Alloc(8 * 16) // 16 counters over 2 pages
+			s.NewLocks(16)
+			st, err := s.Run(func(p *Proc) {
+				for i := 0; i < 10; i++ {
+					c := (p.ID() + i) % 16
+					p.Lock(c)
+					addr := a + Addr(8*c)
+					p.WriteI64(addr, p.ReadI64(addr)+1)
+					p.Unlock(c)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = st
+			for c := 0; c < 16; c++ {
+				want := int64(0)
+				for id := 0; id < 4; id++ {
+					for i := 0; i < 10; i++ {
+						if (id+i)%16 == c {
+							want++
+						}
+					}
+				}
+				if got := s.PeekI64(a + Addr(8*c)); got != want {
+					t.Errorf("counter %d = %d, want %d", c, got, want)
+				}
+			}
+		})
+	}
+}

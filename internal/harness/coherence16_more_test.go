@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+)
+
+// TestAllProtocolsCoherence16 runs every workload under every protocol at
+// 16 processors (bench scale) with the read-coherence checker enabled:
+// every shared read of these fully synchronized programs must return the
+// happened-before-latest value. This is the strongest correctness net in
+// the suite — it catches protocol races that result verification can miss.
+func TestAllProtocolsCoherence16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, app := range []string{"water", "cholesky"} {
+		for _, prot := range core.Protocols {
+			app, prot := app, prot
+			t.Run(app+"/"+prot.String(), func(t *testing.T) {
+				spec := DefaultSpec(app, ScaleBench)
+				spec.Protocol = prot
+				cfg := core.DefaultConfig()
+				cfg.Protocol = spec.Protocol
+				cfg.Procs = spec.Procs
+				cfg.Net = spec.Net
+				cfg.MaxSharedBytes = 64 << 20
+				cfg.DebugCheckReads = true
+				a, err := NewApp(spec.App, spec.Scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Configure(sys)
+				if _, err := sys.Run(a.Worker); err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Verify(sys); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+)
+
+// TestEIWaterCoherence16 runs the EI protocol at 16 processors with the
+// read-coherence checker: the race between page fetches and invalidation
+// flushes exercised here is the subtlest part of the eager protocol.
+func TestEIWaterCoherence16(t *testing.T) {
+	spec := DefaultSpec("water", ScaleBench)
+	spec.Protocol = core.EI
+	cfg := core.DefaultConfig()
+	cfg.Protocol = spec.Protocol
+	cfg.Procs = spec.Procs
+	cfg.Net = spec.Net
+	cfg.MaxSharedBytes = 64 << 20
+	cfg.DebugCheckReads = true
+	app, err := NewApp(spec.App, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Configure(sys)
+	if _, err := sys.Run(app.Worker); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Verify(sys); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"fmt"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+// DefaultProcs is the processor-count axis used by the paper's figures.
+var DefaultProcs = []int{1, 2, 4, 8, 16}
+
+// FigureSet bundles the three per-application plots the paper shows for
+// each workload on ATM: speedup, message count, and data volume — e.g.
+// Figures 7–9 for Jacobi, 10–12 for TSP, 13–15 for Water, 16–18 for
+// Cholesky. Rows are protocols, columns are processor counts.
+type FigureSet struct {
+	App     string
+	Speedup *Table
+	Msgs    *Table
+	DataKB  *Table
+}
+
+// AppFigures runs the full protocol × processor sweep for one application
+// on the given network and renders the three plots.
+func AppFigures(r *Runner, app string, scale Scale, procs []int, net network.Params, title string) (*FigureSet, error) {
+	cols := []string{"protocol"}
+	for _, p := range procs {
+		cols = append(cols, fmt.Sprintf("%dp", p))
+	}
+	fs := &FigureSet{
+		App:     app,
+		Speedup: &Table{Title: title + " — speedup", Columns: cols},
+		Msgs:    &Table{Title: title + " — messages", Columns: cols},
+		DataKB:  &Table{Title: title + " — data (KB)", Columns: cols},
+	}
+	for _, prot := range core.Protocols {
+		su := []string{prot.String()}
+		ms := []string{prot.String()}
+		da := []string{prot.String()}
+		for _, n := range procs {
+			spec := DefaultSpec(app, scale)
+			spec.Protocol = prot
+			spec.Procs = n
+			spec.Net = net
+			res, speedup, err := r.Speedup(spec)
+			if err != nil {
+				return nil, err
+			}
+			su = append(su, fmt.Sprintf("%.2f", speedup))
+			ms = append(ms, fmt.Sprintf("%d", res.Stats.Msgs))
+			da = append(da, fmt.Sprintf("%.0f", res.Stats.DataKB()))
+		}
+		fs.Speedup.Rows = append(fs.Speedup.Rows, su)
+		fs.Msgs.Rows = append(fs.Msgs.Rows, ms)
+		fs.DataKB.Rows = append(fs.DataKB.Rows, da)
+	}
+	return fs, nil
+}
+
+// Figure6 reproduces "Speedup for Jacobi on Ethernet": the shared medium
+// saturates, so speedup peaks around 8 processors and declines at 16.
+func Figure6(r *Runner, scale Scale) (*Table, error) {
+	fs, err := AppFigures(r, "jacobi", scale, DefaultProcs,
+		network.Ethernet10(core.DefaultClockMHz, true), "Figure 6: Jacobi on 10 Mbit Ethernet")
+	if err != nil {
+		return nil, err
+	}
+	return fs.Speedup, nil
+}
+
+// Figures7to9 reproduces the Jacobi-on-ATM plots.
+func Figures7to9(r *Runner, scale Scale) (*FigureSet, error) {
+	return AppFigures(r, "jacobi", scale, DefaultProcs,
+		network.ATMNet(100, core.DefaultClockMHz), "Figures 7-9: Jacobi on 100 Mbit ATM")
+}
+
+// Figures10to12 reproduces the TSP-on-ATM plots.
+func Figures10to12(r *Runner, scale Scale) (*FigureSet, error) {
+	return AppFigures(r, "tsp", scale, DefaultProcs,
+		network.ATMNet(100, core.DefaultClockMHz), "Figures 10-12: TSP on 100 Mbit ATM")
+}
+
+// Figures13to15 reproduces the Water-on-ATM plots.
+func Figures13to15(r *Runner, scale Scale) (*FigureSet, error) {
+	return AppFigures(r, "water", scale, DefaultProcs,
+		network.ATMNet(100, core.DefaultClockMHz), "Figures 13-15: Water on 100 Mbit ATM")
+}
+
+// Figures16to18 reproduces the Cholesky-on-ATM plots.
+func Figures16to18(r *Runner, scale Scale) (*FigureSet, error) {
+	return AppFigures(r, "cholesky", scale, DefaultProcs,
+		network.ATMNet(100, core.DefaultClockMHz), "Figures 16-18: Cholesky on 100 Mbit ATM")
+}
+
+// Table2Networks lists the five network configurations of Table 2.
+func Table2Networks(clockMHz float64) []struct {
+	Name string
+	Net  network.Params
+} {
+	return []struct {
+		Name string
+		Net  network.Params
+	}{
+		{"10 Mbit Ethernet w/ Coll", network.Ethernet10(clockMHz, true)},
+		{"10 Mbit Ethernet w/o Coll", network.Ethernet10(clockMHz, false)},
+		{"10 Mbit ATM", network.ATMNet(10, clockMHz)},
+		{"100 Mbit ATM", network.ATMNet(100, clockMHz)},
+		{"1 Gbit ATM", network.ATMNet(1000, clockMHz)},
+	}
+}
+
+// Table2 reproduces "Speedups With Different Network Characteristics"
+// (LH, 16 processors): Jacobi and Water across five networks.
+func Table2(r *Runner, scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Table 2: Speedups with different network characteristics (LH, 16 processors)",
+		Columns: []string{"network", "Jacobi", "Water"},
+	}
+	for _, nc := range Table2Networks(core.DefaultClockMHz) {
+		row := []string{nc.Name}
+		for _, app := range []string{"jacobi", "water"} {
+			spec := DefaultSpec(app, scale)
+			spec.Net = nc.Net
+			_, speedup, err := r.Speedup(spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", speedup))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table3 reproduces "Speedups With Varying Software Overhead" (16
+// processors): zero, normal, and double per-message software overhead for
+// every application and protocol.
+func Table3(r *Runner, scale Scale) (*Table, error) {
+	cols := []string{"prog/overhead"}
+	for _, p := range core.Protocols {
+		cols = append(cols, p.String())
+	}
+	t := &Table{Title: "Table 3: Speedups with varying software overhead (16 processors)", Columns: cols}
+	overheads := []struct {
+		name   string
+		factor float64
+	}{{"Zero", 0}, {"Normal", 1}, {"Double", 2}}
+	for _, app := range AppNames {
+		for _, ov := range overheads {
+			row := []string{fmt.Sprintf("%s/%s", app, ov.name)}
+			for _, prot := range core.Protocols {
+				spec := DefaultSpec(app, scale)
+				spec.Protocol = prot
+				spec.OverheadFactor = ov.factor
+				_, speedup, err := r.Speedup(spec)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2f", speedup))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Table4 reproduces "Speedups with Different Processor Speeds" (LH; 16
+// processors, Cholesky at 8): 20–80 MHz.
+func Table4(r *Runner, scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Table 4: Speedups with different processor speeds (LH, 16 processors; Cholesky 8)",
+		Columns: []string{"MHz", "Jacobi", "TSP", "Water", "Cholesky"},
+	}
+	for _, mhz := range []float64{20, 40, 60, 80} {
+		row := []string{fmt.Sprintf("%.0f", mhz)}
+		for _, app := range AppNames {
+			spec := DefaultSpec(app, scale)
+			spec.ClockMHz = mhz
+			spec.Net = network.ATMNet(100, mhz)
+			if app == "cholesky" {
+				spec.Procs = 8
+			}
+			_, speedup, err := r.Speedup(spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", speedup))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table5 reproduces "Effect on Speedup of Reducing the Page Size to 1024
+// bytes" (LH): 8 and 16 processors, 4096- vs 1024-byte pages.
+func Table5(r *Runner, scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Table 5: Effect of page size (LH)",
+		Columns: []string{"procs/page", "Jacobi", "TSP", "Water", "Cholesky"},
+	}
+	for _, procs := range []int{8, 16} {
+		for _, ps := range []int{4096, 1024} {
+			row := []string{fmt.Sprintf("%dp/%dB", procs, ps)}
+			for _, app := range AppNames {
+				spec := DefaultSpec(app, scale)
+				spec.Procs = procs
+				spec.PageSize = ps
+				_, speedup, err := r.Speedup(spec)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2f", speedup))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// SyncStats reproduces the message-classification statistics quoted in
+// Section 6.2: the share of messages used for synchronization and the
+// share of time spent waiting on locks, per application (LH, 16
+// processors).
+func SyncStats(r *Runner, scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Section 6.2 statistics (LH, 16 processors)",
+		Columns: []string{"app", "msgs", "sync msgs", "sync %", "grants w/ data", "lock wait %"},
+	}
+	for _, app := range AppNames {
+		spec := DefaultSpec(app, scale)
+		res, _, err := r.Speedup(spec)
+		if err != nil {
+			return nil, err
+		}
+		st := res.Stats
+		// mean per-processor share of time spent acquiring locks (the
+		// paper's Cholesky metric: "84% of each processor's time")
+		var lockShare float64
+		for i := range st.PerProc {
+			lockShare += st.PerProc[i].LockShare()
+		}
+		if len(st.PerProc) > 0 {
+			lockShare /= float64(len(st.PerProc))
+		}
+		t.Rows = append(t.Rows, []string{
+			app,
+			fmt.Sprintf("%d", st.Msgs),
+			fmt.Sprintf("%d", st.SyncMsgs),
+			fmt.Sprintf("%.0f%%", 100*st.SyncShare()),
+			fmt.Sprintf("%d", st.SyncDataMsgs),
+			fmt.Sprintf("%.0f%%", 100*lockShare),
+		})
+	}
+	return t, nil
+}
+
+// ReacquireExperiment demonstrates Section 6.2's closing observation:
+// "When a lock is reacquired by the same processor before another
+// processor acquires it, the lazy protocols have an advantage over the
+// eager protocols. An eager protocol must distribute diffs at every lock
+// release; lazy release consistency permits us to avoid external
+// communication when the same lock is reacquired." One processor
+// repeatedly locks, writes and unlocks a hot structure that others merely
+// cache; the eager protocols flush per release, the lazy ones are silent.
+func ReacquireExperiment(procs, rounds int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Lock reacquisition (one writer, %d reacquires, %d processors caching)", rounds, procs),
+		Columns: []string{"protocol", "msgs", "data KB", "cycles"},
+	}
+	for _, prot := range core.Protocols {
+		cfg := core.DefaultConfig()
+		cfg.Protocol = prot
+		cfg.Procs = procs
+		cfg.Net = network.ATMNet(100, core.DefaultClockMHz)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a := sys.AllocPage(64)
+		lk := sys.NewLock()
+		bar := sys.NewBarrier()
+		st, err := sys.Run(func(p *core.Proc) {
+			_ = p.ReadF64(a) // everyone caches the hot page
+			p.Barrier(bar)
+			if p.ID() == procs-1 { // a non-manager writer: remote first acquire
+				for i := 0; i < rounds; i++ {
+					p.Lock(lk)
+					p.WriteF64(a, float64(i))
+					p.Unlock(lk)
+					p.Compute(2_000)
+				}
+			}
+			p.Barrier(bar)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			prot.String(),
+			fmt.Sprintf("%d", st.Msgs),
+			fmt.Sprintf("%.1f", st.DataKB()),
+			fmt.Sprintf("%d", st.Cycles),
+		})
+	}
+	return t, nil
+}

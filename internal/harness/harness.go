@@ -1,0 +1,257 @@
+// Package harness builds, runs, verifies and reports the paper's
+// experiments: one entry point per figure and table of the evaluation
+// section (Figures 6–18, Tables 1–5), plus the message-classification
+// statistics quoted in the text and the ablations called out in DESIGN.md.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"lrcdsm/internal/apps/cholesky"
+	"lrcdsm/internal/apps/jacobi"
+	"lrcdsm/internal/apps/tsp"
+	"lrcdsm/internal/apps/water"
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+// App is the interface every workload implements.
+type App interface {
+	Name() string
+	Configure(s *core.System)
+	Worker(p *core.Proc)
+	Verify(s *core.System) error
+}
+
+// Scale selects problem sizes: the paper's sizes, a reduced size for
+// benchmarks, or a minimal size for tests.
+type Scale int
+
+const (
+	// ScalePaper uses the paper's inputs: Jacobi 512×512, TSP 18 cities,
+	// Water 288 molecules × 2 steps, Cholesky ≈1806 columns.
+	ScalePaper Scale = iota
+	// ScaleBench uses reduced inputs with the same qualitative behaviour,
+	// sized so a full protocol × processor sweep runs in seconds.
+	ScaleBench
+	// ScaleTest is minimal, for unit tests of the harness itself.
+	ScaleTest
+)
+
+// ParseScale converts a name to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "paper":
+		return ScalePaper, nil
+	case "bench":
+		return ScaleBench, nil
+	case "test":
+		return ScaleTest, nil
+	}
+	return 0, fmt.Errorf("harness: unknown scale %q", s)
+}
+
+// AppNames lists the workloads in the paper's order.
+var AppNames = []string{"jacobi", "tsp", "water", "cholesky"}
+
+// NewApp builds a workload at the given scale.
+func NewApp(name string, scale Scale) (App, error) {
+	switch name {
+	case "jacobi":
+		switch scale {
+		case ScalePaper:
+			return jacobi.New(jacobi.Default()), nil
+		case ScaleBench:
+			return jacobi.New(jacobi.Params{N: 128, Iters: 5, PointCycles: 10}), nil
+		default:
+			return jacobi.New(jacobi.Small()), nil
+		}
+	case "tsp":
+		switch scale {
+		case ScalePaper:
+			return tsp.New(tsp.Default()), nil
+		case ScaleBench:
+			return tsp.New(tsp.Params{Cities: 12, PrefixDepth: 2, NodeCycles: 40, Seed: 1}), nil
+		default:
+			return tsp.New(tsp.Small()), nil
+		}
+	case "water":
+		switch scale {
+		case ScalePaper:
+			return water.New(water.Default()), nil
+		case ScaleBench:
+			return water.New(water.Params{Molecules: 192, Steps: 1, Cutoff: 0.3, PairCycles: 8000, MoveCycles: 2000, Seed: 1}), nil
+		default:
+			return water.New(water.Small()), nil
+		}
+	case "cholesky":
+		switch scale {
+		case ScalePaper:
+			return cholesky.New(cholesky.Default()), nil
+		case ScaleBench:
+			return cholesky.New(cholesky.Params{Grid: 16, FlopCycles: 4, SpinCycles: 500}), nil
+		default:
+			return cholesky.New(cholesky.Small()), nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown app %q", name)
+}
+
+// Spec describes one simulation run.
+type Spec struct {
+	App            string
+	Scale          Scale
+	Protocol       core.Protocol
+	Procs          int
+	Net            network.Params
+	ClockMHz       float64
+	PageSize       int
+	OverheadFactor float64
+}
+
+// DefaultSpec returns the paper's base configuration for an app: 16
+// processors at 40 MHz on the 100 Mbit/s ATM, 4096-byte pages, normal
+// overhead.
+func DefaultSpec(app string, scale Scale) Spec {
+	return Spec{
+		App:            app,
+		Scale:          scale,
+		Protocol:       core.LH,
+		Procs:          16,
+		Net:            network.ATMNet(100, core.DefaultClockMHz),
+		ClockMHz:       core.DefaultClockMHz,
+		PageSize:       core.DefaultPageSize,
+		OverheadFactor: 1,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec  Spec
+	Stats *core.RunStats
+}
+
+// Run executes one spec: build the system and workload, run, verify.
+func Run(spec Spec) (*Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.Protocol = spec.Protocol
+	cfg.Procs = spec.Procs
+	cfg.Net = spec.Net
+	cfg.Net.ClockMHz = spec.ClockMHz
+	cfg.ClockMHz = spec.ClockMHz
+	cfg.PageSize = spec.PageSize
+	cfg.OverheadFactor = spec.OverheadFactor
+	cfg.MaxSharedBytes = 64 << 20
+	app, err := NewApp(spec.App, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app.Configure(sys)
+	stats, err := sys.Run(app.Worker)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%v/%dp: %w", spec.App, spec.Protocol, spec.Procs, err)
+	}
+	if err := app.Verify(sys); err != nil {
+		return nil, fmt.Errorf("harness: %s/%v/%dp failed verification: %w", spec.App, spec.Protocol, spec.Procs, err)
+	}
+	return &Result{Spec: spec, Stats: stats}, nil
+}
+
+// Runner caches uniprocessor baselines so speedups across a sweep share
+// the same denominators.
+type Runner struct {
+	bases map[string]*Result
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner { return &Runner{bases: make(map[string]*Result)} }
+
+func baseKey(s Spec) string {
+	return fmt.Sprintf("%s|%d|%v|%.0f|%d|%.1f", s.App, s.Scale, s.Net.Kind, s.ClockMHz, s.PageSize, s.OverheadFactor)
+}
+
+// Speedup runs the spec and returns result plus speedup relative to the
+// cached 1-processor run of the same configuration.
+func (r *Runner) Speedup(spec Spec) (*Result, float64, error) {
+	res, err := Run(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	key := baseKey(spec)
+	base, ok := r.bases[key]
+	if !ok {
+		bspec := spec
+		bspec.Procs = 1
+		base, err = Run(bspec)
+		if err != nil {
+			return nil, 0, err
+		}
+		r.bases[key] = base
+	}
+	return res, float64(base.Stats.Cycles) / float64(res.Stats.Cycles), nil
+}
+
+// Table is a rendered experiment: a title, column headers, and rows of
+// cells (first cell of each row is its label).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Cell retrieves a cell by row label and column name ("" if absent).
+func (t *Table) Cell(rowLabel, col string) string {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return ""
+	}
+	for _, row := range t.Rows {
+		if row[0] == rowLabel && ci < len(row) {
+			return row[ci]
+		}
+	}
+	return ""
+}
+

@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+func cell(t *testing.T, tb *Table, row, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Cell(row, col), 64)
+	if err != nil {
+		t.Fatalf("cell (%s, %s) = %q: %v", row, col, tb.Cell(row, col), err)
+	}
+	return v
+}
+
+func TestRunAllAppsAllProtocolsTestScale(t *testing.T) {
+	for _, app := range AppNames {
+		for _, prot := range core.Protocols {
+			spec := DefaultSpec(app, ScaleTest)
+			spec.Protocol = prot
+			spec.Procs = 4
+			if _, err := Run(spec); err != nil {
+				t.Errorf("%s/%v: %v", app, prot, err)
+			}
+		}
+	}
+}
+
+func TestSpeedupBaselineCached(t *testing.T) {
+	r := NewRunner()
+	spec := DefaultSpec("jacobi", ScaleTest)
+	spec.Procs = 4
+	_, s1, err := r.Speedup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.bases) != 1 {
+		t.Fatalf("bases = %d, want 1", len(r.bases))
+	}
+	spec.Protocol = core.EI
+	_, _, err = r.Speedup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.bases) != 1 {
+		t.Fatalf("protocol change must reuse the baseline (bases = %d)", len(r.bases))
+	}
+	if s1 <= 0 {
+		t.Fatalf("speedup = %v", s1)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"k", "v"},
+		Rows:    [][]string{{"a", "1"}, {"b", "2"}},
+	}
+	out := tb.String()
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	if tb.Cell("b", "v") != "2" {
+		t.Fatalf("Cell = %q", tb.Cell("b", "v"))
+	}
+	if tb.Cell("zz", "v") != "" || tb.Cell("a", "zz") != "" {
+		t.Fatal("missing cells must be empty")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"paper", "bench", "test"} {
+		if _, err := ParseScale(name); err != nil {
+			t.Errorf("ParseScale(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestNewAppUnknown(t *testing.T) {
+	if _, err := NewApp("doom", ScaleTest); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// ---- experiment shape assertions (the reproduction targets) ----
+
+// Shape: on Ethernet, Jacobi's speedup does not scale past the medium's
+// saturation point — 16 processors are no better than 8 — while on ATM it
+// keeps improving (Figure 6 vs Figure 7).
+func TestShapeEthernetSaturates(t *testing.T) {
+	r := NewRunner()
+	procs := []int{1, 8, 16}
+	eth, err := AppFigures(r, "jacobi", ScaleBench, procs,
+		network.Ethernet10(core.DefaultClockMHz, true), "eth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atm, err := AppFigures(r, "jacobi", ScaleBench, procs,
+		network.ATMNet(100, core.DefaultClockMHz), "atm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth8 := cell(t, eth.Speedup, "LH", "8p")
+	eth16 := cell(t, eth.Speedup, "LH", "16p")
+	atm8 := cell(t, atm.Speedup, "LH", "8p")
+	atm16 := cell(t, atm.Speedup, "LH", "16p")
+	if eth16 > eth8*1.1 {
+		t.Errorf("Ethernet should saturate: speedup 8p=%.2f 16p=%.2f", eth8, eth16)
+	}
+	if atm16 <= eth16 {
+		t.Errorf("ATM@16p (%.2f) must beat Ethernet@16p (%.2f)", atm16, eth16)
+	}
+	if atm16 <= atm8 {
+		t.Errorf("ATM should keep scaling: 8p=%.2f 16p=%.2f", atm8, atm16)
+	}
+}
+
+// Shape: for Water at 16 processors, LH is the best protocol and EU the
+// worst, with EU sending far more messages (Figures 13–14).
+func TestShapeWaterProtocolRanking(t *testing.T) {
+	r := NewRunner()
+	fs, err := AppFigures(r, "water", ScaleBench, []int{1, 16},
+		network.ATMNet(100, core.DefaultClockMHz), "water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh := cell(t, fs.Speedup, "LH", "16p")
+	eu := cell(t, fs.Speedup, "EU", "16p")
+	li := cell(t, fs.Speedup, "LI", "16p")
+	if lh < eu {
+		t.Errorf("LH (%.2f) must beat EU (%.2f) on Water", lh, eu)
+	}
+	if lh < li {
+		t.Errorf("LH (%.2f) should be at least LI (%.2f) on Water", lh, li)
+	}
+	lhMsgs := cell(t, fs.Msgs, "LH", "16p")
+	euMsgs := cell(t, fs.Msgs, "EU", "16p")
+	if euMsgs < 2*lhMsgs {
+		t.Errorf("EU messages (%.0f) should dwarf LH's (%.0f)", euMsgs, lhMsgs)
+	}
+	// EI moves the most data (whole pages on every miss).
+	eiData := cell(t, fs.DataKB, "EI", "16p")
+	lhData := cell(t, fs.DataKB, "LH", "16p")
+	if eiData < 2*lhData {
+		t.Errorf("EI data (%.0f KB) should dwarf LH's (%.0f KB)", eiData, lhData)
+	}
+}
+
+// Shape: Cholesky achieves almost no speedup under any protocol, and its
+// traffic is dominated by synchronization (Figure 16, Section 6.2).
+func TestShapeCholeskySyncBound(t *testing.T) {
+	r := NewRunner()
+	for _, prot := range core.Protocols {
+		spec := DefaultSpec("cholesky", ScaleBench)
+		spec.Protocol = prot
+		spec.Procs = 16
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if speedup > 3 {
+			t.Errorf("%v: Cholesky speedup %.2f is implausibly high", prot, speedup)
+		}
+		if prot == core.LH && res.Stats.SyncShare() < 0.5 {
+			t.Errorf("sync share %.2f, expected domination", res.Stats.SyncShare())
+		}
+	}
+}
+
+// Shape: increasing processor speed makes communication relatively more
+// expensive, so Water's speedup falls from 20 MHz to 80 MHz (Table 4).
+func TestShapeProcessorSpeed(t *testing.T) {
+	r := NewRunner()
+	get := func(mhz float64) float64 {
+		spec := DefaultSpec("water", ScaleBench)
+		spec.ClockMHz = mhz
+		spec.Net = network.ATMNet(100, mhz)
+		_, s, err := r.Speedup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	slow, fast := get(20), get(80)
+	if fast > slow {
+		t.Errorf("faster processors should reduce Water speedup: 20MHz=%.2f 80MHz=%.2f", slow, fast)
+	}
+}
+
+// Shape: removing the software overhead improves every protocol (Table 3's
+// Zero rows always dominate Normal).
+func TestShapeZeroOverheadHelps(t *testing.T) {
+	r := NewRunner()
+	get := func(factor float64) float64 {
+		spec := DefaultSpec("water", ScaleBench)
+		spec.OverheadFactor = factor
+		_, s, err := r.Speedup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	zero, normal, double := get(0), get(1), get(2)
+	if zero < normal || normal < double {
+		t.Errorf("speedups must fall with overhead: zero=%.2f normal=%.2f double=%.2f",
+			zero, normal, double)
+	}
+}
+
+// Shape: lock reacquisition is free for the lazy protocols and costs a
+// flush per release for the eager ones (Section 6.2's closing point).
+func TestShapeLazyReacquireAdvantage(t *testing.T) {
+	tb, err := ReacquireExperiment(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh := cell(t, tb, "LH", "msgs")
+	eu := cell(t, tb, "EU", "msgs")
+	ei := cell(t, tb, "EI", "msgs")
+	// EU flushes to every cacher per release; EI's first release empties
+	// the copyset, so its later releases only re-invalidate the owner.
+	if eu < 4*lh || ei < 2*lh {
+		t.Errorf("eager reacquires should flood: LH=%v EU=%v EI=%v", lh, eu, ei)
+	}
+}

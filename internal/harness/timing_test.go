@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestTiming reports wall-clock cost of paper-scale runs. Opt-in: set
+// LRCDSM_TIMING=1 (paper-scale runs take minutes).
+func TestTiming(t *testing.T) {
+	if os.Getenv("LRCDSM_TIMING") == "" {
+		t.Skip("set LRCDSM_TIMING=1 to run paper-scale timing")
+	}
+	for _, app := range AppNames {
+		spec := DefaultSpec(app, ScalePaper)
+		start := time.Now()
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%-10s wall=%-12v cycles=%-12d msgs=%-8d sync%%=%.0f\n",
+			app, time.Since(start).Round(time.Millisecond), res.Stats.Cycles, res.Stats.Msgs, 100*res.Stats.SyncShare())
+	}
+}

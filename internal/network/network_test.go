@@ -1,0 +1,201 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrcdsm/internal/sim"
+)
+
+func eth(coll bool) Network { return New(Ethernet10(40, coll)) }
+func atm100() Network       { return New(ATMNet(100, 40)) }
+
+func TestWireTimeScalesWithSize(t *testing.T) {
+	n := New(IdealNet(10, 40))
+	d1, _ := n.Send(0, 0, 1, 0)
+	d2, _ := n.Send(0, 0, 1, 4096)
+	// 4096 bytes at 10 Mbit/s, 40 MHz: 4096*8*4 cycles more than header-only.
+	extra := d2 - d1
+	want := sim.Time(4096 * 8 * 4)
+	if extra != want {
+		t.Errorf("extra wire cycles = %d, want %d", extra, want)
+	}
+}
+
+func TestWireTimeScalesWithClock(t *testing.T) {
+	slow := New(IdealNet(10, 20))
+	fast := New(IdealNet(10, 80))
+	ds, _ := slow.Send(0, 0, 1, 1024)
+	df, _ := fast.Send(0, 0, 1, 1024)
+	if df <= ds {
+		t.Errorf("faster clock must cost more cycles: slow=%d fast=%d", ds, df)
+	}
+}
+
+func TestEthernetSerializes(t *testing.T) {
+	n := eth(false)
+	d1, w1 := n.Send(0, 0, 1, 1000)
+	d2, w2 := n.Send(0, 2, 3, 1000)
+	if w1 != 0 {
+		t.Errorf("first send waited %d", w1)
+	}
+	if w2 <= 0 {
+		t.Errorf("second concurrent send should wait, waited %d", w2)
+	}
+	if d2 <= d1 {
+		t.Errorf("serialized sends must deliver in order: %d then %d", d1, d2)
+	}
+}
+
+func TestEthernetIdleNoWait(t *testing.T) {
+	n := eth(false)
+	d1, _ := n.Send(0, 0, 1, 100)
+	_, w := n.Send(d1+100000, 2, 3, 100)
+	if w != 0 {
+		t.Errorf("idle medium should not make sender wait, waited %d", w)
+	}
+}
+
+func TestEthernetCollisionsWorse(t *testing.T) {
+	run := func(coll bool) sim.Time {
+		n := eth(coll)
+		var last sim.Time
+		for i := 0; i < 16; i++ {
+			d, _ := n.Send(0, i, (i+1)%16, 1000)
+			if d > last {
+				last = d
+			}
+		}
+		return last
+	}
+	if run(true) <= run(false) {
+		t.Errorf("collision mode should finish later under load")
+	}
+	n := eth(true)
+	for i := 0; i < 8; i++ {
+		n.Send(0, i, 15, 500)
+	}
+	if n.Stats().Backoffs == 0 {
+		t.Errorf("expected backoff episodes under simultaneous load")
+	}
+}
+
+func TestATMDisjointPairsParallel(t *testing.T) {
+	n := atm100()
+	d1, w1 := n.Send(0, 0, 1, 4096)
+	d2, w2 := n.Send(0, 2, 3, 4096)
+	if w1 != 0 || w2 != 0 {
+		t.Errorf("disjoint pairs should not wait: %d %d", w1, w2)
+	}
+	if d1 != d2 {
+		t.Errorf("identical disjoint sends should deliver together: %d vs %d", d1, d2)
+	}
+}
+
+func TestATMOutputPortContention(t *testing.T) {
+	n := atm100()
+	_, w1 := n.Send(0, 0, 5, 4096)
+	_, w2 := n.Send(0, 1, 5, 4096)
+	if w1 != 0 {
+		t.Errorf("first sender waited %d", w1)
+	}
+	if w2 <= 0 {
+		t.Errorf("second sender to same destination should wait")
+	}
+}
+
+func TestATMSameSourceParallel(t *testing.T) {
+	// The paper's crossbar model: interference only at common destinations,
+	// so one source's sends to distinct destinations proceed in parallel.
+	n := atm100()
+	_, w1 := n.Send(0, 4, 0, 4096)
+	_, w2 := n.Send(0, 4, 1, 4096)
+	if w1 != 0 || w2 != 0 {
+		t.Errorf("distinct destinations must not wait: w1=%d w2=%d", w1, w2)
+	}
+}
+
+func TestATMFasterThanEthernetForBulk(t *testing.T) {
+	e, a := eth(false), atm100()
+	var de, da sim.Time
+	for i := 0; i < 8; i++ {
+		d, _ := e.Send(0, i, i+8, 4096)
+		if d > de {
+			de = d
+		}
+		d, _ = a.Send(0, i, i+8, 4096)
+		if d > da {
+			da = d
+		}
+	}
+	if da >= de {
+		t.Errorf("ATM should beat Ethernet for parallel bulk: atm=%d eth=%d", da, de)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := atm100()
+	n.Send(0, 0, 1, 1000)
+	n.Send(0, 0, 1, 2000)
+	s := n.Stats()
+	if s.Frames != 2 {
+		t.Errorf("frames = %d", s.Frames)
+	}
+	if s.WireBytes != 3000+2*DefaultHeaderBytes {
+		t.Errorf("wire bytes = %d", s.WireBytes)
+	}
+	if s.BusyCycles <= 0 {
+		t.Errorf("busy cycles = %d", s.BusyCycles)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{EthernetColl, EthernetNoColl, ATM, Ideal} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+// Property: delivery time is never before now + wire time, and wait is
+// non-negative, for any model and any monotone sequence of sends.
+func TestQuickDeliveryMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nets := []Network{eth(true), eth(false), atm100(), New(IdealNet(1000, 40))}
+		n := nets[r.Intn(len(nets))]
+		now := sim.Time(0)
+		for i := 0; i < 50; i++ {
+			now += sim.Time(r.Intn(1000))
+			size := r.Intn(5000)
+			d, w := n.Send(now, r.Intn(8), r.Intn(8), size)
+			if w < 0 || d < now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on the contention-free ideal network, latency is independent of
+// traffic history.
+func TestQuickIdealHistoryFree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := New(IdealNet(100, 40))
+		size := r.Intn(4096)
+		d0, _ := n.Send(1000, 0, 1, size)
+		for i := 0; i < 20; i++ {
+			n.Send(1000+sim.Time(i), r.Intn(4), r.Intn(4), r.Intn(4096))
+		}
+		d1, _ := n.Send(1000, 0, 1, size)
+		return d0 == d1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

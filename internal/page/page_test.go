@@ -1,0 +1,167 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffEmptyWhenUnchanged(t *testing.T) {
+	cur := NewBuf(128)
+	for i := 0; i < 128; i++ {
+		cur[i] = byte(i)
+	}
+	twin := Twin(cur)
+	d := MakeDiff(1, twin, cur)
+	if !d.Empty() {
+		t.Fatalf("diff of identical pages not empty: %+v", d)
+	}
+	if d.SizeBytes() != 0 {
+		t.Errorf("SizeBytes = %d, want 0", d.SizeBytes())
+	}
+}
+
+func TestDiffSingleWord(t *testing.T) {
+	cur := NewBuf(256)
+	twin := Twin(cur)
+	cur.PutU64(64, 0xdeadbeef)
+	d := MakeDiff(3, twin, cur)
+	if len(d.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(d.Runs))
+	}
+	if d.Runs[0].Off != 8 || len(d.Runs[0].Words) != 1 {
+		t.Fatalf("run = %+v", d.Runs[0])
+	}
+	if d.WordCount() != 1 {
+		t.Errorf("WordCount = %d", d.WordCount())
+	}
+	if d.SizeBytes() != WordSize+runHeaderBytes {
+		t.Errorf("SizeBytes = %d", d.SizeBytes())
+	}
+}
+
+func TestDiffCoalescesAdjacentWords(t *testing.T) {
+	cur := NewBuf(256)
+	twin := Twin(cur)
+	cur.PutU64(0, 1)
+	cur.PutU64(8, 2)
+	cur.PutU64(16, 3)
+	cur.PutU64(80, 9)
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (%+v)", len(d.Runs), d.Runs)
+	}
+	if d.Runs[0].Off != 0 || len(d.Runs[0].Words) != 3 {
+		t.Errorf("first run = %+v", d.Runs[0])
+	}
+	if d.Runs[1].Off != 10 || len(d.Runs[1].Words) != 1 {
+		t.Errorf("second run = %+v", d.Runs[1])
+	}
+}
+
+func TestApplyReconstructs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	orig := NewBuf(512)
+	r.Read(orig)
+	twin := Buf(Twin(orig))
+	cur := Buf(Twin(orig))
+	for i := 0; i < 20; i++ {
+		cur.PutU64(r.Intn(64)*8, r.Uint64())
+	}
+	d := MakeDiff(7, twin, cur)
+	got := Buf(Twin(orig))
+	d.Apply(got)
+	if !bytes.Equal(got, cur) {
+		t.Fatalf("apply(diff) did not reconstruct modified page")
+	}
+}
+
+func TestDisjointDiffsCommute(t *testing.T) {
+	base := NewBuf(256)
+	a := Buf(Twin(base))
+	b := Buf(Twin(base))
+	a.PutU64(0, 11)
+	b.PutU64(128, 22)
+	da := MakeDiff(0, base, a)
+	db := MakeDiff(0, base, b)
+
+	ab := Buf(Twin(base))
+	da.Apply(ab)
+	db.Apply(ab)
+	ba := Buf(Twin(base))
+	db.Apply(ba)
+	da.Apply(ba)
+	if !bytes.Equal(ab, ba) {
+		t.Fatal("disjoint diffs do not commute")
+	}
+}
+
+func TestBufAccessors(t *testing.T) {
+	b := NewBuf(64)
+	b.PutF64(16, 3.25)
+	if got := b.F64(16); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	b.PutU64(0, 99)
+	if got := b.U64(0); got != 99 {
+		t.Errorf("U64 = %v", got)
+	}
+}
+
+func TestMakeDiffLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	MakeDiff(0, make([]byte, 8), make([]byte, 16))
+}
+
+// Property: for random modifications, applying the diff to the twin
+// reconstructs the current page exactly.
+func TestQuickDiffRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := (1 + r.Intn(64)) * WordSize
+		base := NewBuf(size)
+		r.Read(base)
+		cur := Buf(Twin(base))
+		for i := 0; i < r.Intn(2*size/WordSize); i++ {
+			cur.PutU64(r.Intn(size/WordSize)*WordSize, r.Uint64())
+		}
+		d := MakeDiff(0, base, cur)
+		got := Buf(Twin(base))
+		d.Apply(got)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diff size is monotone — it never exceeds page size plus headers
+// and is zero only for identical pages.
+func TestQuickDiffSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := (1 + r.Intn(64)) * WordSize
+		base := NewBuf(size)
+		r.Read(base)
+		cur := Buf(Twin(base))
+		n := r.Intn(size / WordSize)
+		for i := 0; i < n; i++ {
+			cur.PutU64(r.Intn(size/WordSize)*WordSize, r.Uint64())
+		}
+		d := MakeDiff(0, base, cur)
+		if bytes.Equal(base, cur) != d.Empty() {
+			return false
+		}
+		maxWords := size / WordSize
+		return d.WordCount() <= maxWords &&
+			d.SizeBytes() <= maxWords*WordSize+maxWords*runHeaderBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// BenchmarkInteract measures the coroutine handoff cost per interaction —
+// the simulator's fundamental overhead unit.
+func BenchmarkInteract(b *testing.B) {
+	e := New(2)
+	n := b.N
+	b.ResetTimer()
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Advance(1)
+			p.Interact()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleDispatch measures event queue throughput.
+func BenchmarkScheduleDispatch(b *testing.B) {
+	e := New(1)
+	n := b.N
+	b.ResetTimer()
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < n; i++ {
+			e.Schedule(Time(i), func() {})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

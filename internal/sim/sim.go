@@ -1,0 +1,236 @@
+// Package sim provides a deterministic execution-driven simulation engine.
+//
+// Simulated processors are real goroutines running real application code,
+// but exactly one runs at a time: the scheduler hands the baton to the
+// runnable entity with the smallest virtual timestamp, which makes the
+// simulation conservative (interactions are processed in global time order)
+// and bit-for-bit reproducible.
+//
+// Each processor owns a local cycle clock that it advances freely between
+// interactions (Compute). Immediately before any interaction with the rest
+// of the system — sending a message, acquiring a lock — the processor calls
+// Interact, which parks it until its clock is globally minimal. Events
+// (message deliveries, protocol continuations) live in a priority queue and
+// run as callbacks in the scheduler goroutine.
+//
+// This mirrors the execution-driven methodology of the Rice Parallel
+// Processing Testbed used by the paper (Covington et al.): program behaviour
+// — including data-dependent control flow such as TSP's stale-bound pruning
+// — emerges from actually executing the program against simulated memory.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual time in processor cycles.
+type Time int64
+
+// Infinity is a time later than any event in a simulation.
+const Infinity Time = 1<<63 - 1
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq int64 // FIFO tiebreaker
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated processor.
+type Proc struct {
+	ID  int
+	eng *Engine
+
+	clock Time
+	state procState
+
+	resume chan struct{} // scheduler -> proc
+	parked bool          // proc is waiting in Interact (already at its interaction point)
+}
+
+// Engine drives a set of simulated processors and an event queue.
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventQueue
+	procs  []*Proc
+	yield  chan *Proc // proc -> scheduler: "I have yielded/blocked/finished"
+	failure any       // panic captured from a proc body
+}
+
+// New returns an engine with n processors.
+func New(n int) *Engine {
+	e := &Engine{yield: make(chan *Proc)}
+	for i := 0; i < n; i++ {
+		e.procs = append(e.procs, &Proc{
+			ID:     i,
+			eng:    e,
+			resume: make(chan struct{}),
+		})
+	}
+	return e
+}
+
+// Procs returns the engine's processors.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// NumProcs returns the number of simulated processors.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Now returns the current global virtual time: the timestamp of the entity
+// being executed.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run at virtual time at. If at is in the past it
+// runs at the current time (still in timestamp order with other events).
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run executes body on every processor until all bodies return and the event
+// queue drains. It returns an error on deadlock (blocked processors with no
+// pending events) and re-panics any panic raised inside a processor body,
+// with its original value.
+func (e *Engine) Run(body func(*Proc)) error {
+	for _, p := range e.procs {
+		p.state = stateReady
+		p.clock = 0
+		go func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					e.failure = r
+					p.state = stateDone
+					e.yield <- p
+					return
+				}
+				p.state = stateDone
+				e.yield <- p
+			}()
+			<-p.resume // wait for first dispatch
+			body(p)
+		}(p)
+	}
+	return e.loop()
+}
+
+func (e *Engine) loop() error {
+	for {
+		// earliest event
+		var te Time = Infinity
+		if len(e.events) > 0 {
+			te = e.events[0].at
+		}
+		// earliest ready processor
+		var tp Time = Infinity
+		var next *Proc
+		for _, p := range e.procs {
+			if p.state == stateReady && p.clock < tp {
+				tp = p.clock
+				next = p
+			}
+		}
+		switch {
+		case te == Infinity && tp == Infinity:
+			for _, p := range e.procs {
+				if p.state == stateBlocked {
+					return fmt.Errorf("sim: deadlock — processor %d blocked with no pending events at t=%d", p.ID, e.now)
+				}
+			}
+			return nil
+		case te <= tp:
+			ev := heap.Pop(&e.events).(*event)
+			e.now = ev.at
+			ev.fn()
+		default:
+			e.now = tp
+			next.state = stateRunning
+			next.resume <- struct{}{}
+			p := <-e.yield
+			if p.state == stateDone && e.failure != nil {
+				panic(e.failure)
+			}
+		}
+	}
+}
+
+// Clock returns the processor's local cycle clock.
+func (p *Proc) Clock() Time { return p.clock }
+
+// Advance moves the processor's local clock forward by cycles. It models
+// local computation and does not yield to the scheduler: between
+// interactions a processor's execution is independent of every other.
+func (p *Proc) Advance(cycles Time) {
+	if cycles < 0 {
+		panic("sim: negative Advance")
+	}
+	p.clock += cycles
+}
+
+// Interact parks the processor until its local clock is globally minimal,
+// so that the interaction it is about to perform is processed in global
+// timestamp order. Returns with the processor running.
+func (p *Proc) Interact() {
+	p.state = stateReady
+	p.eng.yield <- p
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Block parks the processor indefinitely; some event must call Wake. On
+// return the local clock has been advanced to the wake time.
+func (p *Proc) Block() {
+	p.state = stateBlocked
+	p.eng.yield <- p
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Wake makes a blocked processor runnable again at virtual time at (or its
+// current clock, whichever is later). It must be called from an event
+// callback or from another processor's interaction code.
+func (p *Proc) Wake(at Time) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: Wake of processor %d in state %d", p.ID, p.state))
+	}
+	if at > p.clock {
+		p.clock = at
+	}
+	if p.eng.now > p.clock {
+		p.clock = p.eng.now
+	}
+	p.state = stateReady
+}

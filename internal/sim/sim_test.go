@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleProcRunsToCompletion(t *testing.T) {
+	e := New(1)
+	ran := false
+	err := e.Run(func(p *Proc) {
+		p.Advance(100)
+		ran = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if e.Procs()[0].Clock() != 100 {
+		t.Errorf("clock = %d, want 100", e.Procs()[0].Clock())
+	}
+}
+
+func TestInteractOrdersByTimestamp(t *testing.T) {
+	e := New(3)
+	var order []int
+	err := e.Run(func(p *Proc) {
+		// proc 0 interacts at t=30, proc 1 at t=10, proc 2 at t=20
+		p.Advance(Time(30 - 10*p.ID))
+		p.Interact()
+		order = append(order, p.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 0}
+	for i, id := range want {
+		if order[i] != id {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []Time
+	err := e.Run(func(p *Proc) {
+		e.Schedule(50, func() { got = append(got, 50) })
+		e.Schedule(10, func() { got = append(got, 10) })
+		e.Schedule(30, func() { got = append(got, 30) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 30 || got[2] != 50 {
+		t.Fatalf("event order = %v", got)
+	}
+}
+
+func TestEventTiesAreFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Schedule(7, func() { got = append(got, i) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	e := New(2)
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Block()
+			if p.Clock() != 500 {
+				t.Errorf("woken clock = %d, want 500", p.Clock())
+			}
+		} else {
+			p.Advance(100)
+			p.Interact()
+			waker := e.Procs()[0]
+			e.Schedule(500, func() { waker.Wake(500) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New(1)
+	err := e.Run(func(p *Proc) { p.Block() })
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	e := New(2)
+	_ = e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			panic("boom")
+		}
+		p.Advance(10)
+	})
+	t.Fatal("expected panic")
+}
+
+func TestWakeNeverMovesClockBackward(t *testing.T) {
+	e := New(2)
+	err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(1000)
+			p.Interact()
+			p.Block() // blocks at t=1000
+			if p.Clock() < 1000 {
+				t.Errorf("clock moved backward: %d", p.Clock())
+			}
+		} else {
+			p.Advance(1)
+			p.Interact()
+			target := e.Procs()[0]
+			// Wake scheduled long after proc 0 blocks.
+			e.Schedule(2000, func() { target.Wake(5) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := e.Procs()[0].Clock(); c < 2000 {
+		t.Errorf("woken clock %d should be >= event time 2000", c)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		e := New(4)
+		var order []int
+		_ = e.Run(func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Advance(Time(1 + (p.ID*7+i*3)%5))
+				p.Interact()
+				order = append(order, p.ID)
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestOnlyOneProcRunsAtATime(t *testing.T) {
+	e := New(8)
+	var running int32
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			if atomic.AddInt32(&running, 1) != 1 {
+				t.Error("two processors running concurrently")
+			}
+			p.Advance(1)
+			atomic.AddInt32(&running, -1)
+			p.Interact()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleInPastRunsNow(t *testing.T) {
+	e := New(1)
+	var at Time = -1
+	err := e.Run(func(p *Proc) {
+		p.Advance(100)
+		p.Interact()
+		e.Schedule(10, func() { at = e.Now() }) // in the past relative to t=100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Errorf("past event ran at %d, want 100", at)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := New(1)
+	_ = e.Run(func(p *Proc) { p.Advance(-1) })
+}
+
+func TestCascadedEvents(t *testing.T) {
+	e := New(1)
+	depth := 0
+	err := e.Run(func(p *Proc) {
+		var chain func()
+		chain = func() {
+			depth++
+			if depth < 10 {
+				e.Schedule(e.Now()+5, chain)
+			}
+		}
+		e.Schedule(5, chain)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 10 {
+		t.Errorf("depth = %d, want 10", depth)
+	}
+}

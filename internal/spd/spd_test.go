@@ -1,0 +1,135 @@
+package spd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridLaplacianShape(t *testing.T) {
+	m := GridLaplacian(3)
+	if m.N != 9 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// interior structure: col 0 has diag + east + south
+	if m.At(0, 0) != 4.5 || m.At(1, 0) != -1 || m.At(3, 0) != -1 {
+		t.Errorf("column 0 wrong: %v %v %v", m.At(0, 0), m.At(1, 0), m.At(3, 0))
+	}
+	// last column: only the diagonal
+	if m.Colptr[9]-m.Colptr[8] != 1 {
+		t.Errorf("last column has %d entries", m.Colptr[9]-m.Colptr[8])
+	}
+	// rows ascending within columns
+	for j := 0; j < m.N; j++ {
+		for p := m.Colptr[j] + 1; p < m.Colptr[j+1]; p++ {
+			if m.Rowidx[p] <= m.Rowidx[p-1] {
+				t.Fatalf("rows not ascending in column %d", j)
+			}
+		}
+	}
+}
+
+func TestAnalyzeContainsA(t *testing.T) {
+	a := GridLaplacian(5)
+	s := Analyze(a)
+	for j := 0; j < a.N; j++ {
+		pos := s.RowPos(j)
+		for p := a.Colptr[j]; p < a.Colptr[j+1]; p++ {
+			if _, ok := pos[a.Rowidx[p]]; !ok {
+				t.Fatalf("A entry (%d,%d) missing from L structure", a.Rowidx[p], j)
+			}
+		}
+	}
+	if s.NNZ() < a.NNZ() {
+		t.Fatalf("factor has fewer nonzeros (%d) than A (%d)", s.NNZ(), a.NNZ())
+	}
+}
+
+func TestEliminationTreeMonotone(t *testing.T) {
+	a := GridLaplacian(6)
+	s := Analyze(a)
+	for j, p := range s.Parent {
+		if p != -1 && int(p) <= j {
+			t.Fatalf("parent[%d] = %d not above the node", j, p)
+		}
+	}
+	if s.Parent[a.N-1] != -1 {
+		t.Errorf("last column should be a root")
+	}
+}
+
+// The factor must reproduce A: L·Lᵀ == A within tolerance.
+func TestFactorReconstructsA(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8} {
+		a := GridLaplacian(k)
+		s := Analyze(a)
+		vals := Factor(a, s)
+		n := a.N
+		// dense L for checking
+		L := make([][]float64, n)
+		for i := range L {
+			L[i] = make([]float64, n)
+		}
+		for j := 0; j < n; j++ {
+			for p := s.Colptr[j]; p < s.Colptr[j+1]; p++ {
+				L[s.Rowidx[p]][j] = vals[p]
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				var sum float64
+				for q := 0; q <= j; q++ {
+					sum += L[i][q] * L[j][q]
+				}
+				want := a.At(i, j)
+				if math.Abs(sum-want) > 1e-9 {
+					t.Fatalf("k=%d: (L·Lᵀ)[%d][%d] = %v, want %v", k, i, j, sum, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagonalPositive(t *testing.T) {
+	a := GridLaplacian(7)
+	s := Analyze(a)
+	vals := Factor(a, s)
+	for j := 0; j < a.N; j++ {
+		if vals[s.Colptr[j]] <= 0 {
+			t.Fatalf("L[%d][%d] = %v", j, j, vals[s.Colptr[j]])
+		}
+	}
+}
+
+// Property: the factor structure is closed under the elimination tree —
+// for every off-diagonal entry (i, j) of L, i also appears in column
+// parent(j).
+func TestQuickStructureClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(7)
+		a := GridLaplacian(k)
+		s := Analyze(a)
+		for j := 0; j < s.N; j++ {
+			par := s.Parent[j]
+			if par == -1 {
+				continue
+			}
+			pos := s.RowPos(int(par))
+			for p := s.Colptr[j] + 1; p < s.Colptr[j+1]; p++ {
+				i := s.Rowidx[p]
+				if i == par {
+					continue
+				}
+				if _, ok := pos[i]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package trace records protocol-level events of a DSM run in a bounded
+// ring and renders them as a per-processor timeline — the tooling one
+// needs to see *why* a protocol behaves as it does (lock chains, fault
+// storms, invalidation rounds) rather than just the aggregate counters.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"lrcdsm/internal/sim"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	LockRequest Kind = iota
+	LockGrant
+	LockRelease
+	BarrierArrive
+	BarrierDepart
+	PageFault
+	PageValid
+	Invalidate
+	DiffApplied
+	MsgSend
+)
+
+var kindNames = [...]string{
+	LockRequest:   "lock-req",
+	LockGrant:     "lock-grant",
+	LockRelease:   "lock-rel",
+	BarrierArrive: "bar-arrive",
+	BarrierDepart: "bar-depart",
+	PageFault:     "fault",
+	PageValid:     "valid",
+	Invalidate:    "inval",
+	DiffApplied:   "diff",
+	MsgSend:       "send",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one protocol-level occurrence.
+type Event struct {
+	At   sim.Time
+	Proc int16
+	Kind Kind
+	// Arg is the lock id, page id, barrier id, or message kind depending
+	// on Kind; Peer is the other processor involved (-1 if none).
+	Arg  int32
+	Peer int16
+}
+
+// String renders one event.
+func (e Event) String() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("%12d p%-2d %-10s %-6d peer=p%d", e.At, e.Proc, e.Kind, e.Arg, e.Peer)
+	}
+	return fmt.Sprintf("%12d p%-2d %-10s %-6d", e.At, e.Proc, e.Kind, e.Arg)
+}
+
+// Log is a bounded ring of events. The zero value is a disabled log that
+// drops everything, so tracing costs one branch when off.
+type Log struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// New returns a log holding the last capacity events.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		return &Log{}
+	}
+	return &Log{buf: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether the log records anything.
+func (l *Log) Enabled() bool { return l != nil && cap(l.buf) > 0 }
+
+// Add records an event (dropping the oldest beyond capacity).
+func (l *Log) Add(at sim.Time, proc int, kind Kind, arg int32, peer int) {
+	if !l.Enabled() {
+		if l != nil {
+			l.dropped++
+		}
+		return
+	}
+	e := Event{At: at, Proc: int16(proc), Kind: kind, Arg: arg, Peer: int16(peer)}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % cap(l.buf)
+	l.wrapped = true
+	l.dropped++
+}
+
+// Events returns the recorded events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil || len(l.buf) == 0 {
+		return nil
+	}
+	if !l.wrapped {
+		out := make([]Event, len(l.buf))
+		copy(out, l.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Dropped returns how many events were discarded (capacity overflow or
+// disabled log).
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Dump writes every recorded event to w.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Summary tallies events by kind and processor.
+type Summary struct {
+	ByKind map[Kind]int
+	ByProc map[int16]int
+	Span   [2]sim.Time
+}
+
+// Summarize builds a Summary of the recorded window.
+func (l *Log) Summarize() Summary {
+	s := Summary{ByKind: map[Kind]int{}, ByProc: map[int16]int{}}
+	evs := l.Events()
+	for i, e := range evs {
+		s.ByKind[e.Kind]++
+		s.ByProc[e.Proc]++
+		if i == 0 {
+			s.Span[0] = e.At
+		}
+		s.Span[1] = e.At
+	}
+	return s
+}
+
+// WriteSummary renders the summary.
+func (s Summary) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "trace window: cycles %d..%d\n", s.Span[0], s.Span[1])
+	for k := Kind(0); int(k) < len(kindNames); k++ {
+		if n := s.ByKind[k]; n > 0 {
+			fmt.Fprintf(w, "  %-10s %d\n", k, n)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package vc
+
+import "testing"
+
+func BenchmarkJoin(b *testing.B) {
+	x, y := New(16), New(16)
+	for i := range y {
+		y[i] = int32(i)
+	}
+	for i := 0; i < b.N; i++ {
+		x.Join(y)
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	x, y := New(16), New(16)
+	for i := range x {
+		x[i] = int32(i + 1)
+		y[i] = int32(i)
+	}
+	for i := 0; i < b.N; i++ {
+		if !x.Covers(y) {
+			b.Fatal("cover")
+		}
+	}
+}

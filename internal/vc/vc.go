@@ -1,0 +1,105 @@
+// Package vc implements vector timestamps for the happened-before-1
+// partial order used by lazy release consistency (Keleher et al., ISCA'92).
+//
+// A vector timestamp V assigns to each processor p the index of the most
+// recent interval of p whose effects are known. The happened-before-1
+// relation between intervals is exactly the pointwise order on their
+// timestamps: interval a precedes interval b iff a.VC <= b.VC and a != b.
+package vc
+
+import "fmt"
+
+// VC is a vector timestamp. Index i holds the latest interval index of
+// processor i that is covered. The zero value of a fixed length (all zeros)
+// covers nothing.
+type VC []int32
+
+// New returns a zero vector timestamp for n processors.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Len returns the number of processor slots.
+func (v VC) Len() int { return len(v) }
+
+// Get returns the interval index covered for processor p.
+func (v VC) Get(p int) int32 { return v[p] }
+
+// Set records that intervals of processor p up to and including idx are covered.
+func (v VC) Set(p int, idx int32) { v[p] = idx }
+
+// Tick advances processor p's own slot by one and returns the new index.
+func (v VC) Tick(p int) int32 {
+	v[p]++
+	return v[p]
+}
+
+// Join folds other into v, taking the pointwise maximum.
+func (v VC) Join(other VC) {
+	for i, o := range other {
+		if o > v[i] {
+			v[i] = o
+		}
+	}
+}
+
+// Covers reports whether v >= other pointwise, i.e. everything other has
+// seen is also seen by v.
+func (v VC) Covers(other VC) bool {
+	for i, o := range other {
+		if v[i] < o {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversInterval reports whether v covers interval idx of processor p.
+func (v VC) CoversInterval(p int, idx int32) bool { return v[p] >= idx }
+
+// Concurrent reports whether neither vector covers the other.
+func (v VC) Concurrent(other VC) bool {
+	return !v.Covers(other) && !other.Covers(v)
+}
+
+// Equal reports whether the two vectors are identical.
+func (v VC) Equal(other VC) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if v[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the total number of intervals covered. It is used only as a
+// deterministic tiebreaker when ordering concurrent intervals of
+// data-race-free programs (where concurrent diffs touch disjoint words and
+// therefore commute).
+func (v VC) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
+// String formats the vector as e.g. "<0 3 1>".
+func (v VC) String() string {
+	s := "<"
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(x)
+	}
+	return s + ">"
+}

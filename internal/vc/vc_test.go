@@ -1,0 +1,168 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(4)
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if v.Get(i) != 0 {
+			t.Errorf("slot %d = %d, want 0", i, v.Get(i))
+		}
+	}
+}
+
+func TestTick(t *testing.T) {
+	v := New(3)
+	if got := v.Tick(1); got != 1 {
+		t.Fatalf("first Tick = %d, want 1", got)
+	}
+	if got := v.Tick(1); got != 2 {
+		t.Fatalf("second Tick = %d, want 2", got)
+	}
+	if v.Get(0) != 0 || v.Get(2) != 0 {
+		t.Errorf("Tick modified other slots: %v", v)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(2)
+	v.Set(0, 5)
+	c := v.Clone()
+	c.Set(0, 9)
+	if v.Get(0) != 5 {
+		t.Errorf("Clone aliases original: %v", v)
+	}
+}
+
+func TestCoversAndConcurrent(t *testing.T) {
+	a := VC{2, 0, 1}
+	b := VC{1, 0, 1}
+	if !a.Covers(b) {
+		t.Errorf("%v should cover %v", a, b)
+	}
+	if b.Covers(a) {
+		t.Errorf("%v should not cover %v", b, a)
+	}
+	c := VC{0, 3, 0}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Errorf("%v and %v should be concurrent", a, c)
+	}
+	if a.Concurrent(a.Clone()) {
+		t.Errorf("a vector is not concurrent with itself")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := VC{2, 0, 1}
+	b := VC{1, 3, 1}
+	a.Join(b)
+	want := VC{2, 3, 1}
+	if !a.Equal(want) {
+		t.Errorf("Join = %v, want %v", a, want)
+	}
+	if !a.Covers(b) {
+		t.Errorf("join must cover both operands")
+	}
+}
+
+func TestCoversInterval(t *testing.T) {
+	v := VC{0, 4, 0}
+	if !v.CoversInterval(1, 4) {
+		t.Errorf("should cover interval 4 of proc 1")
+	}
+	if v.CoversInterval(1, 5) {
+		t.Errorf("should not cover interval 5 of proc 1")
+	}
+	if !v.CoversInterval(0, 0) {
+		t.Errorf("zero vector covers interval 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := VC{1, 0, 2}
+	if got := v.String(); got != "<1 0 2>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func randVC(r *rand.Rand, n int) VC {
+	v := New(n)
+	for i := range v {
+		v[i] = int32(r.Intn(5))
+	}
+	return v
+}
+
+// Property: Join is the least upper bound — it covers both inputs, and any
+// vector covering both inputs covers the join.
+func TestQuickJoinIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b := randVC(r, n), randVC(r, n)
+		j := a.Clone()
+		j.Join(b)
+		if !j.Covers(a) || !j.Covers(b) {
+			return false
+		}
+		// any upper bound covers j
+		u := New(n)
+		for i := range u {
+			u[i] = a[i]
+			if b[i] > u[i] {
+				u[i] = b[i]
+			}
+			u[i] += int32(r.Intn(3))
+		}
+		return u.Covers(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Covers is a partial order (reflexive, antisymmetric, transitive).
+func TestQuickCoversPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b, c := randVC(r, n), randVC(r, n), randVC(r, n)
+		if !a.Covers(a) {
+			return false
+		}
+		if a.Covers(b) && b.Covers(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Covers(b) && b.Covers(c) && !a.Covers(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ticking my own slot makes the result strictly newer, never
+// covered by the old value.
+func TestQuickTickAdvances(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		v := randVC(r, n)
+		old := v.Clone()
+		p := r.Intn(n)
+		v.Tick(p)
+		return v.Covers(old) && !old.Covers(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package lrcdsm is a release-consistent software distributed shared
+// memory (DSM) simulator reproducing Dwarkadas, Keleher, Cox and
+// Zwaenepoel, "Evaluation of Release Consistent Software Distributed
+// Shared Memory on Emerging Network Technology" (ISCA 1993).
+//
+// It provides an execution-driven simulation of a page-based
+// multiple-writer DSM under five protocols — eager invalidate (EI), eager
+// update (EU), lazy invalidate (LI), lazy update (LU), and the paper's new
+// lazy hybrid (LH) — over models of a 10 Mbit/s Ethernet and ATM crossbar
+// networks, with the paper's software-overhead and diff cost model.
+//
+// A minimal program:
+//
+//	cfg := lrcdsm.DefaultConfig()
+//	cfg.Protocol = lrcdsm.LH
+//	cfg.Procs = 4
+//	sys, _ := lrcdsm.NewSystem(cfg)
+//	counter := sys.Alloc(8)
+//	lock := sys.NewLock()
+//	stats, _ := sys.Run(func(p *lrcdsm.Proc) {
+//		for i := 0; i < 100; i++ {
+//			p.Lock(lock)
+//			p.WriteI64(counter, p.ReadI64(counter)+1)
+//			p.Unlock(lock)
+//			p.Compute(5000)
+//		}
+//	})
+//	fmt.Println(stats, sys.PeekI64(counter))
+//
+// Shared memory is allocated before Run with Alloc/AllocPage and
+// initialized with InitF64/InitI64; workers access it through the typed
+// Read/Write methods on Proc and synchronize with Lock/Unlock/Barrier.
+// PeekF64/PeekI64 read the authoritative final memory image after the run.
+package lrcdsm
+
+import (
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+	"lrcdsm/internal/trace"
+)
+
+// Core simulation types, re-exported from the implementation.
+type (
+	// Config describes one simulated DSM system.
+	Config = core.Config
+	// Protocol selects one of the five release-consistency protocols.
+	Protocol = core.Protocol
+	// System is one simulated DSM machine.
+	System = core.System
+	// Proc is a simulated processor; application workers receive one.
+	Proc = core.Proc
+	// Addr is a byte address in the shared address space.
+	Addr = core.Addr
+	// RunStats aggregates everything measured during a run.
+	RunStats = core.RunStats
+	// NetworkParams configures the interconnect model.
+	NetworkParams = network.Params
+	// ProcStats is one processor's share of a run (time breakdown).
+	ProcStats = core.ProcStats
+	// TraceLog is the protocol event log (enable via Config.TraceCapacity).
+	TraceLog = trace.Log
+	// TraceEvent is one recorded protocol event.
+	TraceEvent = trace.Event
+)
+
+// The five protocols, in the paper's presentation order.
+const (
+	LH = core.LH
+	LI = core.LI
+	LU = core.LU
+	EI = core.EI
+	EU = core.EU
+)
+
+// Protocols lists all five protocols.
+var Protocols = core.Protocols
+
+// NewSystem builds a DSM system from the configuration.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultConfig returns the paper's base configuration: 16 processors at
+// 40 MHz, 4096-byte pages, 100 Mbit/s ATM, normal software overhead.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ParseProtocol converts a protocol name ("LH", "li", ...) to a Protocol.
+func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
+
+// Ethernet10 returns the paper's 10 Mbit/s Ethernet model, with or without
+// the collision/backoff penalty.
+func Ethernet10(clockMHz float64, collisions bool) NetworkParams {
+	return network.Ethernet10(clockMHz, collisions)
+}
+
+// ATMNet returns a crossbar ATM network of the given link bandwidth.
+func ATMNet(bandwidthMbps, clockMHz float64) NetworkParams {
+	return network.ATMNet(bandwidthMbps, clockMHz)
+}
+
+// IdealNet returns a contention-free network of the given bandwidth.
+func IdealNet(bandwidthMbps, clockMHz float64) NetworkParams {
+	return network.IdealNet(bandwidthMbps, clockMHz)
+}

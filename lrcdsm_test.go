@@ -1,0 +1,130 @@
+package lrcdsm_test
+
+import (
+	"strings"
+	"testing"
+
+	"lrcdsm"
+)
+
+// TestFacadeCounter exercises the whole public API surface end to end:
+// config, system construction, allocation, initialization, locks,
+// barriers, typed access, statistics and the final memory image.
+func TestFacadeCounter(t *testing.T) {
+	for _, prot := range lrcdsm.Protocols {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			cfg := lrcdsm.DefaultConfig()
+			cfg.Protocol = prot
+			cfg.Procs = 4
+			cfg.Net = lrcdsm.ATMNet(100, 40)
+			sys, err := lrcdsm.NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter := sys.Alloc(8)
+			sum := sys.AllocPage(8)
+			sys.InitF64(sum, 1.5)
+			lock := sys.NewLock()
+			bar := sys.NewBarrier()
+			stats, err := sys.Run(func(p *lrcdsm.Proc) {
+				for i := 0; i < 25; i++ {
+					p.Lock(lock)
+					p.WriteI64(counter, p.ReadI64(counter)+1)
+					p.Unlock(lock)
+					p.Compute(2000)
+				}
+				p.Barrier(bar)
+				if p.ID() == 0 {
+					p.WriteF64(sum, p.ReadF64(sum)+float64(p.N()))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sys.PeekI64(counter); got != 100 {
+				t.Errorf("counter = %d, want 100", got)
+			}
+			if got := sys.PeekF64(sum); got != 5.5 {
+				t.Errorf("sum = %v, want 5.5", got)
+			}
+			if stats.Msgs == 0 || stats.Cycles == 0 {
+				t.Errorf("stats look empty: %v", stats)
+			}
+			if len(stats.PerProc) != 4 {
+				t.Errorf("per-proc stats = %d entries", len(stats.PerProc))
+			}
+		})
+	}
+}
+
+// TestFacadeTrace enables event tracing through the public configuration
+// and checks the log renders.
+func TestFacadeTrace(t *testing.T) {
+	cfg := lrcdsm.DefaultConfig()
+	cfg.Procs = 2
+	cfg.TraceCapacity = 64
+	sys, err := lrcdsm.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Alloc(8)
+	lk := sys.NewLock()
+	if _, err := sys.Run(func(p *lrcdsm.Proc) {
+		p.Lock(lk)
+		p.WriteI64(a, int64(p.ID()))
+		p.Unlock(lk)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log := sys.Trace()
+	if !log.Enabled() {
+		t.Fatal("trace not enabled")
+	}
+	evs := log.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	var sb strings.Builder
+	log.Dump(&sb)
+	if !strings.Contains(sb.String(), "lock-req") {
+		t.Errorf("dump missing lock events:\n%s", sb.String())
+	}
+}
+
+// TestFacadeParseProtocol round-trips protocol names.
+func TestFacadeParseProtocol(t *testing.T) {
+	for _, p := range lrcdsm.Protocols {
+		got, err := lrcdsm.ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(%v) = %v, %v", p, got, err)
+		}
+	}
+}
+
+// TestFacadeNetworks builds every network constructor.
+func TestFacadeNetworks(t *testing.T) {
+	nets := []lrcdsm.NetworkParams{
+		lrcdsm.Ethernet10(40, true),
+		lrcdsm.Ethernet10(40, false),
+		lrcdsm.ATMNet(100, 40),
+		lrcdsm.IdealNet(1000, 40),
+	}
+	for _, n := range nets {
+		cfg := lrcdsm.DefaultConfig()
+		cfg.Procs = 2
+		cfg.Net = n
+		sys, err := lrcdsm.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", n.Kind, err)
+		}
+		a := sys.Alloc(8)
+		if _, err := sys.Run(func(p *lrcdsm.Proc) {
+			if p.ID() == 1 {
+				_ = p.ReadI64(a)
+			}
+		}); err != nil {
+			t.Fatalf("%v: %v", n.Kind, err)
+		}
+	}
+}
