@@ -59,6 +59,36 @@ func BenchmarkFigure13to15(b *testing.B) { benchFigureSet(b, harness.Figures13to
 // BenchmarkFigure16to18 regenerates the Cholesky plots.
 func BenchmarkFigure16to18(b *testing.B) { benchFigureSet(b, harness.Figures16to18) }
 
+// benchAppFiguresWorkers regenerates the Jacobi-on-ATM sweep with a fixed
+// worker-pool size. Comparing the Serial and Parallel variants on a
+// multi-core machine shows the harness speedup; their rendered tables are
+// asserted byte-identical (determinism is the point, not a side effect).
+func benchAppFiguresWorkers(b *testing.B, workers int) {
+	net := network.ATMNet(100, core.DefaultClockMHz)
+	var baseline string
+	for i := 0; i < b.N; i++ {
+		fs, err := harness.AppFigures(harness.NewRunnerN(workers), "jacobi", benchScale,
+			harness.DefaultProcs, net, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := fs.Speedup.String() + fs.Msgs.String() + fs.DataKB.String()
+		if baseline == "" {
+			baseline = out
+		} else if out != baseline {
+			b.Fatal("sweep output changed between iterations")
+		}
+	}
+}
+
+// BenchmarkAppFiguresSerial runs the sweep one cell at a time.
+func BenchmarkAppFiguresSerial(b *testing.B) { benchAppFiguresWorkers(b, 1) }
+
+// BenchmarkAppFiguresParallel runs the sweep with one worker per CPU; on
+// a 4+-core machine this completes the same byte-identical sweep several
+// times faster than BenchmarkAppFiguresSerial.
+func BenchmarkAppFiguresParallel(b *testing.B) { benchAppFiguresWorkers(b, 0) }
+
 // BenchmarkTable1 measures the message cost of the primitive operations of
 // Table 1 directly: a remote lock acquisition and an access miss.
 func BenchmarkTable1(b *testing.B) {

@@ -7,6 +7,12 @@
 //	experiments                 # all experiments at bench scale
 //	experiments -scale paper    # the paper's problem sizes (slow)
 //	experiments -only fig6,t2   # a subset
+//	experiments -parallel 4     # 4 sweep cells at a time (0 = all CPUs)
+//	experiments -parallel 1     # strictly serial
+//
+// Each simulation is deterministic and independent, so sweep cells run
+// concurrently on a worker pool; output is identical for any -parallel
+// value.
 package main
 
 import (
@@ -23,6 +29,7 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "bench", "problem scale: paper, bench, test")
 		only      = flag.String("only", "", "comma-separated subset: fig6,fig7-9,fig10-12,fig13-15,fig16-18,t2,t3,t4,t5,stats")
+		parallel  = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	scale, err := harness.ParseScale(*scaleName)
@@ -36,7 +43,7 @@ func main() {
 		}
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
-	r := harness.NewRunner()
+	r := harness.NewRunnerN(*parallel)
 
 	type step struct {
 		key string

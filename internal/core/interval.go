@@ -84,6 +84,7 @@ func (p *Proc) closeInterval() *intervalRec {
 		ps := &p.pages[pg]
 		d := page.MakeDiff(pg, ps.twin, ps.data)
 		rec.diffs[pg] = d
+		page.FreeTwin(ps.twin)
 		ps.twin = nil
 		p.chargeDiffCreation()
 		// Our own copy contains our own writes.
@@ -121,6 +122,7 @@ func (p *Proc) flushModified() []taggedDiff {
 		ps := &p.pages[pg]
 		d := page.MakeDiff(pg, ps.twin, ps.data)
 		rec.diffs[pg] = d
+		page.FreeTwin(ps.twin)
 		ps.twin = nil
 		p.chargeDiffCreation()
 		out = append(out, taggedDiff{rec: rec, pg: pg})

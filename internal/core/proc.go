@@ -370,7 +370,7 @@ func (p *Proc) access(a Addr, write bool) (*pageState, int) {
 	p.sp.Advance(p.cache.Access(int64(a)))
 	if write {
 		if ps.twin == nil {
-			ps.twin = page.Buf(page.Twin(ps.data))
+			ps.twin = page.NewTwin(ps.data)
 			p.modList = append(p.modList, pg)
 			p.sys.stats.TwinsCreated++
 		}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/network"
+)
+
+// The simulator must be bit-for-bit deterministic: exactly one simulated
+// entity executes at a time inside each engine, so rerunning a spec —
+// even with other simulations running concurrently on other OS threads —
+// yields identical statistics. This is the property the parallel
+// experiment harness rests on.
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	for _, app := range []string{"jacobi", "water"} {
+		for _, prot := range core.Protocols {
+			spec := DefaultSpec(app, ScaleBench)
+			spec.Protocol = prot
+			spec.Procs = 4
+			first, err := Run(spec)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", app, prot, err)
+			}
+			second, err := Run(spec)
+			if err != nil {
+				t.Fatalf("%s/%v rerun: %v", app, prot, err)
+			}
+			a, b := first.Stats, second.Stats
+			if a.Cycles != b.Cycles || a.Msgs != b.Msgs || a.DataBytes != b.DataBytes {
+				t.Errorf("%s/%v not deterministic: cycles %d/%d msgs %d/%d bytes %d/%d",
+					app, prot, a.Cycles, b.Cycles, a.Msgs, b.Msgs, a.DataBytes, b.DataBytes)
+			}
+			if a.SyncMsgs != b.SyncMsgs || a.DiffsCreated != b.DiffsCreated {
+				t.Errorf("%s/%v secondary stats diverge: sync %d/%d diffs %d/%d",
+					app, prot, a.SyncMsgs, b.SyncMsgs, a.DiffsCreated, b.DiffsCreated)
+			}
+		}
+	}
+}
+
+// A parallel sweep must render byte-identical tables to a serial one:
+// cells are assembled by index, never by completion order, and the
+// singleflight baseline cache hands every cell the same denominator.
+func TestAppFiguresSerialParallelIdentical(t *testing.T) {
+	procs := []int{1, 2, 4}
+	net := network.ATMNet(100, core.DefaultClockMHz)
+	serial, err := AppFigures(NewRunnerN(1), "jacobi", ScaleBench, procs, net, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AppFigures(NewRunnerN(8), "jacobi", ScaleBench, procs, net, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct {
+		name string
+		s, p *Table
+	}{
+		{"speedup", serial.Speedup, par.Speedup},
+		{"msgs", serial.Msgs, par.Msgs},
+		{"data", serial.DataKB, par.DataKB},
+	} {
+		if got, want := pair.p.String(), pair.s.String(); got != want {
+			t.Errorf("parallel %s table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				pair.name, want, got)
+		}
+	}
+}
+
+// The 1-processor column is served straight from the baseline cache, so
+// its speedup is exactly 1 and the runner performs one baseline run per
+// configuration no matter how many protocols sweep it.
+func TestSpeedupBaselineSingleflight(t *testing.T) {
+	r := NewRunnerN(4)
+	specs := make([]Spec, len(core.Protocols))
+	for i, prot := range core.Protocols {
+		specs[i] = DefaultSpec("jacobi", ScaleTest)
+		specs[i].Protocol = prot
+		specs[i].Procs = 1
+	}
+	sus := make([]float64, len(specs))
+	err := r.RunCells(len(specs), func(i int) error {
+		_, su, err := r.Speedup(specs[i])
+		sus[i] = su
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, su := range sus {
+		if su != 1.0 {
+			t.Errorf("%v: 1-processor speedup = %v, want exactly 1", core.Protocols[i], su)
+		}
+	}
+	if len(r.bases) != 1 {
+		t.Errorf("bases = %d, want 1 (singleflight per configuration)", len(r.bases))
+	}
+}

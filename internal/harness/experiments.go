@@ -21,8 +21,17 @@ type FigureSet struct {
 	DataKB  *Table
 }
 
+// sweepCell is the outcome of one (row, column) cell of a sweep, filled
+// in by the worker pool and assembled into tables afterwards.
+type sweepCell struct {
+	res     *Result
+	speedup float64
+}
+
 // AppFigures runs the full protocol × processor sweep for one application
-// on the given network and renders the three plots.
+// on the given network and renders the three plots. Cells execute on the
+// runner's worker pool; tables are assembled in row-major cell order, so
+// the rendered output is identical for any worker count.
 func AppFigures(r *Runner, app string, scale Scale, procs []int, net network.Params, title string) (*FigureSet, error) {
 	cols := []string{"protocol"}
 	for _, p := range procs {
@@ -34,22 +43,32 @@ func AppFigures(r *Runner, app string, scale Scale, procs []int, net network.Par
 		Msgs:    &Table{Title: title + " — messages", Columns: cols},
 		DataKB:  &Table{Title: title + " — data (KB)", Columns: cols},
 	}
-	for _, prot := range core.Protocols {
+	np := len(procs)
+	cells := make([]sweepCell, len(core.Protocols)*np)
+	err := r.RunCells(len(cells), func(i int) error {
+		spec := DefaultSpec(app, scale)
+		spec.Protocol = core.Protocols[i/np]
+		spec.Procs = procs[i%np]
+		spec.Net = net
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			return err
+		}
+		cells[i] = sweepCell{res, speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, prot := range core.Protocols {
 		su := []string{prot.String()}
 		ms := []string{prot.String()}
 		da := []string{prot.String()}
-		for _, n := range procs {
-			spec := DefaultSpec(app, scale)
-			spec.Protocol = prot
-			spec.Procs = n
-			spec.Net = net
-			res, speedup, err := r.Speedup(spec)
-			if err != nil {
-				return nil, err
-			}
-			su = append(su, fmt.Sprintf("%.2f", speedup))
-			ms = append(ms, fmt.Sprintf("%d", res.Stats.Msgs))
-			da = append(da, fmt.Sprintf("%.0f", res.Stats.DataKB()))
+		for ni := range procs {
+			c := cells[pi*np+ni]
+			su = append(su, fmt.Sprintf("%.2f", c.speedup))
+			ms = append(ms, fmt.Sprintf("%d", c.res.Stats.Msgs))
+			da = append(da, fmt.Sprintf("%.0f", c.res.Stats.DataKB()))
 		}
 		fs.Speedup.Rows = append(fs.Speedup.Rows, su)
 		fs.Msgs.Rows = append(fs.Msgs.Rows, ms)
@@ -117,16 +136,26 @@ func Table2(r *Runner, scale Scale) (*Table, error) {
 		Title:   "Table 2: Speedups with different network characteristics (LH, 16 processors)",
 		Columns: []string{"network", "Jacobi", "Water"},
 	}
-	for _, nc := range Table2Networks(core.DefaultClockMHz) {
+	nets := Table2Networks(core.DefaultClockMHz)
+	apps := []string{"jacobi", "water"}
+	cells := make([]sweepCell, len(nets)*len(apps))
+	err := r.RunCells(len(cells), func(i int) error {
+		spec := DefaultSpec(apps[i%len(apps)], scale)
+		spec.Net = nets[i/len(apps)].Net
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			return err
+		}
+		cells[i] = sweepCell{res, speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, nc := range nets {
 		row := []string{nc.Name}
-		for _, app := range []string{"jacobi", "water"} {
-			spec := DefaultSpec(app, scale)
-			spec.Net = nc.Net
-			_, speedup, err := r.Speedup(spec)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", speedup))
+		for ai := range apps {
+			row = append(row, fmt.Sprintf("%.2f", cells[ni*len(apps)+ai].speedup))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -146,18 +175,30 @@ func Table3(r *Runner, scale Scale) (*Table, error) {
 		name   string
 		factor float64
 	}{{"Zero", 0}, {"Normal", 1}, {"Double", 2}}
-	for _, app := range AppNames {
-		for _, ov := range overheads {
+	nprot := len(core.Protocols)
+	rows := len(AppNames) * len(overheads)
+	cells := make([]sweepCell, rows*nprot)
+	err := r.RunCells(len(cells), func(i int) error {
+		row, pi := i/nprot, i%nprot
+		spec := DefaultSpec(AppNames[row/len(overheads)], scale)
+		spec.Protocol = core.Protocols[pi]
+		spec.OverheadFactor = overheads[row%len(overheads)].factor
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			return err
+		}
+		cells[i] = sweepCell{res, speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, app := range AppNames {
+		for oi, ov := range overheads {
+			rowIdx := ai*len(overheads) + oi
 			row := []string{fmt.Sprintf("%s/%s", app, ov.name)}
-			for _, prot := range core.Protocols {
-				spec := DefaultSpec(app, scale)
-				spec.Protocol = prot
-				spec.OverheadFactor = ov.factor
-				_, speedup, err := r.Speedup(spec)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f", speedup))
+			for pi := range core.Protocols {
+				row = append(row, fmt.Sprintf("%.2f", cells[rowIdx*nprot+pi].speedup))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -172,20 +213,32 @@ func Table4(r *Runner, scale Scale) (*Table, error) {
 		Title:   "Table 4: Speedups with different processor speeds (LH, 16 processors; Cholesky 8)",
 		Columns: []string{"MHz", "Jacobi", "TSP", "Water", "Cholesky"},
 	}
-	for _, mhz := range []float64{20, 40, 60, 80} {
+	speeds := []float64{20, 40, 60, 80}
+	na := len(AppNames)
+	cells := make([]sweepCell, len(speeds)*na)
+	err := r.RunCells(len(cells), func(i int) error {
+		mhz := speeds[i/na]
+		app := AppNames[i%na]
+		spec := DefaultSpec(app, scale)
+		spec.ClockMHz = mhz
+		spec.Net = network.ATMNet(100, mhz)
+		if app == "cholesky" {
+			spec.Procs = 8
+		}
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			return err
+		}
+		cells[i] = sweepCell{res, speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mhz := range speeds {
 		row := []string{fmt.Sprintf("%.0f", mhz)}
-		for _, app := range AppNames {
-			spec := DefaultSpec(app, scale)
-			spec.ClockMHz = mhz
-			spec.Net = network.ATMNet(100, mhz)
-			if app == "cholesky" {
-				spec.Procs = 8
-			}
-			_, speedup, err := r.Speedup(spec)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", speedup))
+		for ai := range AppNames {
+			row = append(row, fmt.Sprintf("%.2f", cells[mi*na+ai].speedup))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -199,18 +252,32 @@ func Table5(r *Runner, scale Scale) (*Table, error) {
 		Title:   "Table 5: Effect of page size (LH)",
 		Columns: []string{"procs/page", "Jacobi", "TSP", "Water", "Cholesky"},
 	}
-	for _, procs := range []int{8, 16} {
-		for _, ps := range []int{4096, 1024} {
+	procCounts := []int{8, 16}
+	pageSizes := []int{4096, 1024}
+	na := len(AppNames)
+	rows := len(procCounts) * len(pageSizes)
+	cells := make([]sweepCell, rows*na)
+	err := r.RunCells(len(cells), func(i int) error {
+		row, ai := i/na, i%na
+		spec := DefaultSpec(AppNames[ai], scale)
+		spec.Procs = procCounts[row/len(pageSizes)]
+		spec.PageSize = pageSizes[row%len(pageSizes)]
+		res, speedup, err := r.Speedup(spec)
+		if err != nil {
+			return err
+		}
+		cells[i] = sweepCell{res, speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, procs := range procCounts {
+		for si, ps := range pageSizes {
+			rowIdx := ri*len(pageSizes) + si
 			row := []string{fmt.Sprintf("%dp/%dB", procs, ps)}
-			for _, app := range AppNames {
-				spec := DefaultSpec(app, scale)
-				spec.Procs = procs
-				spec.PageSize = ps
-				_, speedup, err := r.Speedup(spec)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f", speedup))
+			for ai := range AppNames {
+				row = append(row, fmt.Sprintf("%.2f", cells[rowIdx*na+ai].speedup))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -227,13 +294,20 @@ func SyncStats(r *Runner, scale Scale) (*Table, error) {
 		Title:   "Section 6.2 statistics (LH, 16 processors)",
 		Columns: []string{"app", "msgs", "sync msgs", "sync %", "grants w/ data", "lock wait %"},
 	}
-	for _, app := range AppNames {
-		spec := DefaultSpec(app, scale)
-		res, _, err := r.Speedup(spec)
+	cells := make([]sweepCell, len(AppNames))
+	err := r.RunCells(len(cells), func(i int) error {
+		res, speedup, err := r.Speedup(DefaultSpec(AppNames[i], scale))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		st := res.Stats
+		cells[i] = sweepCell{res, speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range AppNames {
+		st := cells[i].res.Stats
 		// mean per-processor share of time spent acquiring locks (the
 		// paper's Cholesky metric: "84% of each processor's time")
 		var lockShare float64

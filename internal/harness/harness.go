@@ -6,7 +6,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lrcdsm/internal/apps/cholesky"
 	"lrcdsm/internal/apps/jacobi"
@@ -163,37 +166,130 @@ func Run(spec Spec) (*Result, error) {
 }
 
 // Runner caches uniprocessor baselines so speedups across a sweep share
-// the same denominators.
+// the same denominators, and owns the worker pool that executes
+// independent sweep cells concurrently. Each Run builds a private
+// core.System, so cells only share the baseline cache, which is
+// singleflight: concurrent requests for the same baseline wait for one
+// run rather than stampeding.
 type Runner struct {
-	bases map[string]*Result
+	workers int
+	mu      sync.Mutex
+	bases   map[string]*baseCell
 }
 
-// NewRunner returns an empty runner.
-func NewRunner() *Runner { return &Runner{bases: make(map[string]*Result)} }
+// baseCell is one memoized 1-processor baseline. The first requester runs
+// it inside once; later requesters block on once.Do until it is filled.
+type baseCell struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
 
+// NewRunner returns a runner with one worker per available CPU.
+func NewRunner() *Runner { return NewRunnerN(0) }
+
+// NewRunnerN returns a runner with the given number of workers; n <= 0
+// selects runtime.GOMAXPROCS(0). With one worker every sweep runs
+// serially on the calling goroutine.
+func NewRunnerN(n int) *Runner {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: n, bases: make(map[string]*baseCell)}
+}
+
+// Workers returns the size of the runner's worker pool.
+func (r *Runner) Workers() int { return r.workers }
+
+// baseKey deliberately excludes the protocol: a 1-processor run never
+// communicates, so all protocols share one baseline per configuration.
 func baseKey(s Spec) string {
 	return fmt.Sprintf("%s|%d|%v|%.0f|%d|%.1f", s.App, s.Scale, s.Net.Kind, s.ClockMHz, s.PageSize, s.OverheadFactor)
 }
 
+// baseline returns the memoized 1-processor run for spec's configuration.
+func (r *Runner) baseline(spec Spec) (*Result, error) {
+	key := baseKey(spec)
+	r.mu.Lock()
+	cell, ok := r.bases[key]
+	if !ok {
+		cell = new(baseCell)
+		r.bases[key] = cell
+	}
+	r.mu.Unlock()
+	cell.once.Do(func() {
+		bspec := spec
+		bspec.Procs = 1
+		cell.res, cell.err = Run(bspec)
+	})
+	return cell.res, cell.err
+}
+
 // Speedup runs the spec and returns result plus speedup relative to the
-// cached 1-processor run of the same configuration.
+// memoized 1-processor run of the same configuration. The baseline is
+// obtained first so that concurrent cells of a cold sweep block on one
+// shared baseline run instead of each paying for the N-processor run
+// before discovering the baseline is still missing.
 func (r *Runner) Speedup(spec Spec) (*Result, float64, error) {
+	base, err := r.baseline(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if spec.Procs == 1 {
+		// The baseline is this run (the simulation is deterministic), so
+		// don't pay for it twice; restamp the spec since the baseline may
+		// have been created under a different protocol's request.
+		res := &Result{Spec: spec, Stats: base.Stats}
+		return res, 1.0, nil
+	}
 	res, err := Run(spec)
 	if err != nil {
 		return nil, 0, err
 	}
-	key := baseKey(spec)
-	base, ok := r.bases[key]
-	if !ok {
-		bspec := spec
-		bspec.Procs = 1
-		base, err = Run(bspec)
-		if err != nil {
-			return nil, 0, err
-		}
-		r.bases[key] = base
-	}
 	return res, float64(base.Stats.Cycles) / float64(res.Stats.Cycles), nil
+}
+
+// RunCells executes jobs 0..n-1 on the runner's worker pool and returns
+// the lowest-indexed error, if any. Jobs must be independent; callers
+// assemble results into tables afterwards, indexed by job number, so
+// output order never depends on completion order. With one worker (or a
+// single job) everything runs serially on the calling goroutine.
+func (r *Runner) RunCells(n int, job func(i int) error) error {
+	w := r.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table is a rendered experiment: a title, column headers, and rows of

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ID identifies a shared page.
@@ -47,6 +48,60 @@ func Twin(data []byte) []byte {
 	return t
 }
 
+// twinPools caches page-sized buffers per size class. A write interval
+// churns one twin per dirtied page — across a sweep that is millions of
+// page-sized allocations the garbage collector otherwise has to chase.
+// sync.Pool is safe under the parallel experiment harness, where many
+// simulations (all with the same page size) run concurrently.
+var twinPools sync.Map // int -> *sync.Pool
+
+func twinPool(size int) *sync.Pool {
+	if p, ok := twinPools.Load(size); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := twinPools.LoadOrStore(size, &sync.Pool{
+		New: func() any { return make([]byte, size) },
+	})
+	return p.(*sync.Pool)
+}
+
+// NewTwin returns a copy of data backed by a pooled buffer. The caller owns
+// it until FreeTwin; pooled contents are fully overwritten by the copy.
+func NewTwin(data []byte) Buf {
+	b := twinPool(len(data)).Get().([]byte)
+	copy(b, data)
+	return b
+}
+
+// FreeTwin recycles a twin obtained from NewTwin. The buffer must not be
+// referenced afterwards (MakeDiff copies modified words out, so diffs never
+// alias their twin).
+func FreeTwin(b Buf) {
+	if b != nil {
+		twinPool(len(b)).Put([]byte(b))
+	}
+}
+
+// chunkBytes is the fast-skip granularity of MakeDiff: a cache-line-sized
+// block compared with eight unrolled word loads before falling back to
+// word-granularity run detection. Unrolled compares beat bytes.Equal for
+// this fixed tiny size — no call into memequal, and a mismatch in the
+// first words exits immediately.
+const chunkBytes = 64
+
+const chunkWords = chunkBytes / WordSize
+
+// diffScratch is reusable working storage for MakeDiff: modified words and
+// packed (start, length) run spans accumulate here during the scan, so in
+// steady state a diff performs exactly two allocations (the exact-size word
+// array and Run headers) no matter how fragmented the modifications are.
+type diffScratch struct {
+	vals  []uint64
+	spans []int64
+}
+
+var diffScratchPool = sync.Pool{New: func() any { return new(diffScratch) }}
+
 // MakeDiff computes the run-length encoded difference between twin (the
 // page contents at the start of the interval) and cur (the contents now).
 // Both must have the same length, a multiple of WordSize.
@@ -59,9 +114,29 @@ func MakeDiff(id ID, twin, cur []byte) Diff {
 	}
 	d := Diff{Page: id}
 	words := len(cur) / WordSize
+	sc := diffScratchPool.Get().(*diffScratch)
+	vals, spans := sc.vals[:0], sc.spans[:0]
 	i := 0
 	for i < words {
 		off := i * WordSize
+		// Fast-skip unmodified cache-line-sized regions (the chunkEq
+		// compare, spelled out because the call is beyond the inlining
+		// budget). Skipping equal words early never moves a run boundary,
+		// so diffs stay byte-identical to the plain word-by-word scan.
+		if i+chunkWords <= words {
+			t, c := twin[off:off+chunkBytes], cur[off:off+chunkBytes]
+			if binary.LittleEndian.Uint64(t) == binary.LittleEndian.Uint64(c) &&
+				binary.LittleEndian.Uint64(t[8:]) == binary.LittleEndian.Uint64(c[8:]) &&
+				binary.LittleEndian.Uint64(t[16:]) == binary.LittleEndian.Uint64(c[16:]) &&
+				binary.LittleEndian.Uint64(t[24:]) == binary.LittleEndian.Uint64(c[24:]) &&
+				binary.LittleEndian.Uint64(t[32:]) == binary.LittleEndian.Uint64(c[32:]) &&
+				binary.LittleEndian.Uint64(t[40:]) == binary.LittleEndian.Uint64(c[40:]) &&
+				binary.LittleEndian.Uint64(t[48:]) == binary.LittleEndian.Uint64(c[48:]) &&
+				binary.LittleEndian.Uint64(t[56:]) == binary.LittleEndian.Uint64(c[56:]) {
+				i += chunkWords
+				continue
+			}
+		}
 		if wordEq(twin[off:off+WordSize], cur[off:off+WordSize]) {
 			i++
 			continue
@@ -73,14 +148,24 @@ func MakeDiff(id ID, twin, cur []byte) Diff {
 			if wordEq(twin[o:o+WordSize], cur[o:o+WordSize]) {
 				break
 			}
+			vals = append(vals, binary.LittleEndian.Uint64(cur[o:]))
 			i++
 		}
-		run := Run{Off: int32(start), Words: make([]uint64, i-start)}
-		for w := start; w < i; w++ {
-			run.Words[w-start] = binary.LittleEndian.Uint64(cur[w*WordSize:])
-		}
-		d.Runs = append(d.Runs, run)
+		spans = append(spans, int64(start)<<32|int64(i-start))
 	}
+	if len(spans) > 0 {
+		out := make([]uint64, len(vals))
+		copy(out, vals)
+		d.Runs = make([]Run, len(spans))
+		pos := 0
+		for k, sp := range spans {
+			n := int(int32(sp))
+			d.Runs[k] = Run{Off: int32(sp >> 32), Words: out[pos : pos+n : pos+n]}
+			pos += n
+		}
+	}
+	sc.vals, sc.spans = vals, spans
+	diffScratchPool.Put(sc)
 	return d
 }
 

@@ -97,6 +97,160 @@ func TestDisjointDiffsCommute(t *testing.T) {
 	}
 }
 
+// ---- edge cases of the chunk-skipping run scanner ----
+
+func TestDiffRunAtPageStart(t *testing.T) {
+	cur := NewBuf(4096)
+	twin := Twin(cur)
+	cur.PutU64(0, 1)
+	cur.PutU64(8, 2)
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 || d.Runs[0].Off != 0 || len(d.Runs[0].Words) != 2 {
+		t.Fatalf("run at page start: %+v", d.Runs)
+	}
+}
+
+func TestDiffRunAtPageEnd(t *testing.T) {
+	cur := NewBuf(4096)
+	twin := Twin(cur)
+	last := len(cur)/WordSize - 1
+	cur.PutU64((last-1)*WordSize, 7)
+	cur.PutU64(last*WordSize, 8)
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 || int(d.Runs[0].Off) != last-1 || len(d.Runs[0].Words) != 2 {
+		t.Fatalf("run at page end: %+v", d.Runs)
+	}
+}
+
+func TestDiffWholePageModified(t *testing.T) {
+	cur := NewBuf(256)
+	twin := Twin(cur)
+	for w := 0; w < 32; w++ {
+		cur.PutU64(w*WordSize, uint64(w+1))
+	}
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 || d.Runs[0].Off != 0 || len(d.Runs[0].Words) != 32 {
+		t.Fatalf("whole-page run: %d runs, first %+v", len(d.Runs), d.Runs[0])
+	}
+}
+
+// Runs separated by exactly one unmodified word must stay distinct — the
+// unmodified word is the run delimiter and must not be transmitted.
+func TestDiffAdjacentRunsOneWordGap(t *testing.T) {
+	cur := NewBuf(4096)
+	twin := Twin(cur)
+	cur.PutU64(16*WordSize, 1)
+	cur.PutU64(17*WordSize, 2)
+	// word 18 unmodified
+	cur.PutU64(19*WordSize, 3)
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (%+v)", len(d.Runs), d.Runs)
+	}
+	if d.Runs[0].Off != 16 || len(d.Runs[0].Words) != 2 {
+		t.Errorf("first run = %+v", d.Runs[0])
+	}
+	if d.Runs[1].Off != 19 || len(d.Runs[1].Words) != 1 {
+		t.Errorf("second run = %+v", d.Runs[1])
+	}
+	if d.WordCount() != 3 {
+		t.Errorf("WordCount = %d, want 3", d.WordCount())
+	}
+}
+
+// A run crossing a chunk (cache-line) boundary must not be split by the
+// fast-skip path.
+func TestDiffRunCrossesChunkBoundary(t *testing.T) {
+	cur := NewBuf(4096)
+	twin := Twin(cur)
+	for w := chunkWords - 2; w < chunkWords+2; w++ {
+		cur.PutU64(w*WordSize, uint64(w))
+	}
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 || int(d.Runs[0].Off) != chunkWords-2 || len(d.Runs[0].Words) != 4 {
+		t.Fatalf("chunk-straddling run: %+v", d.Runs)
+	}
+}
+
+// Pages smaller than one chunk must fall back to the word scan.
+func TestDiffPageSmallerThanChunk(t *testing.T) {
+	cur := NewBuf(2 * WordSize)
+	twin := Twin(cur)
+	cur.PutU64(WordSize, 9)
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 || d.Runs[0].Off != 1 || len(d.Runs[0].Words) != 1 {
+		t.Fatalf("sub-chunk page: %+v", d.Runs)
+	}
+}
+
+// Property: MakeDiff + Apply round-trips two completely random page pairs:
+// applying diff(a→b) to a copy of a reconstructs b exactly.
+func TestQuickDiffRoundTripRandomPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := (1 + r.Intn(96)) * WordSize
+		a := NewBuf(size)
+		b := NewBuf(size)
+		r.Read(a)
+		r.Read(b)
+		d := MakeDiff(0, a, b)
+		got := Buf(Twin(a))
+		d.Apply(got)
+		return bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- pooled twins ----
+
+func TestNewTwinCopiesAndIsIndependent(t *testing.T) {
+	data := NewBuf(256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	tw := NewTwin(data)
+	if !bytes.Equal(tw, data) {
+		t.Fatal("twin does not match its source")
+	}
+	data.PutU64(0, 0xffff)
+	if tw.U64(0) == 0xffff {
+		t.Fatal("twin aliases its source")
+	}
+	FreeTwin(tw)
+	// A recycled buffer must still come back fully overwritten.
+	tw2 := NewTwin(data)
+	if !bytes.Equal(tw2, data) {
+		t.Fatal("recycled twin not fully overwritten")
+	}
+	FreeTwin(tw2)
+}
+
+func TestFreeTwinNilIsNoop(t *testing.T) {
+	FreeTwin(nil) // must not panic
+}
+
+// Diffs must not alias the twin they were computed from: the twin is
+// recycled immediately after MakeDiff.
+func TestDiffDoesNotAliasTwin(t *testing.T) {
+	data := NewBuf(256)
+	tw := NewTwin(data)
+	cur := Buf(Twin(data))
+	cur.PutU64(64, 42)
+	d := MakeDiff(0, tw, cur)
+	FreeTwin(tw)
+	// Scribble over the recycled buffer via a fresh twin of the same size.
+	junk := NewBuf(256)
+	for i := range junk {
+		junk[i] = 0xee
+	}
+	_ = NewTwin(junk)
+	if d.Runs[0].Words[0] != 42 {
+		t.Fatalf("diff word clobbered after FreeTwin: %x", d.Runs[0].Words[0])
+	}
+}
+
 func TestBufAccessors(t *testing.T) {
 	b := NewBuf(64)
 	b.PutF64(16, 3.25)

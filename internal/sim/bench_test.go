@@ -1,15 +1,45 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkInteract measures the coroutine handoff cost per interaction —
-// the simulator's fundamental overhead unit.
+// the simulator's fundamental overhead unit — across processor counts.
+// Before the ready heap, picking the next processor cost O(P) per handoff.
 func BenchmarkInteract(b *testing.B) {
-	e := New(2)
+	for _, procs := range []int{2, 16, 64} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			e := New(procs)
+			n := b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			err := e.Run(func(p *Proc) {
+				for i := 0; i < n; i++ {
+					p.Advance(Time(1 + p.ID%3))
+					p.Interact()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleDispatch measures steady-state event throughput — the
+// protocol's shape: a handful of events in flight per interaction, each
+// dispatched before the next is scheduled. With the event free-list this
+// allocates nothing per cycle.
+func BenchmarkScheduleDispatch(b *testing.B) {
+	e := New(1)
 	n := b.N
+	b.ReportAllocs()
 	b.ResetTimer()
 	err := e.Run(func(p *Proc) {
 		for i := 0; i < n; i++ {
+			e.Schedule(p.Clock(), func() {})
 			p.Advance(1)
 			p.Interact()
 		}
@@ -19,10 +49,12 @@ func BenchmarkInteract(b *testing.B) {
 	}
 }
 
-// BenchmarkScheduleDispatch measures event queue throughput.
-func BenchmarkScheduleDispatch(b *testing.B) {
+// BenchmarkScheduleBurst measures heap throughput when many events are
+// enqueued before any dispatches (barrier fan-out).
+func BenchmarkScheduleBurst(b *testing.B) {
 	e := New(1)
 	n := b.N
+	b.ReportAllocs()
 	b.ResetTimer()
 	err := e.Run(func(p *Proc) {
 		for i := 0; i < n; i++ {

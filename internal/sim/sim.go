@@ -46,15 +46,39 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
 	return e
+}
+
+// readyHeap orders runnable processors by local clock, ties broken by
+// processor ID so dispatch order matches a lowest-ID-first linear scan.
+// A processor enters the heap when it becomes ready and leaves only by
+// being dispatched, so no arbitrary removal is needed.
+type readyHeap []*Proc
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].ID < h[j].ID
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*Proc)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
 }
 
 type procState int
@@ -80,12 +104,14 @@ type Proc struct {
 
 // Engine drives a set of simulated processors and an event queue.
 type Engine struct {
-	now    Time
-	seq    int64
-	events eventQueue
-	procs  []*Proc
-	yield  chan *Proc // proc -> scheduler: "I have yielded/blocked/finished"
-	failure any       // panic captured from a proc body
+	now     Time
+	seq     int64
+	events  eventQueue
+	free    []*event // recycled event structs (one Schedule per interaction)
+	procs   []*Proc
+	ready   readyHeap  // runnable processors keyed by clock
+	yield   chan *Proc // proc -> scheduler: "I have yielded/blocked/finished"
+	failure any        // panic captured from a proc body
 }
 
 // New returns an engine with n processors.
@@ -118,7 +144,26 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	heap.Push(&e.events, ev)
+}
+
+// newEvent takes an event struct from the free list, or allocates one.
+func (e *Engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// releaseEvent recycles a dispatched event. The callback is cleared so the
+// free list does not pin the closure (and whatever it captures) until reuse.
+func (e *Engine) releaseEvent(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Run executes body on every processor until all bodies return and the event
@@ -129,6 +174,7 @@ func (e *Engine) Run(body func(*Proc)) error {
 	for _, p := range e.procs {
 		p.state = stateReady
 		p.clock = 0
+		heap.Push(&e.ready, p)
 		go func(p *Proc) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -156,12 +202,8 @@ func (e *Engine) loop() error {
 		}
 		// earliest ready processor
 		var tp Time = Infinity
-		var next *Proc
-		for _, p := range e.procs {
-			if p.state == stateReady && p.clock < tp {
-				tp = p.clock
-				next = p
-			}
+		if len(e.ready) > 0 {
+			tp = e.ready[0].clock
 		}
 		switch {
 		case te == Infinity && tp == Infinity:
@@ -174,12 +216,18 @@ func (e *Engine) loop() error {
 		case te <= tp:
 			ev := heap.Pop(&e.events).(*event)
 			e.now = ev.at
-			ev.fn()
+			fn := ev.fn
+			e.releaseEvent(ev) // before fn: the callback may Schedule and reuse it
+			fn()
 		default:
+			next := heap.Pop(&e.ready).(*Proc)
 			e.now = tp
 			next.state = stateRunning
 			next.resume <- struct{}{}
 			p := <-e.yield
+			if p.state == stateReady {
+				heap.Push(&e.ready, p)
+			}
 			if p.state == stateDone && e.failure != nil {
 				panic(e.failure)
 			}
@@ -221,7 +269,8 @@ func (p *Proc) Block() {
 
 // Wake makes a blocked processor runnable again at virtual time at (or its
 // current clock, whichever is later). It must be called from an event
-// callback or from another processor's interaction code.
+// callback or from another processor's interaction code; either way exactly
+// one entity is executing, so pushing onto the ready heap is safe.
 func (p *Proc) Wake(at Time) {
 	if p.state != stateBlocked {
 		panic(fmt.Sprintf("sim: Wake of processor %d in state %d", p.ID, p.state))
@@ -233,4 +282,5 @@ func (p *Proc) Wake(at Time) {
 		p.clock = p.eng.now
 	}
 	p.state = stateReady
+	heap.Push(&p.eng.ready, p)
 }

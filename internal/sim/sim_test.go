@@ -218,6 +218,102 @@ func TestNegativeAdvancePanics(t *testing.T) {
 	_ = e.Run(func(p *Proc) { p.Advance(-1) })
 }
 
+// TestScheduleDispatchNoAlloc proves the event free-list: once warm, a
+// schedule/dispatch cycle allocates no event structs.
+func TestScheduleDispatchNoAlloc(t *testing.T) {
+	e := New(0)
+	fn := func() {}
+	// Warm the free list with as many events as one round keeps in flight.
+	for i := 0; i < 100; i++ {
+		e.Schedule(e.Now(), fn)
+	}
+	if err := e.loop(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 100; i++ {
+			e.Schedule(e.Now(), fn)
+		}
+		if err := e.loop(); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("schedule/dispatch allocates %.1f objects per 100 events, want 0", avg)
+	}
+}
+
+// TestEventPoolClearsClosure checks that recycling an event drops its
+// callback, so pooled events cannot pin captured state.
+func TestEventPoolClearsClosure(t *testing.T) {
+	e := New(0)
+	big := make([]byte, 1)
+	e.Schedule(0, func() { big[0]++ })
+	if err := e.loop(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("dispatched event not recycled")
+	}
+	for _, ev := range e.free {
+		if ev.fn != nil {
+			t.Fatal("recycled event still holds its closure")
+		}
+	}
+}
+
+// TestReadyHeapMatchesLinearScan cross-checks heap dispatch against the
+// reference policy it replaced: smallest clock first, ties to the lowest
+// processor ID.
+func TestReadyHeapMatchesLinearScan(t *testing.T) {
+	const (
+		nProc = 5
+		iters = 20
+	)
+	adv := func(id, i int) Time { return Time(1 + (id*3+i*5)%4) } // frequent ties
+	e := New(nProc)
+	var order []int
+	err := e.Run(func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			p.Advance(adv(p.ID, i))
+			p.Interact()
+			order = append(order, p.ID)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: a linear scan over processor clocks, strict < so the
+	// lowest ID wins ties.
+	clocks := make([]Time, nProc)
+	done := make([]int, nProc)
+	for i := range clocks {
+		clocks[i] = adv(i, 0)
+	}
+	var want []int
+	for len(want) < nProc*iters {
+		best := -1
+		for i := 0; i < nProc; i++ {
+			if done[i] < iters && (best == -1 || clocks[i] < clocks[best]) {
+				best = i
+			}
+		}
+		want = append(want, best)
+		done[best]++
+		if done[best] < iters {
+			clocks[best] += adv(best, done[best])
+		}
+	}
+	if len(order) != len(want) {
+		t.Fatalf("got %d dispatches, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch %d: got proc %d, want proc %d", i, order[i], want[i])
+		}
+	}
+}
+
 func TestCascadedEvents(t *testing.T) {
 	e := New(1)
 	depth := 0
