@@ -1,0 +1,28 @@
+# Development targets. `make verify` runs everything CI runs: build, vet,
+# the project's own dsmlint analyzers, the race-enabled test suite, and an
+# invariant-checked simulation smoke test.
+
+GO ?= go
+
+.PHONY: build vet lint test race check-smoke verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/dsmlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check-smoke:
+	$(GO) run ./cmd/dsmsim -app water -protocol LH -procs 4 -scale test -check
+	$(GO) run ./cmd/dsmsim -app tsp -protocol EI -procs 4 -scale test -check
+
+verify: build vet lint race check-smoke

@@ -1,0 +1,53 @@
+// Command dsmlint runs the project's custom static analysis suite
+// (mapiter, simclock, poolsafe — see internal/lint) over the given
+// package patterns and exits non-zero if any diagnostic survives
+// //dsmlint:ignore filtering.
+//
+// Usage:
+//
+//	go run ./cmd/dsmlint ./...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lrcdsm/internal/lint"
+	"lrcdsm/internal/lint/loader"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmlint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range lint.AnalyzersFor(pkg.PkgPath) {
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsmlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dsmlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

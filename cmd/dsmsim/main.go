@@ -30,6 +30,7 @@ func main() {
 		base     = flag.Bool("speedup", false, "also run 1 processor and report speedup")
 		traceN   = flag.Int("trace", 0, "dump the last N protocol events after the run")
 		perProc  = flag.Bool("perproc", false, "print the per-processor time breakdown")
+		checkRun = flag.Bool("check", false, "run under the runtime invariant checker and report violations")
 	)
 	flag.Parse()
 
@@ -66,6 +67,22 @@ func main() {
 		OverheadFactor: *overhead,
 	}
 
+	if *checkRun {
+		res, violations, err := harness.CheckedRun(spec)
+		if err != nil {
+			fatal(err)
+		}
+		report(res, 0, *perProc)
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "dsmsim: %d invariant violation(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, " ", v.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Println("invariants        ok (clocks, write notices, diff ordering, barrier episodes, memory vs 1p reference)")
+		return
+	}
 	if *base {
 		r := harness.NewRunner()
 		res, speedup, err := r.Speedup(spec)

@@ -30,6 +30,7 @@ func main() {
 		scaleName = flag.String("scale", "bench", "problem scale: paper, bench, test")
 		only      = flag.String("only", "", "comma-separated subset: fig6,fig7-9,fig10-12,fig13-15,fig16-18,t2,t3,t4,t5,stats")
 		parallel  = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		checkRun  = flag.Bool("check", false, "run every sweep cell under the runtime invariant checker")
 	)
 	flag.Parse()
 	scale, err := harness.ParseScale(*scaleName)
@@ -44,6 +45,9 @@ func main() {
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 	r := harness.NewRunnerN(*parallel)
+	if *checkRun {
+		r.EnableCheck()
+	}
 
 	type step struct {
 		key string

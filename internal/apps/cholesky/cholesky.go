@@ -194,6 +194,16 @@ func (a *App) cmod(p *core.Proc, j, k int32) {
 	}
 }
 
+// ResultRegions declares the factor values for the runtime invariant
+// checker: column updates commute up to floating-point rounding, so the
+// comparison against the 1-processor reference uses the checker's
+// relative float tolerance. The work queue and cursors are excluded —
+// task assignment is schedule-dependent.
+func (a *App) ResultRegions() []core.ResultRegion {
+	return []core.ResultRegion{{Name: "factor", Base: a.valsA,
+		Words: a.sym.NNZ(), Float: true}}
+}
+
 // Verify compares the shared factor against the sequential reference
 // within a tolerance (parallel update order differs in rounding).
 func (a *App) Verify(s *core.System) error {

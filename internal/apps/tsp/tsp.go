@@ -317,6 +317,15 @@ func (a *App) SequentialBest() int64 {
 }
 
 // Verify checks that the parallel search found the true optimum.
+// ResultRegions declares the global minimum for the runtime invariant
+// checker: branch-and-bound always converges to the optimum tour length
+// regardless of exploration order, so the word is schedule-independent.
+// (The task queue and cursor are deliberately excluded — they are
+// schedule-dependent.)
+func (a *App) ResultRegions() []core.ResultRegion {
+	return []core.ResultRegion{{Name: "min", Base: a.minA, Words: 1}}
+}
+
 func (a *App) Verify(s *core.System) error {
 	want := a.SequentialBest()
 	got := s.PeekI64(a.minA)

@@ -213,6 +213,15 @@ func (a *App) Reference() (pos, vel [][3]float64, deriv [][18]float64) {
 	return pos, vel, deriv
 }
 
+// ResultRegions declares the molecule array for the runtime invariant
+// checker. Force accumulation order varies with the schedule, so the
+// comparison against the 1-processor reference uses the checker's
+// relative float tolerance.
+func (a *App) ResultRegions() []core.ResultRegion {
+	return []core.ResultRegion{{Name: "molecules", Base: a.mol,
+		Words: a.p.Molecules * molWords, Float: true}}
+}
+
 // Verify compares the final shared state with the sequential reference.
 func (a *App) Verify(s *core.System) error {
 	pos, vel, deriv := a.Reference()

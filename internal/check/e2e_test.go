@@ -1,0 +1,50 @@
+package check_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+)
+
+// TestCheckedRunAllAppsAllProtocols runs every workload under every
+// protocol with the runtime invariant checker enabled and demands zero
+// violations: vector clocks monotone, write notices covering every twin,
+// diffs applied in happened-before order, barrier episodes consistent,
+// and final memory equal to the 1-processor reference over each app's
+// declared result regions.
+func TestCheckedRunAllAppsAllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checked protocol sweep is not short")
+	}
+	for _, app := range harness.AppNames {
+		for _, prot := range core.Protocols {
+			app, prot := app, prot
+			t.Run(fmt.Sprintf("%s/%v", app, prot), func(t *testing.T) {
+				t.Parallel()
+				spec := harness.DefaultSpec(app, harness.ScaleTest)
+				spec.Protocol = prot
+				spec.Procs = 4
+				_, violations, err := harness.CheckedRun(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range violations {
+					t.Errorf("%s", v.String())
+				}
+			})
+		}
+	}
+}
+
+// TestCheckedRunViaSpec exercises the Spec.Check entry point used by the
+// command-line tools.
+func TestCheckedRunViaSpec(t *testing.T) {
+	spec := harness.DefaultSpec("jacobi", harness.ScaleTest)
+	spec.Procs = 2
+	spec.Check = true
+	if _, err := harness.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+}

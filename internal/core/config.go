@@ -129,6 +129,11 @@ type Config struct {
 	// through System.Trace and dsmsim's -trace flag). Zero disables.
 	TraceCapacity int
 
+	// Observer, when non-nil, receives protocol events for runtime
+	// invariant checking (see internal/check). It adds a few branches to
+	// the protocol hot paths; production sweeps leave it nil.
+	Observer Observer
+
 	// CentralizedLocks is an ablation of the paper's distributed lock
 	// queue: the token returns to the statically assigned manager at every
 	// release (consistency information is relayed through the manager),

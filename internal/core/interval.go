@@ -97,6 +97,8 @@ func (p *Proc) closeInterval() *intervalRec {
 	}
 	p.modList = nil
 	p.insertRec(rec)
+	p.sys.obsIntervalClosed(rec)
+	p.sys.obsClockAdvanced(p)
 	return rec
 }
 
@@ -128,6 +130,7 @@ func (p *Proc) flushModified() []taggedDiff {
 		out = append(out, taggedDiff{rec: rec, pg: pg})
 	}
 	p.modList = nil
+	p.sys.obsEagerFlushed(p.id, rec.idx, rec.pages)
 	return out
 }
 

@@ -111,6 +111,7 @@ func (p *Proc) absorbConsistency(v vc.VC, recs []*intervalRec, diffs []taggedDif
 	}
 	if v != nil {
 		p.vt.Join(v)
+		p.sys.obsClockAdvanced(p)
 	}
 	p.applyBatch(diffs)
 	var touched []page.ID

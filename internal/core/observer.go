@@ -1,0 +1,122 @@
+package core
+
+import (
+	"lrcdsm/internal/page"
+	"lrcdsm/internal/vc"
+)
+
+// Observer receives protocol-level events as the simulation executes. It
+// exists for runtime invariant checking (internal/check): the hooks expose
+// exactly the state transitions the release-consistency invariants are
+// stated over, so a checker can maintain an independent shadow of the
+// protocol's bookkeeping and cross-validate it. All callbacks are invoked
+// from the (serialized) simulation; implementations must not retain the
+// slices they are handed beyond the call unless documented otherwise.
+//
+// A nil Config.Observer disables all hooks at negligible cost.
+type Observer interface {
+	// TwinCreated fires when a write fault twins a page: proc is about to
+	// modify pg within its current interval.
+	TwinCreated(proc int, pg page.ID)
+
+	// IntervalClosed fires when a lazy protocol closes an interval: idx is
+	// the new interval index of proc, vt the interval's vector timestamp
+	// (an immutable snapshot), and pages the pages whose modifications the
+	// interval's write notices cover.
+	IntervalClosed(proc int, idx int32, vt vc.VC, pages []page.ID)
+
+	// EagerFlushed fires when an eager protocol ends a modification
+	// episode: epoch is proc's private flush counter and pages the pages
+	// whose diffs were produced.
+	EagerFlushed(proc int, epoch int32, pages []page.ID)
+
+	// ClockAdvanced fires after proc's vector clock changes (interval
+	// close, or joining consistency information at an acquire). vt is a
+	// snapshot owned by the observer.
+	ClockAdvanced(proc int, vt vc.VC)
+
+	// DiffApplied fires when proc incorporates writer's interval idx into
+	// its copy of pg (by applying the diff, or by adopting a copy that
+	// already covers it). vt is the interval's immutable timestamp; it is
+	// nil for the eager protocols, which carry no vector clocks.
+	DiffApplied(proc int, pg page.ID, writer int, idx int32, vt vc.VC)
+
+	// CopyAdopted fires when proc installs a fetched page image: copyVT is
+	// the per-writer interval base the copy incorporates and cover the
+	// server's full coverage vector (both snapshots owned by the observer;
+	// either may be nil under the eager protocols).
+	CopyAdopted(proc int, pg page.ID, copyVT []int32, cover vc.VC)
+
+	// BarrierDeparted fires when proc departs a barrier episode with the
+	// barrier's merged vector time (a snapshot owned by the observer; nil
+	// under the eager protocols).
+	BarrierDeparted(proc int, episode int64, vt vc.VC)
+}
+
+// ResultRegion names a shared-memory range whose end-of-run contents are a
+// deterministic function of the program input, independent of processor
+// count — up to floating-point summation order when Float is set. The
+// runtime checker compares these regions against a 1-processor reference
+// run; scratch whose final contents legitimately depend on scheduling
+// (task queues, cursors) is simply not declared.
+type ResultRegion struct {
+	Name  string
+	Base  Addr
+	Words int  // 8-byte words starting at Base
+	Float bool // compare as float64 with relative tolerance
+}
+
+// observerHooks is embedded in System to keep call sites one-liners.
+func (s *System) obsTwinCreated(proc int, pg page.ID) {
+	if s.obs != nil {
+		s.obs.TwinCreated(proc, pg)
+	}
+}
+
+func (s *System) obsIntervalClosed(rec *intervalRec) {
+	if s.obs != nil {
+		s.obs.IntervalClosed(rec.proc, rec.idx, rec.vt, rec.pages)
+	}
+}
+
+func (s *System) obsEagerFlushed(proc int, epoch int32, pages []page.ID) {
+	if s.obs != nil {
+		s.obs.EagerFlushed(proc, epoch, pages)
+	}
+}
+
+func (s *System) obsClockAdvanced(p *Proc) {
+	if s.obs != nil {
+		s.obs.ClockAdvanced(p.id, p.vt.Clone())
+	}
+}
+
+func (s *System) obsDiffApplied(proc int, td taggedDiff) {
+	if s.obs != nil {
+		s.obs.DiffApplied(proc, td.pg, td.rec.proc, td.rec.idx, td.rec.vt)
+	}
+}
+
+func (s *System) obsCopyAdopted(proc int, pg page.ID, copyVT []int32, cover []int32) {
+	if s.obs != nil {
+		var vtc []int32
+		if copyVT != nil {
+			vtc = append([]int32(nil), copyVT...)
+		}
+		var cvc vc.VC
+		if cover != nil {
+			cvc = vc.VC(cover).Clone()
+		}
+		s.obs.CopyAdopted(proc, pg, vtc, cvc)
+	}
+}
+
+func (s *System) obsBarrierDeparted(proc int, d *departInfo) {
+	if s.obs != nil {
+		var vt vc.VC
+		if d.vt != nil {
+			vt = d.vt.Clone()
+		}
+		s.obs.BarrierDeparted(proc, d.episode, vt)
+	}
+}

@@ -205,8 +205,10 @@ type flushOp struct {
 	readded map[page.ID]uint64
 	// tds[pg] carries every diff being flushed for that page; a single
 	// update message per (page, target) carries the whole group (the
-	// paper's per-cacher update count).
+	// paper's per-cacher update count). pgOrder lists tds' keys in first-
+	// seen order so completion-time bookkeeping iterates deterministically.
 	tds        map[page.ID][]taggedDiff
+	pgOrder    []page.ID
 	invalidate bool
 	attr       attr
 	onDone     func()
@@ -373,6 +375,7 @@ func (p *Proc) access(a Addr, write bool) (*pageState, int) {
 			ps.twin = page.NewTwin(ps.data)
 			p.modList = append(p.modList, pg)
 			p.sys.stats.TwinsCreated++
+			p.sys.obsTwinCreated(p.id, pg)
 		}
 		p.sys.stats.SharedWrites++
 	} else {
@@ -508,6 +511,7 @@ func (p *Proc) applyTagged(td taggedDiff) bool {
 		// The adopted copy already reflects a state that includes this
 		// interval; applying its (older) words would regress newer ones.
 		p.markApplied(td.pg, td.rec.proc, td.rec.idx)
+		p.sys.obsDiffApplied(p.id, td)
 		return true
 	}
 	if !p.canApply(td) {
@@ -528,6 +532,7 @@ func (p *Proc) applyTagged(td taggedDiff) bool {
 	}
 	ps.coverVC.Join(td.rec.vt)
 	p.sys.stats.DiffsApplied++
+	p.sys.obsDiffApplied(p.id, td)
 	p.repairDominators(td)
 	return true
 }
@@ -805,6 +810,7 @@ func (p *Proc) completeFetchRound() {
 			ps.coverVC.Join(ps.adoptVC)
 		}
 		ps.copyset |= f.gotCS | 1<<uint(p.id)
+		p.sys.obsCopyAdopted(p.id, f.pg, f.gotVT, f.gotCover)
 		f.gotData = nil
 		p.cache.InvalidateRange(p.pageAddr(f.pg), p.sys.cfg.PageSize)
 	}
@@ -956,15 +962,14 @@ func (p *Proc) startFlush(tds []taggedDiff, invalidate, withAcks bool, a attr) {
 		invalidate: invalidate,
 		attr:       a,
 	}
-	var pgOrder []page.ID
 	for _, td := range tds {
 		if _, ok := fl.tds[td.pg]; !ok {
-			pgOrder = append(pgOrder, td.pg)
+			fl.pgOrder = append(fl.pgOrder, td.pg)
 		}
 		fl.tds[td.pg] = append(fl.tds[td.pg], td)
 	}
 	p.flush = fl
-	for _, pg := range pgOrder {
+	for _, pg := range fl.pgOrder {
 		group := fl.tds[pg]
 		targets := p.pages[pg].copyset &^ (1 << uint(p.id))
 		if invalidate {
@@ -1063,7 +1068,7 @@ func (p *Proc) handleFlushAck(m *msg) {
 			// Remove exactly the processors we invalidated; anyone who
 			// re-fetched (through the owner) after the flush began must
 			// stay in the copyset or it would never be invalidated again.
-			for pg := range fl.tds {
+			for _, pg := range fl.pgOrder {
 				ps := &p.pages[pg]
 				ps.copyset = (ps.copyset &^ (fl.sentTo[pg] &^ fl.readded[pg])) | 1<<uint(p.id)
 			}

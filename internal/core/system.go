@@ -47,6 +47,7 @@ type System struct {
 	flushDeferred map[page.ID][]*msg
 
 	trace *trace.Log
+	obs   Observer
 
 	stats RunStats
 	ran   bool
@@ -68,6 +69,7 @@ func NewSystem(cfg Config) (*System, error) {
 		flushWaiters:  make(map[page.ID][]*Proc),
 		flushDeferred: make(map[page.ID][]*msg),
 		trace:         trace.New(cfg.TraceCapacity),
+		obs:           cfg.Observer,
 	}
 	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
 		s.pageShift++
@@ -266,6 +268,23 @@ func (s *System) Run(worker func(*Proc)) (*RunStats, error) {
 
 // Stats returns the (possibly in-progress) statistics.
 func (s *System) Stats() *RunStats { return &s.stats }
+
+// FinalImage returns a copy of the authoritative shared-memory image over
+// the allocated region [0, Brk): every write performed by any processor,
+// incorporated in happened-before order. Used by the runtime checker to
+// compare runs against a 1-processor reference.
+func (s *System) FinalImage() []byte {
+	out := make([]byte, s.brk)
+	ps := s.cfg.PageSize
+	for off := 0; off < len(out); off += ps {
+		pg := s.oraclePage(page.ID(off >> s.pageShift))
+		copy(out[off:], pg)
+	}
+	return out
+}
+
+// Brk returns the current top of the shared allocation.
+func (s *System) Brk() Addr { return s.brk }
 
 // ---- messaging ----
 

@@ -15,6 +15,7 @@ import (
 	"lrcdsm/internal/apps/jacobi"
 	"lrcdsm/internal/apps/tsp"
 	"lrcdsm/internal/apps/water"
+	"lrcdsm/internal/check"
 	"lrcdsm/internal/core"
 	"lrcdsm/internal/network"
 )
@@ -25,6 +26,14 @@ type App interface {
 	Configure(s *core.System)
 	Worker(p *core.Proc)
 	Verify(s *core.System) error
+}
+
+// ResultApp is implemented by workloads that declare schedule-independent
+// result regions for the runtime invariant checker's memory-equivalence
+// comparison against a 1-processor reference run.
+type ResultApp interface {
+	App
+	ResultRegions() []core.ResultRegion
 }
 
 // Scale selects problem sizes: the paper's sizes, a reduced size for
@@ -111,6 +120,11 @@ type Spec struct {
 	ClockMHz       float64
 	PageSize       int
 	OverheadFactor float64
+	// Check enables the runtime invariant checker: the run is observed by
+	// check.New and, for ResultApp workloads with more than one processor,
+	// its final memory is compared against a 1-processor reference run.
+	// Violations turn into a Run error.
+	Check bool
 }
 
 // DefaultSpec returns the paper's base configuration for an app: 16
@@ -135,8 +149,29 @@ type Result struct {
 	Stats *core.RunStats
 }
 
-// Run executes one spec: build the system and workload, run, verify.
+// Run executes one spec: build the system and workload, run, verify. With
+// Spec.Check set, the run is additionally observed by the invariant
+// checker and any violation is returned as an error.
 func Run(spec Spec) (*Result, error) {
+	if spec.Check {
+		res, violations, err := CheckedRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		if len(violations) > 0 {
+			return nil, fmt.Errorf("harness: %s/%v/%dp: %d invariant violation(s), first: %s",
+				spec.App, spec.Protocol, spec.Procs, len(violations), violations[0].String())
+		}
+		return res, nil
+	}
+	res, _, _, err := runSpec(spec, nil)
+	return res, err
+}
+
+// runSpec builds the system and workload, runs, verifies, and returns the
+// finished system and app alongside the result so callers can inspect
+// final memory.
+func runSpec(spec Spec, obs core.Observer) (*Result, *core.System, App, error) {
 	cfg := core.DefaultConfig()
 	cfg.Protocol = spec.Protocol
 	cfg.Procs = spec.Procs
@@ -146,23 +181,52 @@ func Run(spec Spec) (*Result, error) {
 	cfg.PageSize = spec.PageSize
 	cfg.OverheadFactor = spec.OverheadFactor
 	cfg.MaxSharedBytes = 64 << 20
+	cfg.Observer = obs
 	app, err := NewApp(spec.App, spec.Scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	app.Configure(sys)
 	stats, err := sys.Run(app.Worker)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s/%v/%dp: %w", spec.App, spec.Protocol, spec.Procs, err)
+		return nil, nil, nil, fmt.Errorf("harness: %s/%v/%dp: %w", spec.App, spec.Protocol, spec.Procs, err)
 	}
 	if err := app.Verify(sys); err != nil {
-		return nil, fmt.Errorf("harness: %s/%v/%dp failed verification: %w", spec.App, spec.Protocol, spec.Procs, err)
+		return nil, nil, nil, fmt.Errorf("harness: %s/%v/%dp failed verification: %w", spec.App, spec.Protocol, spec.Procs, err)
 	}
-	return &Result{Spec: spec, Stats: stats}, nil
+	return &Result{Spec: spec, Stats: stats}, sys, app, nil
+}
+
+// CheckedRun executes one spec under the runtime invariant checker and
+// returns the run's violations: protocol-invariant breaches observed
+// during the run plus, for ResultApp workloads with Procs > 1, any
+// mismatch between the run's final memory and a 1-processor reference run
+// over the app's declared result regions. An error means the run itself
+// failed; violations are reported separately so callers can print all of
+// them.
+func CheckedRun(spec Spec) (*Result, []check.Violation, error) {
+	chk := check.New(spec.Procs)
+	res, sys, app, err := runSpec(spec, chk)
+	if err != nil {
+		return nil, nil, err
+	}
+	violations := chk.Violations()
+	if ra, ok := app.(ResultApp); ok && spec.Procs > 1 {
+		ref := spec
+		ref.Procs = 1
+		ref.Check = false
+		_, refSys, _, err := runSpec(ref, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: reference run: %w", err)
+		}
+		violations = append(violations, check.CompareRegions(sys, refSys, ra.ResultRegions())...)
+	}
+	check.SortViolations(violations)
+	return res, violations, nil
 }
 
 // Runner caches uniprocessor baselines so speedups across a sweep share
@@ -173,6 +237,7 @@ func Run(spec Spec) (*Result, error) {
 // run rather than stampeding.
 type Runner struct {
 	workers int
+	check   bool
 	mu      sync.Mutex
 	bases   map[string]*baseCell
 }
@@ -201,6 +266,11 @@ func NewRunnerN(n int) *Runner {
 // Workers returns the size of the runner's worker pool.
 func (r *Runner) Workers() int { return r.workers }
 
+// EnableCheck makes every subsequent run of this runner execute under the
+// runtime invariant checker (Spec.Check). Call before the first run so
+// memoized baselines are checked too.
+func (r *Runner) EnableCheck() { r.check = true }
+
 // baseKey deliberately excludes the protocol: a 1-processor run never
 // communicates, so all protocols share one baseline per configuration.
 func baseKey(s Spec) string {
@@ -220,6 +290,7 @@ func (r *Runner) baseline(spec Spec) (*Result, error) {
 	cell.once.Do(func() {
 		bspec := spec
 		bspec.Procs = 1
+		bspec.Check = r.check
 		cell.res, cell.err = Run(bspec)
 	})
 	return cell.res, cell.err
@@ -242,6 +313,7 @@ func (r *Runner) Speedup(spec Spec) (*Result, float64, error) {
 		res := &Result{Spec: spec, Stats: base.Stats}
 		return res, 1.0, nil
 	}
+	spec.Check = r.check
 	res, err := Run(spec)
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,56 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects the
+// type-checked syntax of one package and reports Diagnostics through its
+// Pass. The build environment bakes in only the standard library, so the
+// dsmlint suite is built on this framework instead of x/tools; the API
+// surface is kept deliberately close so analyzers could be ported to the
+// real framework by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dsmlint:ignore annotations. By convention it is lowercase.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then details.
+	Doc string
+
+	// Run applies the analyzer to a single package and reports findings
+	// via pass.Report. A non-nil error aborts the analysis of the package
+	// (it means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// Pass provides an analyzer with the type-checked syntax of one package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}

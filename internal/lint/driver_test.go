@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lrcdsm/internal/lint"
+)
+
+func TestAnalyzersForScoping(t *testing.T) {
+	names := func(pkgPath string) map[string]bool {
+		m := map[string]bool{}
+		for _, a := range lint.AnalyzersFor(pkgPath) {
+			m[a.Name] = true
+		}
+		return m
+	}
+
+	sim := names("lrcdsm/internal/core")
+	for _, want := range []string{"mapiter", "simclock", "poolsafe"} {
+		if !sim[want] {
+			t.Errorf("internal/core: analyzer %s missing", want)
+		}
+	}
+
+	cmd := names("lrcdsm/cmd/experiments")
+	if cmd["mapiter"] || cmd["simclock"] {
+		t.Errorf("cmd/experiments: determinism analyzers should not apply, got %v", cmd)
+	}
+	if !cmd["poolsafe"] {
+		t.Errorf("cmd/experiments: poolsafe should apply everywhere")
+	}
+
+	if !lint.InDeterminismScope("lrcdsm/internal/sim") {
+		t.Errorf("internal/sim should be in determinism scope")
+	}
+	if lint.InDeterminismScope("lrcdsm/internal/simulator") {
+		t.Errorf("prefix match must respect path boundaries")
+	}
+}

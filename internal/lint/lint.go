@@ -1,0 +1,143 @@
+// Package lint is the dsmlint analyzer suite: project-specific static
+// checks that guard the two properties the simulator's results depend on —
+// bit-for-bit deterministic execution (mapiter, simclock) and sound reuse
+// of pooled buffers on the hot path (poolsafe).
+//
+// A finding can be suppressed with an annotation on the same line or the
+// line above:
+//
+//	//dsmlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory by convention: every suppression in the tree
+// should say why the flagged pattern is safe.
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"lrcdsm/internal/lint/analysis"
+	"lrcdsm/internal/lint/loader"
+)
+
+// All is the full dsmlint suite.
+var All = []*analysis.Analyzer{MapIter, SimClock, PoolSafe}
+
+// DeterminismPkgs are the import paths (and their subpackages) whose code
+// runs inside — or drives — the deterministic simulation. The determinism
+// analyzers (mapiter, simclock) apply only here; poolsafe applies
+// everywhere.
+var DeterminismPkgs = []string{
+	"lrcdsm/internal/sim",
+	"lrcdsm/internal/core",
+	"lrcdsm/internal/page",
+	"lrcdsm/internal/harness",
+}
+
+// determinismScoped names the analyzers restricted to DeterminismPkgs.
+var determinismScoped = map[string]bool{
+	MapIter.Name:  true,
+	SimClock.Name: true,
+}
+
+// InDeterminismScope reports whether pkgPath falls under DeterminismPkgs.
+func InDeterminismScope(pkgPath string) bool {
+	for _, p := range DeterminismPkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzersFor returns the analyzers applicable to the given package.
+func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
+	var as []*analysis.Analyzer
+	for _, a := range All {
+		if determinismScoped[a.Name] && !InDeterminismScope(pkgPath) {
+			continue
+		}
+		as = append(as, a)
+	}
+	return as
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// surviving diagnostics, sorted by position, with //dsmlint:ignore
+// annotations already filtered out.
+func RunAnalyzer(a *analysis.Analyzer, pkg *loader.Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	ig := buildIgnoreIndex(pkg)
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !ig.ignored(pkg.Fset, a.Name, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// ignoreIndex records, per file and line, which analyzers are suppressed
+// by a //dsmlint:ignore annotation on that line.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func buildIgnoreIndex(pkg *loader.Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "dsmlint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "dsmlint:ignore"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					idx[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				names[fields[0]] = true
+			}
+		}
+	}
+	return idx
+}
+
+// ignored reports whether an annotation for analyzer name covers pos:
+// the annotation may sit on the diagnostic's line or the line above.
+func (idx ignoreIndex) ignored(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	byLine, ok := idx[p.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if names, ok := byLine[line]; ok && names[name] {
+			return true
+		}
+	}
+	return false
+}

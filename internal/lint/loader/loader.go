@@ -1,0 +1,217 @@
+// Package loader parses and type-checks Go packages for the dsmlint
+// analyzers without golang.org/x/tools. Imports are resolved through
+// compiler export data obtained from `go list -export`, which compiles
+// dependencies locally and therefore works with no network and no
+// pre-installed package archives.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportMap builds an import-path -> export-data-file map for the packages
+// (and their dependencies) matching the patterns. `go list -export`
+// compiles everything it lists, so the map covers both standard-library
+// and module-local imports.
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	entries, err := goList(dir, append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			m[e.ImportPath] = e.Export
+		}
+	}
+	return m, nil
+}
+
+// newImporter returns a types.Importer that serves imports from the given
+// export-data map.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load parses and type-checks the non-test Go files of every package
+// matching the patterns (e.g. "./..."), resolved relative to dir, which
+// must lie inside a module.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Name,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: t.ImportPath, Name: t.Name, Dir: t.Dir,
+			Fset: fset, Files: files, Types: tpkg, Info: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory as the standalone
+// package pkgPath. It is used for analyzer test fixtures under testdata,
+// which are not part of any module; their imports (standard library only,
+// plus anything already compiled into the module's dependency graph) are
+// resolved from moduleDir.
+func LoadDir(moduleDir, dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the fixture's imports and obtain export data for them.
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || p == "unsafe" || seen[p] {
+				continue
+			}
+			seen[p] = true
+			imports = append(imports, p)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		exports, err = exportMap(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := newImporter(fset, exports)
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath, Name: tpkg.Name(), Dir: dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lrcdsm/internal/lint/analysis"
+)
+
+// MapIter flags `range` statements over maps inside the simulation
+// packages. Go randomizes map iteration order, so any map range whose body
+// does more than collect keys for sorting makes the simulation — which must
+// be bit-for-bit reproducible for the paper's protocol comparison to mean
+// anything — depend on runtime hash seeds.
+//
+// The one iteration shape that is allowed without annotation is the
+// canonical collect-then-sort idiom: a body consisting solely of
+// appending the key (and/or value) to a slice, e.g.
+//
+//	keys := make([]page.ID, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)
+//
+// Any other body (sends, state mutation keyed on iteration order,
+// arithmetic with early exit) must either iterate a sorted key slice or
+// carry a //dsmlint:ignore mapiter <reason> annotation explaining why the
+// order cannot be observed.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags nondeterministic map iteration in simulation packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s has nondeterministic iteration order; iterate sorted keys instead",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollectLoop reports whether the range body only appends the
+// iteration variables to slices — the collect-then-sort idiom, whose
+// result is order-independent once sorted.
+func isKeyCollectLoop(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	iterVars := map[string]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			iterVars[id.Name] = true
+		}
+	}
+	if len(iterVars) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		// append's first argument must be the assignment target
+		// (x = append(x, ...)) and every appended element must be an
+		// iteration variable.
+		if types.ExprString(call.Args[0]) != types.ExprString(as.Lhs[0]) {
+			return false
+		}
+		for _, arg := range call.Args[1:] {
+			id, ok := arg.(*ast.Ident)
+			if !ok || !iterVars[id.Name] {
+				return false
+			}
+		}
+	}
+	return true
+}

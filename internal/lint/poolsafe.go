@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lrcdsm/internal/lint/analysis"
+)
+
+// PoolSafe flags lifetime bugs around pooled objects: using a sync.Pool
+// object (or a page twin from the page package's free list) after it has
+// been returned with Put/FreeTwin, returning such an object after freeing
+// it, double-frees, and sync.Pool-backed buffers escaping through return
+// values (the pool may hand the same buffer to another goroutine while the
+// caller still holds it).
+//
+// The analysis is intra-procedural and flow-insensitive across branches:
+// within each straight-line statement sequence it tracks expressions
+// assigned from pool.Get (and page.NewTwin) and expressions passed to
+// pool.Put / page.FreeTwin; a branch body is analyzed with a private copy
+// of that state. `defer pool.Put(x)` is understood to free x at function
+// exit, not at the defer statement. Ownership-transferring constructors
+// (a function that intentionally returns a pooled buffer to its caller)
+// carry a //dsmlint:ignore poolsafe <reason> annotation.
+var PoolSafe = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "flags use-after-Put, double-free and return-escape of pooled objects",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					ps := &poolScan{pass: pass}
+					ps.block(fn.Body.List, newPoolState())
+				}
+				return false // bodies of nested literals handled below
+			case *ast.FuncLit:
+				ps := &poolScan{pass: pass}
+				ps.block(fn.Body.List, newPoolState())
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolState tracks, per straight-line sequence, which expressions hold
+// pooled objects and which have been returned to their pool.
+type poolState struct {
+	pooled map[string]token.Pos // expr -> position of the Get that produced it
+	freed  map[string]token.Pos // expr -> position of the Put/FreeTwin
+}
+
+func newPoolState() *poolState {
+	return &poolState{pooled: map[string]token.Pos{}, freed: map[string]token.Pos{}}
+}
+
+func (s *poolState) clone() *poolState {
+	c := newPoolState()
+	for k, v := range s.pooled {
+		c.pooled[k] = v
+	}
+	for k, v := range s.freed {
+		c.freed[k] = v
+	}
+	return c
+}
+
+// clearKey forgets everything known about key and any of its selector
+// children (reassigning v invalidates v.field knowledge too).
+func (s *poolState) clearKey(key string) {
+	for k := range s.pooled {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(s.pooled, k)
+		}
+	}
+	for k := range s.freed {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(s.freed, k)
+		}
+	}
+}
+
+type poolScan struct {
+	pass *analysis.Pass
+}
+
+// exprKey returns a stable name for an ident or selector chain
+// ("sc", "ps.twin"); "" for anything else.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	}
+	return ""
+}
+
+// block walks stmts in order, mutating st.
+func (p *poolScan) block(stmts []ast.Stmt, st *poolState) {
+	for _, stmt := range stmts {
+		p.stmt(stmt, st)
+	}
+}
+
+func (p *poolScan) stmt(stmt ast.Stmt, st *poolState) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			p.scanUses(rhs, st)
+		}
+		p.markFrees(stmt, st)
+		for i, lhs := range s.Lhs {
+			key := exprKey(lhs)
+			if key == "" {
+				p.scanUses(lhs, st)
+				continue
+			}
+			if _, freed := st.freed[key]; !freed {
+				// Writing a field of a freed object is a use; overwriting
+				// the freed expression itself re-establishes it.
+				p.scanFieldWrite(lhs, st)
+			}
+			st.clearKey(key)
+			if len(s.Rhs) == len(s.Lhs) {
+				if pos, ok := pooledSource(p.pass, s.Rhs[i], st); ok {
+					st.pooled[key] = pos
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			p.scanUses(res, st)
+			if key := exprKey(res); key != "" {
+				if _, ok := st.pooled[key]; ok {
+					p.pass.Reportf(res.Pos(),
+						"pooled object %s escapes via return value; the pool may reuse it while the caller still holds it", key)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// Arguments are evaluated now, but a deferred Put frees the
+		// object only at function exit; later uses are fine.
+		p.scanUses(s.Call, st)
+	case *ast.ExprStmt:
+		p.scanUses(s.X, st)
+		p.markFrees(stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			p.stmt(s.Init, st)
+		}
+		p.scanUses(s.Cond, st)
+		p.block(s.Body.List, st.clone())
+		if s.Else != nil {
+			p.stmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		sub := st.clone()
+		if s.Init != nil {
+			p.stmt(s.Init, sub)
+		}
+		if s.Cond != nil {
+			p.scanUses(s.Cond, sub)
+		}
+		p.block(s.Body.List, sub)
+		if s.Post != nil {
+			p.stmt(s.Post, sub)
+		}
+	case *ast.RangeStmt:
+		p.scanUses(s.X, st)
+		p.block(s.Body.List, st.clone())
+	case *ast.BlockStmt:
+		p.block(s.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			p.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			p.scanUses(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				p.block(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				p.block(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				p.block(cc.Body, st.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		p.stmt(s.Stmt, st)
+	case *ast.GoStmt:
+		p.scanUses(s.Call, st)
+	case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.IncDecStmt, *ast.SendStmt:
+		if n, ok := stmt.(ast.Node); ok {
+			p.scanUses(n, st)
+			p.markFrees(stmt, st)
+		}
+	default:
+		if stmt != nil {
+			p.scanUses(stmt, st)
+			p.markFrees(stmt, st)
+		}
+	}
+}
+
+// scanFieldWrite reports a write through a freed base: lhs is v.field
+// (or deeper) with v freed.
+func (p *poolScan) scanFieldWrite(lhs ast.Expr, st *poolState) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := exprKey(sel.X)
+	if base == "" {
+		return
+	}
+	if _, ok := st.freed[base]; ok {
+		p.pass.Reportf(lhs.Pos(), "write to %s after %s was returned to its pool", exprKey(lhs), base)
+	}
+}
+
+// scanUses reports reads of freed expressions inside n.
+func (p *poolScan) scanUses(n ast.Node, st *poolState) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false // analyzed as its own scope
+		}
+		e, ok := node.(ast.Expr)
+		if !ok {
+			return true
+		}
+		key := exprKey(e)
+		if key == "" {
+			return true
+		}
+		if pos, freed := st.freed[key]; freed {
+			p.pass.Reportf(e.Pos(), "use of %s after it was returned to its pool at %s",
+				key, p.pass.Fset.Position(pos))
+		}
+		return false // don't re-report the selector's base
+	})
+}
+
+// markFrees records Put/FreeTwin calls contained in stmt.
+func (p *poolScan) markFrees(stmt ast.Stmt, st *poolState) {
+	ast.Inspect(stmt, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var arg ast.Expr
+		switch {
+		case isPoolMethod(p.pass.TypesInfo, call, "Put") && len(call.Args) == 1:
+			arg = call.Args[0]
+		case isNamedFunc(p.pass.TypesInfo, call, "FreeTwin") && len(call.Args) == 1:
+			arg = call.Args[0]
+		default:
+			return true
+		}
+		if key := exprKey(arg); key != "" {
+			st.freed[key] = call.Pos()
+			delete(st.pooled, key)
+		}
+		return true
+	})
+}
+
+// pooledSource reports whether rhs yields a pooled object: a sync.Pool
+// Get call (possibly type-asserted), a page.NewTwin call, or an alias of
+// an expression already known to be pooled.
+func pooledSource(pass *analysis.Pass, rhs ast.Expr, st *poolState) (token.Pos, bool) {
+	e := rhs
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if isPoolMethod(pass.TypesInfo, call, "Get") {
+			return call.Pos(), true
+		}
+		return token.NoPos, false
+	}
+	if key := exprKey(e); key != "" {
+		if pos, ok := st.pooled[key]; ok {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// isPoolMethod reports whether call invokes sync.Pool's method name.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isNamedFunc reports whether call's callee is a function with the given
+// name (in any package — the page free list and fixture stand-ins alike).
+func isNamedFunc(info *types.Info, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	if id.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	return ok && fn.Name() == name
+}

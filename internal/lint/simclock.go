@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lrcdsm/internal/lint/analysis"
+)
+
+// SimClock flags wall-clock and global-randomness use inside simulation
+// packages. The simulator's clock is virtual (sim.Time); reading the host
+// clock or drawing from math/rand's unseeded global source inside the
+// simulation makes runs irreproducible. Timing real executions (progress
+// reporting, benchmarks) belongs in cmd/ or _test.go files, and randomness
+// belongs to explicitly seeded generators (the apps use seeded splitmix
+// constants for exactly this reason).
+var SimClock = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "flags wall-clock time and unseeded randomness in simulation packages",
+	Run:  runSimClock,
+}
+
+// wallClockFuncs are the package time functions that observe or depend on
+// the host's real clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand constructors that take an explicit
+// source or seed; everything else at package level draws from the global
+// (unseeded, shared) source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runSimClock(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. Time.Sub) are not global state
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host clock; simulation code must use virtual time (sim.Time)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the unseeded global source; use an explicitly seeded generator", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

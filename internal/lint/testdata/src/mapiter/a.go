@@ -1,0 +1,66 @@
+// Fixture for the mapiter analyzer: map ranges whose body observes
+// iteration order are flagged; the collect-then-sort idiom and non-map
+// ranges are not.
+package mapiter
+
+import "sort"
+
+func badSum(m map[int]string) int {
+	total := 0
+	for k := range m { // want "range over map m has nondeterministic iteration order"
+		total += k
+	}
+	return total
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k, v := range m { // want "nondeterministic iteration order"
+		if v > 0 {
+			ch <- k
+		}
+	}
+}
+
+func badFirst(m map[int]int) (int, bool) {
+	for k := range m { // want "nondeterministic iteration order"
+		return k, true
+	}
+	return 0, false
+}
+
+func goodCollectKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func goodCollectBoth(m map[string]int) ([]string, []int) {
+	var keys []string
+	var vals []int
+	for k, v := range m {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	sort.Strings(keys)
+	sort.Ints(vals)
+	return keys, vals
+}
+
+func goodSlice(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func goodAnnotated(m map[int]int) int {
+	n := 0
+	for range m { //dsmlint:ignore mapiter commutative count; order unobservable
+		n++
+	}
+	return n
+}

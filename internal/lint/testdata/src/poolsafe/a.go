@@ -1,0 +1,98 @@
+// Fixture for the poolsafe analyzer: use-after-Put, double-free,
+// writes through freed objects, and pooled buffers escaping via return
+// are flagged; the defer-Put idiom, branch-local frees, and explicit
+// reassignment are not.
+package poolsafe
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 64) }}
+
+type scratch struct{ n int }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// FreeTwin stands in for the page package's free-list release function;
+// poolsafe recognizes it by name.
+func FreeTwin(b []byte) {
+	bufPool.Put(b)
+}
+
+func badUseAfterPut() byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return b[0] // want "use of b after it was returned to its pool"
+}
+
+func badDoubleFree() {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	bufPool.Put(b) // want "use of b after it was returned to its pool"
+}
+
+func badUseAfterFreeTwin() byte {
+	b := bufPool.Get().([]byte)
+	FreeTwin(b)
+	return b[0] // want "use of b after it was returned to its pool"
+}
+
+func badFieldWrite() {
+	sc := scratchPool.Get().(*scratch)
+	scratchPool.Put(sc)
+	sc.n = 1 // want "write to sc.n after sc was returned to its pool"
+}
+
+func badEscape() []byte {
+	b := bufPool.Get().([]byte)
+	return b // want "pooled object b escapes via return value"
+}
+
+func badAliasEscape() []byte {
+	b := bufPool.Get().([]byte)
+	c := b
+	return c // want "pooled object c escapes via return value"
+}
+
+func badDeferEscape() []byte {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	return b // want "pooled object b escapes via return value"
+}
+
+func goodLocalUse() byte {
+	b := bufPool.Get().([]byte)
+	b[0] = 1
+	x := b[0]
+	bufPool.Put(b)
+	return x
+}
+
+func goodDeferPut() byte {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	b[0] = 2
+	return b[0]
+}
+
+func goodBranchLocalFree(cond bool) byte {
+	b := bufPool.Get().([]byte)
+	if cond {
+		bufPool.Put(b)
+		return 0
+	}
+	x := b[0]
+	bufPool.Put(b)
+	return x
+}
+
+func goodReassign() byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	b = make([]byte, 8)
+	return b[0]
+}
+
+func goodAnnotatedTransfer() []byte {
+	b := bufPool.Get().([]byte)
+	return b //dsmlint:ignore poolsafe ownership transfers to the caller
+}

@@ -1,0 +1,49 @@
+// Fixture for the simclock analyzer: wall-clock reads and the unseeded
+// global rand source are flagged inside simulation code; pure time
+// arithmetic, methods, and explicitly seeded generators are not.
+package simclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	t := time.Now() // want "time.Now reads the host clock"
+	return t.UnixNano()
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func badSince(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the host clock"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the unseeded global source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle draws from the unseeded global source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func goodSeeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func goodDurationMath(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+func goodTimeMethods(t time.Time) time.Duration {
+	return t.Sub(time.Unix(0, 0))
+}
+
+func goodAnnotated() int64 {
+	return time.Now().UnixNano() //dsmlint:ignore simclock fixture demonstrating suppression
+}

@@ -70,7 +70,7 @@ func twinPool(size int) *sync.Pool {
 func NewTwin(data []byte) Buf {
 	b := twinPool(len(data)).Get().([]byte)
 	copy(b, data)
-	return b
+	return b //dsmlint:ignore poolsafe ownership transfers to the caller until FreeTwin
 }
 
 // FreeTwin recycles a twin obtained from NewTwin. The buffer must not be
