@@ -1,10 +1,11 @@
 # Development targets. `make verify` runs everything CI runs: build, vet,
-# the project's own dsmlint analyzers, the race-enabled test suite, and an
-# invariant-checked simulation smoke test.
+# the project's own dsmlint analyzers, the race-enabled test suite, an
+# invariant-checked simulation smoke test, and the live-runtime cluster
+# tests (in-proc under the race detector, plus a TCP loopback smoke run).
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke verify
+.PHONY: build vet lint test race check-smoke live bench-live verify
 
 build:
 	$(GO) build ./...
@@ -25,4 +26,22 @@ check-smoke:
 	$(GO) run ./cmd/dsmsim -app water -protocol LH -procs 4 -scale test -check
 	$(GO) run ./cmd/dsmsim -app tsp -protocol EI -procs 4 -scale test -check
 
-verify: build vet lint race check-smoke
+# live: the live DSM runtime's gate — all four apps on a 4-node in-proc
+# cluster under -race (result regions checked against a 1-node
+# reference), then a 2-node jacobi over real TCP loopback sockets.
+live:
+	$(GO) test -race -count=1 -timeout 300s ./internal/live/...
+	$(GO) run ./cmd/dsmd -app jacobi -nodes 2 -transport tcp -scale test -check -timeout 60s
+
+# bench-live regenerates BENCH_live.json: one JSON object per line, one
+# line per app × protocol on a 4-node in-proc cluster at bench scale.
+bench-live:
+	@rm -f BENCH_live.json
+	@for app in jacobi tsp water cholesky; do \
+		for prot in LH LI; do \
+			$(GO) run ./cmd/dsmd -app $$app -protocol $$prot -nodes 4 -scale bench -json >> BENCH_live.json || exit 1; \
+		done; \
+	done
+	@wc -l BENCH_live.json
+
+verify: build vet lint race check-smoke live

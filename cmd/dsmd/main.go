@@ -1,0 +1,158 @@
+// Command dsmd runs one DSM application on the live runtime: an N-node
+// cluster of goroutine-backed LRC protocol engines connected by an
+// in-process or TCP-loopback transport, executing the same workloads as
+// the simulator (cmd/dsmsim) with real concurrency.
+//
+// Usage:
+//
+//	dsmd -app jacobi -nodes 4 -protocol LH -transport inproc -scale test
+//	dsmd -app water -nodes 2 -transport tcp -json
+//
+// With -json, one JSON object describing the run — configuration,
+// elapsed time, per-node and total protocol counters — is printed to
+// stdout (one object per run, suitable for appending to a JSON-lines
+// file). With -check, the result regions are compared against a 1-node
+// reference run of the live engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lrcdsm/internal/check"
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/live"
+	"lrcdsm/internal/live/transport"
+)
+
+// runReport is the -json output schema: one object per run.
+type runReport struct {
+	App       string      `json:"app"`
+	Scale     string      `json:"scale"`
+	Transport string      `json:"transport"`
+	Stats     *live.Stats `json:"stats"`
+}
+
+func main() {
+	var (
+		appName   = flag.String("app", "jacobi", "workload: jacobi, tsp, water, cholesky")
+		protocol  = flag.String("protocol", "LH", "live protocol: LH (hybrid update) or LI (invalidate)")
+		nodes     = flag.Int("nodes", 4, "cluster size (one goroutine-backed node per processor)")
+		trans     = flag.String("transport", "inproc", "transport: inproc, tcp (loopback sockets)")
+		scaleName = flag.String("scale", "test", "problem scale: paper, bench, test")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-wait RPC timeout")
+		jsonOut   = flag.Bool("json", false, "print the run report as one JSON object")
+		checkRun  = flag.Bool("check", false, "compare result regions against a 1-node live reference run")
+	)
+	flag.Parse()
+
+	prot, err := core.ParseProtocol(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := harness.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cluster, stats, err := runLive(*appName, scale, prot, *nodes, *trans, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *checkRun && *nodes > 1 {
+		ref, _, err := runLive(*appName, scale, prot, 1, "inproc", *timeout)
+		if err != nil {
+			fatal(fmt.Errorf("reference run: %w", err))
+		}
+		app, err := harness.NewApp(*appName, scale)
+		if err != nil {
+			fatal(err)
+		}
+		if ra, ok := app.(harness.ResultApp); ok {
+			if vs := check.CompareRegions(cluster, ref, ra.ResultRegions()); len(vs) > 0 {
+				for _, v := range vs {
+					fmt.Fprintf(os.Stderr, "region mismatch: %s\n", v.String())
+				}
+				fatal(fmt.Errorf("%d result-region mismatch(es) against 1-node reference", len(vs)))
+			}
+			fmt.Fprintf(os.Stderr, "check: result regions match 1-node reference\n")
+		}
+	}
+
+	if *jsonOut {
+		rep := runReport{App: *appName, Scale: *scaleName, Transport: *trans, Stats: stats}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(*appName, *trans, stats)
+}
+
+// runLive executes one workload on a fresh live cluster and verifies its
+// result.
+func runLive(appName string, scale harness.Scale, prot core.Protocol, nodes int, trans string, timeout time.Duration) (*live.Cluster, *live.Stats, error) {
+	app, err := harness.NewApp(appName, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	var trs []transport.Transport
+	switch trans {
+	case "inproc":
+	case "tcp":
+		trs, err = transport.NewTCPLoopback(nodes, transport.TCPOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown transport %q (want inproc or tcp)", trans)
+	}
+	cluster, err := live.New(live.Config{
+		Nodes:      nodes,
+		Protocol:   prot,
+		Transports: trs,
+		RPCTimeout: timeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	app.Configure(cluster)
+	stats, err := cluster.Run(func(w core.Worker) { app.Worker(w) })
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s/%v/%dn: %w", appName, prot, nodes, err)
+	}
+	if err := app.Verify(cluster); err != nil {
+		return nil, nil, fmt.Errorf("%s/%v/%dn failed verification: %w", appName, prot, nodes, err)
+	}
+	return cluster, stats, nil
+}
+
+func printReport(appName, trans string, st *live.Stats) {
+	fmt.Printf("%s on %d live nodes (%s, %s): %.1f ms\n",
+		appName, st.Nodes, st.Protocol, trans, float64(st.ElapsedNs)/1e6)
+	fmt.Printf("  msgs %d (%.1f KB), data %.1f KB, faults %d, fetches %d, pulls %d\n",
+		st.Total.MsgsSent, float64(st.Total.BytesSent)/1024,
+		float64(st.Total.DataBytes)/1024,
+		st.Total.PageFaults, st.Total.PageFetches, st.Total.DiffPulls)
+	fmt.Printf("  intervals %d, diffs created %d / applied %d (%.1f KB), invalidations %d\n",
+		st.Total.Intervals, st.Total.DiffsCreated, st.Total.DiffsApplied,
+		float64(st.Total.DiffBytes)/1024, st.Total.Invalidations)
+	fmt.Printf("  locks %d (wait %.1f ms), barriers %d (wait %.1f ms)\n",
+		st.Total.LockAcquires, float64(st.Total.LockWaitNs)/1e6,
+		st.Total.BarrierEpisodes, float64(st.Total.BarrierWaitNs)/1e6)
+	for _, ns := range st.PerNode {
+		fmt.Printf("  node %d: sent %d msgs, faults %d, intervals %d\n",
+			ns.Node, ns.MsgsSent, ns.PageFaults, ns.Intervals)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmd:", err)
+	os.Exit(1)
+}

@@ -125,7 +125,7 @@ func runTraced(spec harness.Spec, n int, perProc bool) {
 		fatal(err)
 	}
 	app.Configure(sys)
-	stats, err := sys.Run(app.Worker)
+	stats, err := sys.Run(func(p *core.Proc) { app.Worker(p) })
 	if err != nil {
 		fatal(err)
 	}

@@ -83,7 +83,7 @@ func (a *App) nmodInit() []int64 {
 
 // Configure allocates and initializes the shared factor, dependency counts
 // and task queue.
-func (a *App) Configure(s *core.System) {
+func (a *App) Configure(s core.Mem) {
 	n := a.a.N
 	a.valsA = s.AllocPage(a.sym.NNZ() * 8)
 	// scatter A into the factor structure
@@ -115,7 +115,7 @@ func (a *App) Configure(s *core.System) {
 func (a *App) valAddr(off int32) core.Addr { return a.valsA + core.Addr(8*off) }
 
 // Worker factorizes columns from the shared task queue.
-func (a *App) Worker(p *core.Proc) {
+func (a *App) Worker(p core.Worker) {
 	n := int64(a.a.N)
 	for {
 		// Dequeue a ready column (or observe completion).
@@ -161,7 +161,7 @@ func (a *App) Worker(p *core.Proc) {
 
 // cdiv performs the column division on shared memory. The column is
 // complete (all updates applied), and this worker exclusively owns it.
-func (a *App) cdiv(p *core.Proc, k int32) {
+func (a *App) cdiv(p core.Worker, k int32) {
 	p.Lock(a.colLock + int(k))
 	base := a.sym.Colptr[k]
 	d := math.Sqrt(p.ReadF64(a.valAddr(base)))
@@ -175,7 +175,7 @@ func (a *App) cdiv(p *core.Proc, k int32) {
 
 // cmod applies completed column k's update to column j. Caller holds
 // column j's lock; column k is immutable after its cdiv.
-func (a *App) cmod(p *core.Proc, j, k int32) {
+func (a *App) cmod(p core.Worker, j, k int32) {
 	var start int32 = -1
 	for q := a.sym.Colptr[k]; q < a.sym.Colptr[k+1]; q++ {
 		if a.sym.Rowidx[q] == j {
@@ -206,7 +206,7 @@ func (a *App) ResultRegions() []core.ResultRegion {
 
 // Verify compares the shared factor against the sequential reference
 // within a tolerance (parallel update order differs in rounding).
-func (a *App) Verify(s *core.System) error {
+func (a *App) Verify(s core.Peeker) error {
 	want := spd.Factor(a.a, a.sym)
 	const tol = 1e-9
 	for i, w := range want {

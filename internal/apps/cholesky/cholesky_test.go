@@ -24,7 +24,7 @@ func runChol(t *testing.T, prot core.Protocol, procs int, p Params) *core.RunSta
 	}
 	app := New(p)
 	app.Configure(s)
-	st, err := s.Run(app.Worker)
+	st, err := s.Run(func(p *core.Proc) { app.Worker(p) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestReadCoherence(t *testing.T) {
 			}
 			app := New(Params{Grid: 6, FlopCycles: 4, SpinCycles: 200})
 			app.Configure(s)
-			if _, err := s.Run(app.Worker); err != nil {
+			if _, err := s.Run(func(p *core.Proc) { app.Worker(p) }); err != nil {
 				t.Fatal(err)
 			}
 			if err := app.Verify(s); err != nil {

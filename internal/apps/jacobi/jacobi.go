@@ -42,7 +42,7 @@ func (j *App) Name() string { return "jacobi" }
 
 // Configure allocates and initializes the two grids: the top edge is held
 // at 1.0, everything else starts at 0.
-func (j *App) Configure(s *core.System) {
+func (j *App) Configure(s core.Mem) {
 	n := j.p.N
 	j.src = s.AllocPage(n * n * 8)
 	j.dst = s.AllocPage(n * n * 8)
@@ -62,7 +62,7 @@ func (j *App) band(id, procs int) (int, int) {
 }
 
 // Worker runs the relaxation on one processor.
-func (j *App) Worker(p *core.Proc) {
+func (j *App) Worker(p core.Worker) {
 	n := j.p.N
 	lo, hi := j.band(p.ID(), p.N())
 	src, dst := j.src, j.dst
@@ -99,7 +99,7 @@ func (j *App) ResultRegions() []core.ResultRegion {
 // Verify recomputes the relaxation sequentially and compares the final
 // grid bit for bit (the parallel computation reads only barrier-ordered
 // values, so results must be identical).
-func (j *App) Verify(s *core.System) error {
+func (j *App) Verify(s core.Peeker) error {
 	n := j.p.N
 	a := make([][]float64, n)
 	b := make([][]float64, n)

@@ -24,7 +24,7 @@ func runJacobi(t *testing.T, prot core.Protocol, procs int, p Params) *core.RunS
 	}
 	app := New(p)
 	app.Configure(s)
-	st, err := s.Run(app.Worker)
+	st, err := s.Run(func(p *core.Proc) { app.Worker(p) })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -165,7 +165,7 @@ func (a *App) Name() string { return "tsp" }
 
 // Configure allocates the shared distance matrix, task array, task cursor
 // and global minimum.
-func (a *App) Configure(s *core.System) {
+func (a *App) Configure(s core.Mem) {
 	n := a.p.Cities
 	// Shared read-only copy of the distance matrix.
 	distA := s.AllocPage(n * n * 8)
@@ -186,7 +186,7 @@ func (a *App) Configure(s *core.System) {
 	s.InitI64(a.minA, a.greedyBound+1) // nearest-neighbor initial bound
 	a.queueLock = s.NewLock()
 	a.minLock = s.NewLock()
-	a.NodesVisited = make([]int64, s.Config().Procs)
+	a.NodesVisited = make([]int64, s.Procs())
 }
 
 // prefixLen returns the path length of a partial tour.
@@ -212,7 +212,7 @@ func (a *App) lowerBound(curLen int64, visited uint32) int64 {
 }
 
 // Worker runs the branch-and-bound search on one processor.
-func (a *App) Worker(p *core.Proc) {
+func (a *App) Worker(p core.Worker) {
 	n := a.p.Cities
 	nTasks := int64(len(a.tasks))
 	for {
@@ -257,7 +257,7 @@ func (a *App) Worker(p *core.Proc) {
 
 // search explores the subtree below a partial tour. The global bound is
 // read unsynchronized at every node; updates re-check under the lock.
-func (a *App) search(p *core.Proc, path []int8, depth int, visited uint32, curLen int64) {
+func (a *App) search(p core.Worker, path []int8, depth int, visited uint32, curLen int64) {
 	a.NodesVisited[p.ID()]++
 	p.Compute(a.p.NodeCycles)
 	n := a.p.Cities
@@ -326,7 +326,7 @@ func (a *App) ResultRegions() []core.ResultRegion {
 	return []core.ResultRegion{{Name: "min", Base: a.minA, Words: 1}}
 }
 
-func (a *App) Verify(s *core.System) error {
+func (a *App) Verify(s core.Peeker) error {
 	want := a.SequentialBest()
 	got := s.PeekI64(a.minA)
 	if got != want {

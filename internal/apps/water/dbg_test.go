@@ -21,7 +21,7 @@ func TestReadCoherence(t *testing.T) {
 			}
 			app := New(Small())
 			app.Configure(s)
-			if _, err := s.Run(app.Worker); err != nil {
+			if _, err := s.Run(func(p *core.Proc) { app.Worker(p) }); err != nil {
 				t.Fatal(err)
 			}
 		})

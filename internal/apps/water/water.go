@@ -81,7 +81,7 @@ func (a *App) Name() string { return "water" }
 func (a *App) addr(i, w int) core.Addr { return a.mol + core.Addr(8*(i*molWords+w)) }
 
 // Configure allocates the packed molecule array and per-molecule locks.
-func (a *App) Configure(s *core.System) {
+func (a *App) Configure(s core.Mem) {
 	a.mol = s.AllocPage(a.p.Molecules * molWords * 8)
 	for i := 0; i < a.p.Molecules; i++ {
 		for d := 0; d < 3; d++ {
@@ -106,7 +106,7 @@ func pairForce(dx, dy, dz, d2, cutoff2 float64) (fx, fy, fz float64) {
 }
 
 // Worker runs the simulation on one processor.
-func (a *App) Worker(p *core.Proc) {
+func (a *App) Worker(p core.Worker) {
 	lo, hi := a.block(p.ID(), p.N())
 	n := a.p.Molecules
 	cutoff2 := a.p.Cutoff * a.p.Cutoff
@@ -223,7 +223,7 @@ func (a *App) ResultRegions() []core.ResultRegion {
 }
 
 // Verify compares the final shared state with the sequential reference.
-func (a *App) Verify(s *core.System) error {
+func (a *App) Verify(s core.Peeker) error {
 	pos, vel, deriv := a.Reference()
 	const tol = 1e-9
 	closeEnough := func(x, y float64) bool {

@@ -386,8 +386,10 @@ func (c *Checker) BarrierDeparted(proc int, episode int64, vt vc.VC) {
 // reference run (normally 1 processor, whose execution is sequential):
 // words must match exactly, except Float regions, which may differ by
 // FloatTol relative error to allow for summation-order differences.
-// Violations are reported per word, capped at 10 per region.
-func CompareRegions(got, want *core.System, regions []core.ResultRegion) []Violation {
+// Violations are reported per word, capped at 10 per region. Both engines
+// (core.System and live.Cluster) satisfy core.Peeker, so live runs can be
+// validated against simulated or 1-node live references.
+func CompareRegions(got, want core.Peeker, regions []core.ResultRegion) []Violation {
 	var out []Violation
 	for _, r := range regions {
 		mismatches := 0

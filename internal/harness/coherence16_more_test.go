@@ -36,7 +36,7 @@ func TestAllProtocolsCoherence16(t *testing.T) {
 					t.Fatal(err)
 				}
 				a.Configure(sys)
-				if _, err := sys.Run(a.Worker); err != nil {
+				if _, err := sys.Run(func(p *core.Proc) { a.Worker(p) }); err != nil {
 					t.Fatal(err)
 				}
 				if err := a.Verify(sys); err != nil {

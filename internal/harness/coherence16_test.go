@@ -27,7 +27,7 @@ func TestEIWaterCoherence16(t *testing.T) {
 		t.Fatal(err)
 	}
 	app.Configure(sys)
-	if _, err := sys.Run(app.Worker); err != nil {
+	if _, err := sys.Run(func(p *core.Proc) { app.Worker(p) }); err != nil {
 		t.Fatal(err)
 	}
 	if err := app.Verify(sys); err != nil {

@@ -20,12 +20,15 @@ import (
 	"lrcdsm/internal/network"
 )
 
-// App is the interface every workload implements.
+// App is the interface every workload implements. Workloads are written
+// against the engine-neutral core.Mem/core.Worker/core.Peeker interfaces,
+// so the same App runs on the deterministic simulator (this harness) and
+// on the live runtime (internal/live).
 type App interface {
 	Name() string
-	Configure(s *core.System)
-	Worker(p *core.Proc)
-	Verify(s *core.System) error
+	Configure(s core.Mem)
+	Worker(p core.Worker)
+	Verify(s core.Peeker) error
 }
 
 // ResultApp is implemented by workloads that declare schedule-independent
@@ -191,7 +194,7 @@ func runSpec(spec Spec, obs core.Observer) (*Result, *core.System, App, error) {
 		return nil, nil, nil, err
 	}
 	app.Configure(sys)
-	stats, err := sys.Run(app.Worker)
+	stats, err := sys.Run(func(p *core.Proc) { app.Worker(p) })
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("harness: %s/%v/%dp: %w", spec.App, spec.Protocol, spec.Procs, err)
 	}

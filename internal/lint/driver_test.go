@@ -30,6 +30,27 @@ func TestAnalyzersForScoping(t *testing.T) {
 		t.Errorf("cmd/experiments: poolsafe should apply everywhere")
 	}
 
+	// The live runtime uses real time and real concurrency; the
+	// determinism analyzers must not fire there.
+	for _, pkg := range []string{
+		"lrcdsm/internal/live",
+		"lrcdsm/internal/live/node",
+		"lrcdsm/internal/live/transport",
+		"lrcdsm/internal/live/wire",
+		"lrcdsm/cmd/dsmd",
+	} {
+		got := names(pkg)
+		if got["mapiter"] || got["simclock"] {
+			t.Errorf("%s: determinism analyzers should not apply, got %v", pkg, got)
+		}
+		if !got["poolsafe"] {
+			t.Errorf("%s: poolsafe should still apply", pkg)
+		}
+		if lint.InDeterminismScope(pkg) {
+			t.Errorf("%s should be outside determinism scope", pkg)
+		}
+	}
+
 	if !lint.InDeterminismScope("lrcdsm/internal/sim") {
 		t.Errorf("internal/sim should be in determinism scope")
 	}

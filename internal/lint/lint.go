@@ -27,7 +27,10 @@ var All = []*analysis.Analyzer{MapIter, SimClock, PoolSafe}
 // DeterminismPkgs are the import paths (and their subpackages) whose code
 // runs inside — or drives — the deterministic simulation. The determinism
 // analyzers (mapiter, simclock) apply only here; poolsafe applies
-// everywhere.
+// everywhere. The live runtime (lrcdsm/internal/live and its
+// subpackages) is deliberately NOT listed: it runs real goroutines over
+// real transports, where wall-clock time and schedule-dependent map
+// iteration are legitimate.
 var DeterminismPkgs = []string{
 	"lrcdsm/internal/sim",
 	"lrcdsm/internal/core",

@@ -1,0 +1,162 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lrcdsm/internal/check"
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/live/transport"
+)
+
+// runApp executes one workload on a live cluster and verifies its
+// result, returning the finished cluster for memory comparison.
+func runApp(t *testing.T, name string, prot core.Protocol, nodes int, trs []transport.Transport) (*Cluster, *Stats) {
+	t.Helper()
+	app, err := harness.NewApp(name, harness.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Nodes:      nodes,
+		Protocol:   prot,
+		Transports: trs,
+		RPCTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Configure(c)
+	stats, err := c.Run(func(w core.Worker) { app.Worker(w) })
+	if err != nil {
+		t.Fatalf("%s/%v/%dn: %v", name, prot, nodes, err)
+	}
+	if err := app.Verify(c); err != nil {
+		t.Fatalf("%s/%v/%dn failed verification: %v", name, prot, nodes, err)
+	}
+	return c, stats
+}
+
+// TestAppsOnInprocCluster is the live runtime's end-to-end correctness
+// test: all four paper workloads on a 4-node in-process cluster under
+// both supported protocols, with the declared result regions compared
+// word-for-word (floats within tolerance) against a 1-node reference
+// run of the same live engine.
+func TestAppsOnInprocCluster(t *testing.T) {
+	for _, name := range harness.AppNames {
+		for _, prot := range []core.Protocol{core.LI, core.LH} {
+			name, prot := name, prot
+			t.Run(fmt.Sprintf("%s/%v", name, prot), func(t *testing.T) {
+				t.Parallel()
+				got, _ := runApp(t, name, prot, 4, nil)
+				ref, _ := runApp(t, name, prot, 1, nil)
+
+				app, err := harness.NewApp(name, harness.ScaleTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ra, ok := app.(harness.ResultApp)
+				if !ok {
+					t.Fatalf("%s does not declare result regions", name)
+				}
+				if vs := check.CompareRegions(got, ref, ra.ResultRegions()); len(vs) > 0 {
+					for i, v := range vs {
+						if i >= 5 {
+							t.Errorf("... and %d more", len(vs)-5)
+							break
+						}
+						t.Errorf("region mismatch: %s", v.String())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolCounters checks that the protocol actually exercised its
+// machinery: LI invalidates, LH pulls diffs, and both move diffs to the
+// homes at releases.
+func TestProtocolCounters(t *testing.T) {
+	_, li := runApp(t, "jacobi", core.LI, 4, nil)
+	if li.Total.Invalidations == 0 {
+		t.Error("LI run performed no invalidations")
+	}
+	if li.Total.PageFaults == 0 || li.Total.PageFetches == 0 {
+		t.Errorf("LI run: faults=%d fetches=%d, want > 0", li.Total.PageFaults, li.Total.PageFetches)
+	}
+	if li.Total.DiffsCreated == 0 || li.Total.DiffsApplied == 0 {
+		t.Errorf("LI run: diffs created=%d applied=%d, want > 0", li.Total.DiffsCreated, li.Total.DiffsApplied)
+	}
+	if li.Total.BarrierEpisodes == 0 {
+		t.Error("LI jacobi crossed no barriers")
+	}
+
+	_, lh := runApp(t, "jacobi", core.LH, 4, nil)
+	if lh.Total.DiffPulls == 0 {
+		t.Error("LH run pulled no diffs")
+	}
+	if lh.Total.Invalidations >= li.Total.Invalidations {
+		t.Errorf("LH invalidations (%d) should be fewer than LI (%d)",
+			lh.Total.Invalidations, li.Total.Invalidations)
+	}
+
+	_, tsp := runApp(t, "tsp", core.LH, 4, nil)
+	if tsp.Total.LockAcquires == 0 {
+		t.Error("TSP acquired no locks")
+	}
+}
+
+// TestWorkerPanicSurfaces checks that an application panic on one node
+// aborts the whole run with an error instead of deadlocking the others.
+func TestWorkerPanicSurfaces(t *testing.T) {
+	c, err := New(Config{Nodes: 2, RPCTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Alloc(64)
+	bar := c.NewBarrier()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(func(w core.Worker) {
+			if w.ID() == 1 {
+				panic("application bug")
+			}
+			w.WriteU64(a, 1)
+			w.Barrier(bar)
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with panicking worker returned nil error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run with panicking worker hung")
+	}
+}
+
+// TestConfigValidation covers the constructor's rejection paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Error("Nodes=0 accepted")
+	}
+	if _, err := New(Config{Nodes: 2, PageSize: 100}); err == nil {
+		t.Error("non-power-of-two page size accepted")
+	}
+	if _, err := New(Config{Nodes: 2, Protocol: core.EI}); err == nil {
+		t.Error("eager protocol accepted by live runtime")
+	}
+	if _, err := New(Config{Nodes: 2, Transports: make([]transport.Transport, 3)}); err == nil {
+		t.Error("mismatched transport count accepted")
+	}
+	c, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(func(core.Worker) {}); err == nil {
+		t.Error("run without allocations accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package node
+
+import (
+	"fmt"
+
+	"lrcdsm/internal/live/wire"
+	"lrcdsm/internal/vc"
+)
+
+// manager is the centralized synchronization service colocated with
+// node 0. It serializes lock grants, collects barrier arrivals, and
+// keeps the global interval log: every closed interval is reported
+// exactly once (on the lock release or barrier arrival that ends it), so
+// the manager can compute, for any grant, the write notices between the
+// acquirer's vector time and the grant's vector time.
+//
+// All manager state is owned by node 0's dispatcher goroutine; no
+// locking is needed.
+type manager struct {
+	n  *Node
+	nn int
+
+	locks  []mlock
+	lockVT []vc.VC // vector time of each lock's last release
+	bars   []mbar
+
+	episode int64
+
+	// log[w] holds writer w's intervals in index order (index i at
+	// position i-1). Per-writer indices are contiguous because a node
+	// ticks its clock only when closing a non-empty interval, and
+	// reports it with the same message.
+	log [][]ivalRec
+}
+
+type ivalRec struct {
+	pages []int32
+}
+
+type mlock struct {
+	held    bool
+	holder  int32
+	waiters []waiter
+}
+
+type waiter struct {
+	from  int32
+	token int64
+	vt    []int32
+}
+
+type mbar struct {
+	arrivals []waiter
+}
+
+func newManager(n *Node) *manager {
+	return &manager{
+		n:      n,
+		nn:     n.nn,
+		locks:  make([]mlock, n.cfg.NLocks),
+		lockVT: make([]vc.VC, n.cfg.NLocks),
+		bars:   make([]mbar, n.cfg.NBars),
+		log:    make([][]ivalRec, n.nn),
+	}
+}
+
+func (g *manager) handle(m *wire.Msg) {
+	switch m.Kind {
+	case wire.KLockReq:
+		g.lockReq(m)
+	case wire.KLockRelease:
+		g.lockRelease(m)
+	case wire.KBarArrive:
+		g.barArrive(m)
+	}
+}
+
+// recordInterval appends a reported interval to the global log, checking
+// the per-writer contiguity invariant the notice computation relies on.
+func (g *manager) recordInterval(iv *wire.Interval) {
+	if iv == nil {
+		return
+	}
+	w := int(iv.Writer)
+	if want := int32(len(g.log[w]) + 1); iv.Index != want {
+		g.n.fail(fmt.Errorf("manager: writer %d reported interval %d, want %d", w, iv.Index, want))
+		return
+	}
+	g.log[w] = append(g.log[w], ivalRec{pages: iv.Pages})
+}
+
+// noticesBetween returns the write notices of every interval covered by
+// to but not by from: exactly what an acquirer joining `to` is missing.
+func (g *manager) noticesBetween(from, to []int32) []wire.Notice {
+	var out []wire.Notice
+	for w := 0; w < g.nn; w++ {
+		var lo, hi int32
+		if w < len(from) {
+			lo = from[w]
+		}
+		if w < len(to) {
+			hi = to[w]
+		}
+		for idx := lo + 1; idx <= hi; idx++ {
+			out = append(out, wire.Notice{Writer: int32(w), Index: idx, Pages: g.log[w][idx-1].pages})
+		}
+	}
+	return out
+}
+
+func (g *manager) lockReq(m *wire.Msg) {
+	lk := &g.locks[m.Lock]
+	if lk.held {
+		lk.waiters = append(lk.waiters, waiter{from: m.From, token: m.Token, vt: m.VT})
+		return
+	}
+	lk.held = true
+	lk.holder = m.From
+	g.grant(int(m.Lock), m.From, m.Token, m.VT)
+}
+
+func (g *manager) lockRelease(m *wire.Msg) {
+	g.recordInterval(m.Interval)
+	lk := &g.locks[m.Lock]
+	if !lk.held || lk.holder != m.From {
+		g.n.fail(fmt.Errorf("manager: release of lock %d by %d, held=%v holder=%d", m.Lock, m.From, lk.held, lk.holder))
+		return
+	}
+	g.lockVT[m.Lock] = vc.VC(m.VT).Clone()
+	lk.held = false
+	if len(lk.waiters) == 0 {
+		return
+	}
+	w := lk.waiters[0]
+	lk.waiters = lk.waiters[1:]
+	lk.held = true
+	lk.holder = w.from
+	g.grant(int(m.Lock), w.from, w.token, w.vt)
+}
+
+// grant hands a lock to an acquirer: the grant carries the lock's
+// release-time vector time and the write notices between the acquirer's
+// time and it.
+func (g *manager) grant(lock int, to int32, token int64, reqVT []int32) {
+	gvt := g.lockVT[lock]
+	if gvt == nil {
+		gvt = vc.New(g.nn)
+	}
+	reply := &wire.Msg{
+		Kind:    wire.KLockGrant,
+		Token:   token,
+		Lock:    int32(lock),
+		VT:      gvt.Clone(),
+		Notices: g.noticesBetween(reqVT, gvt),
+	}
+	g.n.send(int(to), reply)
+}
+
+func (g *manager) barArrive(m *wire.Msg) {
+	g.recordInterval(m.Interval)
+	b := &g.bars[m.Barrier]
+	b.arrivals = append(b.arrivals, waiter{from: m.From, token: m.Token, vt: m.VT})
+	if len(b.arrivals) < g.nn {
+		return
+	}
+	g.episode++
+	merged := vc.New(g.nn)
+	for _, a := range b.arrivals {
+		merged.Join(a.vt)
+	}
+	for _, a := range b.arrivals {
+		reply := &wire.Msg{
+			Kind:    wire.KBarDepart,
+			Token:   a.token,
+			Barrier: m.Barrier,
+			Episode: g.episode,
+			VT:      merged.Clone(),
+			Notices: g.noticesBetween(a.vt, merged),
+		}
+		g.n.send(int(a.from), reply)
+	}
+	b.arrivals = nil
+}

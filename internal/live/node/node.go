@@ -1,0 +1,822 @@
+// Package node implements one node of the live DSM runtime: a
+// goroutine-backed lazy-release-consistency engine executing the same
+// protocol concepts the simulator models — twins, word diffs, vector
+// timestamps, write notices — over a real transport.
+//
+// The live protocol is home-based LRC. Every page has a statically
+// assigned home node. A release (lock release or barrier arrival) closes
+// the write interval: each dirtied page is diffed against its twin and
+// the diffs are flushed to the pages' homes; the release blocks until
+// every home acknowledges. Because the release does not complete until
+// the homes are current, any interval that happened-before an acquire is
+// already applied at the homes when the acquirer learns of it, so a
+// fault can always be satisfied with a full copy from the home (LI) and
+// an update pull can always be satisfied from the home's diff log (LH).
+//
+// Synchronization uses a centralized manager colocated with node 0: it
+// serializes lock grant order, collects barrier arrivals, and keeps the
+// global interval log from which it computes the write notices each
+// grant or departure must carry (the notices between the acquirer's
+// vector time and the grant's vector time).
+//
+// Each node runs three goroutine roles: the worker (application code,
+// calling the core.Worker operations), a pump draining the transport
+// (routing replies straight to waiting requesters), and a dispatcher
+// serving requests (page fetches, diff pulls, flushes, and — on node
+// 0 — the manager). Workers never hold the node mutex across a message
+// wait, and only the worker invalidates its own pages, so faults cannot
+// race an invalidation.
+package node
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/live/transport"
+	"lrcdsm/internal/live/wire"
+	"lrcdsm/internal/page"
+	"lrcdsm/internal/vc"
+)
+
+// homeLogCap bounds the per-page diff log a home keeps for LH update
+// pulls. When the log overflows, the oldest entries are pruned and a
+// puller that needs them falls back to a full page copy.
+const homeLogCap = 64
+
+// inqDepth bounds the dispatcher's request queue. Requests in flight are
+// bounded by a small multiple of the cluster size (each worker has at
+// most one fault plus one flush fan-out outstanding), so this never
+// fills in practice.
+const inqDepth = 8192
+
+// Config parameterizes one live node. All nodes of a cluster must be
+// built with identical PageSize, NPages, Homes, NLocks, NBars and
+// Protocol.
+type Config struct {
+	// PageSize is the shared page size in bytes (a power of two).
+	PageSize int
+	// NPages is the number of shared pages backing the address space.
+	NPages int
+	// Homes maps each page to its home node.
+	Homes []int32
+	// Init holds the initial contents of nonzero pages; each node
+	// installs the pages it homes.
+	Init map[page.ID][]byte
+	// NLocks and NBars size the manager's lock and barrier tables.
+	NLocks, NBars int
+	// Protocol selects the acquire-side behaviour: core.LI invalidates
+	// noticed pages, core.LH refreshes cached copies by pulling diffs
+	// from the home. Other protocols are not supported live.
+	Protocol core.Protocol
+	// Observer, when non-nil, receives protocol events.
+	Observer Observer
+	// RPCTimeout bounds every remote wait (default 30s); exceeding it
+	// fails the run instead of hanging.
+	RPCTimeout time.Duration
+}
+
+// lpage is one node's view of one shared page.
+type lpage struct {
+	data  page.Buf
+	twin  page.Buf
+	valid bool
+	// copyVT[w] is the highest interval index of writer w whose
+	// modifications to this page are incorporated in data.
+	copyVT vc.VC
+
+	// Home-side state (only on the page's home node).
+	log     []wire.Diff // recent diffs, in application order
+	logBase vc.VC       // highest interval index per writer pruned from log
+	homeVT  vc.VC       // highest interval index per writer applied here
+}
+
+// runError wraps a fatal protocol error panicking out of a worker
+// operation; the cluster recovers it at the worker goroutine boundary
+// (via the Unwrap method, keeping the type itself unexported).
+type runError struct{ err error }
+
+func (e runError) Unwrap() error { return e.err }
+
+func (e runError) String() string { return e.err.Error() }
+
+// Node is one live DSM node.
+type Node struct {
+	cfg       Config
+	id        int
+	nn        int
+	pageShift uint
+	tr        transport.Transport
+	obs       Observer
+
+	mu    sync.Mutex
+	vt    vc.VC
+	pages []lpage
+	mod   []page.ID
+
+	inq chan *wire.Msg
+
+	pmu     sync.Mutex
+	pending map[int64]chan *wire.Msg
+	nextTok int64
+
+	mgr *manager // non-nil on node 0
+
+	stats Stats
+
+	done      chan struct{}
+	closeOnce sync.Once
+	errMu     sync.Mutex
+	err       error
+	wg        sync.WaitGroup
+}
+
+// Compile-time check: a Node is a drop-in worker handle for the apps.
+var _ core.Worker = (*Node)(nil)
+
+// New builds (but does not start) a node over the given transport. The
+// transport's Self/N define the node's identity and cluster size.
+func New(tr transport.Transport, cfg Config) *Node {
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 30 * time.Second
+	}
+	n := &Node{
+		cfg:     cfg,
+		id:      tr.Self(),
+		nn:      tr.N(),
+		tr:      tr,
+		obs:     cfg.Observer,
+		vt:      vc.New(tr.N()),
+		pages:   make([]lpage, cfg.NPages),
+		inq:     make(chan *wire.Msg, inqDepth),
+		pending: make(map[int64]chan *wire.Msg),
+		done:    make(chan struct{}),
+	}
+	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
+		n.pageShift++
+	}
+	n.stats.Node = n.id
+	// Home pages are resident and valid from the start; everything else
+	// starts invalid and is fetched on first use.
+	for pg := range n.pages {
+		ps := &n.pages[pg]
+		ps.copyVT = vc.New(n.nn)
+		if int(cfg.Homes[pg]) != n.id {
+			continue
+		}
+		ps.data = page.NewBuf(cfg.PageSize)
+		if init, ok := cfg.Init[page.ID(pg)]; ok {
+			copy(ps.data, init)
+		}
+		ps.valid = true
+		ps.homeVT = vc.New(n.nn)
+		ps.logBase = vc.New(n.nn)
+	}
+	if n.id == 0 {
+		n.mgr = newManager(n)
+	}
+	return n
+}
+
+// Start launches the node's pump and dispatcher goroutines.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.pump()
+	go n.dispatch()
+}
+
+// Close shuts the node down. It does not close the transport (the
+// cluster owns it).
+func (n *Node) Close() { n.fail(nil) }
+
+// Err returns the first fatal error the node hit, if any.
+func (n *Node) Err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.err
+}
+
+// Wait blocks until the pump and dispatcher have exited (after Close and
+// the transport's Close).
+func (n *Node) Wait() { n.wg.Wait() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats { return n.stats.Snapshot() }
+
+func (n *Node) fail(err error) {
+	if err != nil {
+		n.errMu.Lock()
+		if n.err == nil {
+			n.err = err
+		}
+		n.errMu.Unlock()
+	}
+	n.closeOnce.Do(func() { close(n.done) })
+}
+
+// ---- core.Worker ----
+
+// ID implements core.Worker.
+func (n *Node) ID() int { return n.id }
+
+// N implements core.Worker.
+func (n *Node) N() int { return n.nn }
+
+// Compute implements core.Worker. Simulated computation has no live
+// analogue: the real work is the protocol itself.
+func (n *Node) Compute(int64) {}
+
+func (n *Node) locate(a core.Addr) (page.ID, int) {
+	pg := page.ID(a >> n.pageShift)
+	if int(pg) >= n.cfg.NPages {
+		panic(runError{fmt.Errorf("node %d: address %d beyond shared space", n.id, a)})
+	}
+	return pg, int(a) & (n.cfg.PageSize - 1)
+}
+
+// ReadU64 implements core.Worker.
+func (n *Node) ReadU64(a core.Addr) uint64 {
+	pg, off := n.locate(a)
+	atomic.AddInt64(&n.stats.SharedReads, 1)
+	n.mu.Lock()
+	ps := &n.pages[pg]
+	for !ps.valid {
+		n.mu.Unlock()
+		n.fault(pg)
+		n.mu.Lock()
+	}
+	v := ps.data.U64(off)
+	n.mu.Unlock()
+	return v
+}
+
+// WriteU64 implements core.Worker.
+func (n *Node) WriteU64(a core.Addr, v uint64) {
+	pg, off := n.locate(a)
+	atomic.AddInt64(&n.stats.SharedWrites, 1)
+	n.mu.Lock()
+	ps := &n.pages[pg]
+	for !ps.valid {
+		n.mu.Unlock()
+		n.fault(pg)
+		n.mu.Lock()
+	}
+	if ps.twin == nil {
+		ps.twin = page.NewTwin(ps.data)
+		n.mod = append(n.mod, pg)
+		atomic.AddInt64(&n.stats.TwinsCreated, 1)
+	}
+	ps.data.PutU64(off, v)
+	n.mu.Unlock()
+}
+
+// ReadF64 implements core.Worker.
+func (n *Node) ReadF64(a core.Addr) float64 { return math.Float64frombits(n.ReadU64(a)) }
+
+// WriteF64 implements core.Worker.
+func (n *Node) WriteF64(a core.Addr, v float64) { n.WriteU64(a, math.Float64bits(v)) }
+
+// ReadI64 implements core.Worker.
+func (n *Node) ReadI64(a core.Addr) int64 { return int64(n.ReadU64(a)) }
+
+// WriteI64 implements core.Worker.
+func (n *Node) WriteI64(a core.Addr, v int64) { n.WriteU64(a, uint64(v)) }
+
+// Lock implements core.Worker: it asks the manager for the lock and
+// applies the granted vector time and write notices.
+func (n *Node) Lock(id int) {
+	t0 := time.Now()
+	reply := n.rpc(0, &wire.Msg{Kind: wire.KLockReq, Lock: int32(id), VT: n.vtSnapshot()})
+	n.applyNotices(reply.VT, reply.Notices)
+	atomic.AddInt64(&n.stats.LockAcquires, 1)
+	atomic.AddInt64(&n.stats.LockWaitNs, time.Since(t0).Nanoseconds())
+}
+
+// Unlock implements core.Worker: it closes the write interval, flushes
+// its diffs home, and returns the lock (with the closed interval's write
+// notices) to the manager.
+func (n *Node) Unlock(id int) {
+	iv := n.closeInterval()
+	m := &wire.Msg{Kind: wire.KLockRelease, Lock: int32(id), VT: n.vtSnapshot(), Interval: iv}
+	if err := n.send(0, m); err != nil {
+		panic(runError{err})
+	}
+}
+
+// Barrier implements core.Worker: it closes the write interval, arrives
+// at the manager, and departs with the merged vector time and the write
+// notices of every other arriver.
+func (n *Node) Barrier(id int) {
+	iv := n.closeInterval()
+	t0 := time.Now()
+	reply := n.rpc(0, &wire.Msg{Kind: wire.KBarArrive, Barrier: int32(id), VT: n.vtSnapshot(), Interval: iv})
+	n.applyNotices(reply.VT, reply.Notices)
+	atomic.AddInt64(&n.stats.BarrierEpisodes, 1)
+	atomic.AddInt64(&n.stats.BarrierWaitNs, time.Since(t0).Nanoseconds())
+	if n.obs != nil {
+		n.obs.BarrierDeparted(n.id, reply.Episode)
+	}
+}
+
+// FinalFlush closes the last write interval after the worker returns, so
+// the homes hold the final memory image. The interval is not reported to
+// the manager: nothing synchronizes after it.
+func (n *Node) FinalFlush() { n.closeInterval() }
+
+// HomePage returns a copy of the committed contents of a page homed at
+// this node.
+func (n *Node) HomePage(pg page.ID) []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps := &n.pages[pg]
+	src := ps.data
+	if ps.twin != nil {
+		src = ps.twin
+	}
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+func (n *Node) vtSnapshot() []int32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vt.Clone()
+}
+
+// ---- fault handling ----
+
+// fault fetches a full copy of pg from its home and installs it,
+// rebasing any uncommitted local writes (twin present) on top.
+func (n *Node) fault(pg page.ID) {
+	home := int(n.cfg.Homes[pg])
+	if home == n.id {
+		panic(runError{fmt.Errorf("node %d: fault on home page %d", n.id, pg)})
+	}
+	atomic.AddInt64(&n.stats.PageFaults, 1)
+	if n.obs != nil {
+		n.obs.PageFault(n.id, pg)
+	}
+	t0 := time.Now()
+	reply := n.rpc(home, &wire.Msg{Kind: wire.KPageReq, Page: int32(pg)})
+	atomic.AddInt64(&n.stats.FaultWaitNs, time.Since(t0).Nanoseconds())
+	n.installPage(pg, reply.Data, reply.VT)
+	atomic.AddInt64(&n.stats.PageFetches, 1)
+}
+
+// installPage overwrites the local copy with a fresh home copy. When the
+// page has a twin — uncommitted local writes, possible under false
+// sharing — those writes are re-applied on top and the twin is reset to
+// the fresh copy, so the eventual diff carries exactly the local writes.
+func (n *Node) installPage(pg page.ID, data []byte, homeVT []int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps := &n.pages[pg]
+	if ps.data == nil {
+		ps.data = page.NewBuf(n.cfg.PageSize)
+	}
+	if ps.twin != nil {
+		own := page.MakeDiff(pg, ps.twin, ps.data)
+		copy(ps.data, data)
+		copy(ps.twin, data)
+		own.Apply(ps.data)
+	} else {
+		copy(ps.data, data)
+	}
+	ps.copyVT.Join(homeVT)
+	ps.valid = true
+}
+
+// ---- interval close and flush ----
+
+// closeInterval ends the current write interval, if any writes happened:
+// it diffs every dirtied page, flushes the diffs to the pages' homes,
+// and blocks until every home acknowledges. Returning only after the
+// acks is what makes the homes a consistent source: an interval that
+// happened-before an acquire is applied at its homes before the acquire
+// can observe it.
+func (n *Node) closeInterval() *wire.Interval {
+	n.mu.Lock()
+	if len(n.mod) == 0 {
+		n.mu.Unlock()
+		return nil
+	}
+	idx := n.vt.Tick(n.id)
+	pages := make([]int32, 0, len(n.mod))
+	perHome := make(map[int][]wire.Diff)
+	var diffBytes int64
+	for _, pg := range n.mod {
+		ps := &n.pages[pg]
+		d := page.MakeDiff(pg, ps.twin, ps.data)
+		page.FreeTwin(ps.twin)
+		ps.twin = nil
+		diffBytes += int64(d.SizeBytes())
+		wd := wire.Diff{Writer: int32(n.id), Index: idx, D: d}
+		if home := int(n.cfg.Homes[pg]); home == n.id {
+			n.homeRecordLocked(ps, wd, false)
+		} else {
+			perHome[home] = append(perHome[home], wd)
+		}
+		ps.copyVT.Set(n.id, idx)
+		pages = append(pages, int32(pg))
+	}
+	n.mod = n.mod[:0]
+	iv := &wire.Interval{Writer: int32(n.id), Index: idx, VT: n.vt.Clone(), Pages: pages}
+	n.mu.Unlock()
+
+	atomic.AddInt64(&n.stats.Intervals, 1)
+	atomic.AddInt64(&n.stats.DiffsCreated, int64(len(pages)))
+	atomic.AddInt64(&n.stats.DiffBytes, diffBytes)
+	if n.obs != nil {
+		ids := make([]page.ID, len(pages))
+		for i, p := range pages {
+			ids[i] = page.ID(p)
+		}
+		n.obs.IntervalClosed(n.id, idx, ids)
+	}
+
+	// Flush to every remote home in parallel, then wait for all acks.
+	t0 := time.Now()
+	type flight struct {
+		tok int64
+		ch  chan *wire.Msg
+	}
+	flights := make([]flight, 0, len(perHome))
+	for home, diffs := range perHome {
+		tok, ch := n.newToken()
+		m := &wire.Msg{Kind: wire.KWriteNotices, Token: tok, Diffs: diffs}
+		if err := n.send(home, m); err != nil {
+			panic(runError{err})
+		}
+		flights = append(flights, flight{tok, ch})
+	}
+	for _, f := range flights {
+		n.await(f.tok, f.ch)
+	}
+	if len(flights) > 0 {
+		atomic.AddInt64(&n.stats.FlushWaitNs, time.Since(t0).Nanoseconds())
+	}
+	return iv
+}
+
+// homeRecordLocked records one interval diff at the home: updates the
+// home version vector and appends to the page's diff log (pruning the
+// oldest entries past homeLogCap). applyData additionally applies the
+// diff to the resident copy — and its twin, keeping the committed view
+// consistent — which the home's own intervals do not need.
+func (n *Node) homeRecordLocked(ps *lpage, wd wire.Diff, applyData bool) {
+	if applyData {
+		wd.D.Apply(ps.data)
+		if ps.twin != nil {
+			wd.D.Apply(ps.twin)
+		}
+	}
+	ps.log = append(ps.log, wd)
+	if len(ps.log) > homeLogCap {
+		drop := len(ps.log) - homeLogCap
+		for _, old := range ps.log[:drop] {
+			if old.Index > ps.logBase.Get(int(old.Writer)) {
+				ps.logBase.Set(int(old.Writer), old.Index)
+			}
+		}
+		ps.log = append(ps.log[:0], ps.log[drop:]...)
+	}
+	w := int(wd.Writer)
+	if wd.Index > ps.homeVT.Get(w) {
+		ps.homeVT.Set(w, wd.Index)
+	}
+	if wd.Index > ps.copyVT.Get(w) {
+		ps.copyVT.Set(w, wd.Index)
+	}
+}
+
+// ---- acquire-side notice processing ----
+
+// applyNotices joins the granted vector time and processes its write
+// notices: under LI noticed pages are invalidated; under LH cached
+// copies are refreshed by pulling the missing diffs from the home
+// (uncached pages just stay invalid). Pages homed here are already
+// current — their diffs arrived before the grant could happen.
+func (n *Node) applyNotices(grantVT []int32, notices []wire.Notice) {
+	var pulls []page.ID
+	pulled := make(map[page.ID]bool)
+	n.mu.Lock()
+	n.vt.Join(grantVT)
+	for _, nt := range notices {
+		w := int(nt.Writer)
+		for _, p32 := range nt.Pages {
+			pg := page.ID(p32)
+			if int(n.cfg.Homes[pg]) == n.id {
+				continue
+			}
+			ps := &n.pages[pg]
+			if ps.copyVT.CoversInterval(w, nt.Index) {
+				continue
+			}
+			if !ps.valid {
+				continue
+			}
+			if n.cfg.Protocol == core.LH {
+				if !pulled[pg] {
+					pulled[pg] = true
+					pulls = append(pulls, pg)
+				}
+				continue
+			}
+			ps.valid = false
+			atomic.AddInt64(&n.stats.Invalidations, 1)
+			if n.obs != nil {
+				n.obs.Invalidated(n.id, pg)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, pg := range pulls {
+		n.pullDiffs(pg)
+	}
+}
+
+// pullDiffs brings the cached copy of pg up to date from its home (LH
+// update path): the home serves the diffs past our coverage from its
+// log, or a full copy if the log was pruned past it.
+func (n *Node) pullDiffs(pg page.ID) {
+	n.mu.Lock()
+	have := n.pages[pg].copyVT.Clone()
+	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.DiffPulls, 1)
+	reply := n.rpc(int(n.cfg.Homes[pg]), &wire.Msg{Kind: wire.KDiffReq, Page: int32(pg), VT: have})
+	if reply.Data != nil {
+		n.installPage(pg, reply.Data, reply.VT)
+		atomic.AddInt64(&n.stats.PageFetches, 1)
+		return
+	}
+	n.mu.Lock()
+	ps := &n.pages[pg]
+	applied := int64(0)
+	for _, wd := range reply.Diffs {
+		w := int(wd.Writer)
+		if ps.copyVT.CoversInterval(w, wd.Index) {
+			continue
+		}
+		wd.D.Apply(ps.data)
+		if ps.twin != nil {
+			wd.D.Apply(ps.twin)
+		}
+		applied++
+		if n.obs != nil {
+			n.obs.DiffApplied(n.id, pg, w, wd.Index)
+		}
+	}
+	ps.copyVT.Join(reply.VT)
+	ps.valid = true
+	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.DiffsApplied, applied)
+}
+
+// ---- messaging ----
+
+// isReply reports whether a kind is a response routed straight to a
+// waiting requester (bypassing the dispatcher queue).
+func isReply(k wire.Kind) bool {
+	switch k {
+	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart:
+		return true
+	}
+	return false
+}
+
+func (n *Node) newToken() (int64, chan *wire.Msg) {
+	ch := make(chan *wire.Msg, 1)
+	n.pmu.Lock()
+	n.nextTok++
+	tok := n.nextTok
+	n.pending[tok] = ch
+	n.pmu.Unlock()
+	return tok, ch
+}
+
+// rpc sends a request and blocks for its reply.
+func (n *Node) rpc(to int, m *wire.Msg) *wire.Msg {
+	tok, ch := n.newToken()
+	m.Token = tok
+	if err := n.send(to, m); err != nil {
+		panic(runError{err})
+	}
+	return n.await(tok, ch)
+}
+
+// await blocks for the reply registered under tok. A node failure or the
+// RPC timeout aborts the worker via runError.
+func (n *Node) await(tok int64, ch chan *wire.Msg) *wire.Msg {
+	timer := time.NewTimer(n.cfg.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-n.done:
+		// A reply may have been routed concurrently with shutdown.
+		select {
+		case r := <-ch:
+			return r
+		default:
+		}
+		err := n.Err()
+		if err == nil {
+			err = fmt.Errorf("node %d: shut down while waiting for reply", n.id)
+		}
+		panic(runError{err})
+	case <-timer.C:
+		panic(runError{fmt.Errorf("node %d: rpc timeout after %v (token %d)", n.id, n.cfg.RPCTimeout, tok)})
+	}
+}
+
+// send encodes and transmits m. Messages to self bypass the transport:
+// replies are routed to their waiter, requests join the dispatcher
+// queue (node 0's worker talking to its own manager).
+func (n *Node) send(to int, m *wire.Msg) error {
+	m.From = int32(n.id)
+	if to == n.id {
+		atomic.AddInt64(&n.stats.MsgsSent, 1)
+		atomic.AddInt64(&n.stats.MsgsRecv, 1)
+		if isReply(m.Kind) {
+			n.routeReply(m)
+			return nil
+		}
+		select {
+		case n.inq <- m:
+			return nil
+		case <-n.done:
+			return transport.ErrClosed
+		}
+	}
+	b := wire.Encode(m)
+	atomic.AddInt64(&n.stats.MsgsSent, 1)
+	atomic.AddInt64(&n.stats.BytesSent, int64(len(b)))
+	if len(m.Data) > 0 {
+		atomic.AddInt64(&n.stats.DataBytes, int64(len(m.Data)))
+	}
+	for i := range m.Diffs {
+		atomic.AddInt64(&n.stats.DataBytes, int64(m.Diffs[i].D.SizeBytes()))
+	}
+	if n.obs != nil {
+		n.obs.MsgSent(n.id, to, m.Kind, len(b))
+	}
+	if err := n.tr.Send(to, b); err != nil {
+		n.fail(fmt.Errorf("node %d: send %v to %d: %w", n.id, m.Kind, to, err))
+		return err
+	}
+	return nil
+}
+
+func (n *Node) routeReply(m *wire.Msg) {
+	n.pmu.Lock()
+	ch := n.pending[m.Token]
+	delete(n.pending, m.Token)
+	n.pmu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+// pump drains the transport for the node's lifetime, routing replies to
+// their waiters and requests to the dispatcher.
+func (n *Node) pump() {
+	defer n.wg.Done()
+	for {
+		f, err := n.tr.Recv()
+		if err != nil {
+			return
+		}
+		m, err := wire.Decode(f.Payload)
+		if err != nil {
+			n.fail(fmt.Errorf("node %d: bad frame from %d: %w", n.id, f.From, err))
+			return
+		}
+		atomic.AddInt64(&n.stats.MsgsRecv, 1)
+		atomic.AddInt64(&n.stats.BytesRecv, int64(len(f.Payload)))
+		if isReply(m.Kind) {
+			n.routeReply(m)
+			continue
+		}
+		select {
+		case n.inq <- m:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// dispatch serves protocol requests until shutdown.
+func (n *Node) dispatch() {
+	defer n.wg.Done()
+	for {
+		select {
+		case m := <-n.inq:
+			n.handle(m)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) handle(m *wire.Msg) {
+	switch m.Kind {
+	case wire.KPageReq:
+		n.handlePageReq(m)
+	case wire.KDiffReq:
+		n.handleDiffReq(m)
+	case wire.KWriteNotices:
+		n.handleWriteNotices(m)
+	case wire.KLockReq, wire.KLockRelease, wire.KBarArrive:
+		if n.mgr == nil {
+			n.fail(fmt.Errorf("node %d: manager message %v at non-manager", n.id, m.Kind))
+			return
+		}
+		n.mgr.handle(m)
+	default:
+		n.fail(fmt.Errorf("node %d: unexpected request kind %v", n.id, m.Kind))
+	}
+}
+
+// handlePageReq serves a full committed copy of a page homed here. When
+// the local worker has uncommitted writes (a twin exists), the twin is
+// the committed view — remote diffs are applied to both data and twin.
+func (n *Node) handlePageReq(m *wire.Msg) {
+	pg := page.ID(m.Page)
+	n.mu.Lock()
+	ps := &n.pages[pg]
+	src := ps.data
+	if ps.twin != nil {
+		src = ps.twin
+	}
+	data := make([]byte, len(src))
+	copy(data, src)
+	hvt := ps.homeVT.Clone()
+	n.mu.Unlock()
+	reply := &wire.Msg{Kind: wire.KPageReply, Token: m.Token, Page: m.Page, VT: hvt, Data: data}
+	if err := n.send(int(m.From), reply); err != nil {
+		return
+	}
+}
+
+// handleDiffReq serves the diffs of a page homed here that the requester
+// (whose per-writer coverage is m.VT) is missing. If the log has been
+// pruned past the requester's coverage, a full copy is served instead.
+func (n *Node) handleDiffReq(m *wire.Msg) {
+	pg := page.ID(m.Page)
+	n.mu.Lock()
+	ps := &n.pages[pg]
+	pruned := false
+	for w := 0; w < n.nn; w++ {
+		var have int32
+		if w < len(m.VT) {
+			have = m.VT[w]
+		}
+		if have < ps.logBase.Get(w) {
+			pruned = true
+			break
+		}
+	}
+	reply := &wire.Msg{Kind: wire.KDiffReply, Token: m.Token, Page: m.Page, VT: ps.homeVT.Clone()}
+	if pruned {
+		src := ps.data
+		if ps.twin != nil {
+			src = ps.twin
+		}
+		reply.Data = make([]byte, len(src))
+		copy(reply.Data, src)
+	} else {
+		for _, wd := range ps.log {
+			if w := int(wd.Writer); w < len(m.VT) && wd.Index <= m.VT[w] {
+				continue
+			}
+			reply.Diffs = append(reply.Diffs, wd)
+		}
+	}
+	n.mu.Unlock()
+	if err := n.send(int(m.From), reply); err != nil {
+		return
+	}
+}
+
+// handleWriteNotices applies a remote interval's diffs to the pages
+// homed here and acknowledges. The sender's release blocks on this ack.
+func (n *Node) handleWriteNotices(m *wire.Msg) {
+	n.mu.Lock()
+	for i := range m.Diffs {
+		wd := m.Diffs[i]
+		ps := &n.pages[wd.D.Page]
+		n.homeRecordLocked(ps, wd, true)
+		if n.obs != nil {
+			n.obs.DiffApplied(n.id, wd.D.Page, int(wd.Writer), wd.Index)
+		}
+	}
+	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.DiffsApplied, int64(len(m.Diffs)))
+	if err := n.send(int(m.From), &wire.Msg{Kind: wire.KAck, Token: m.Token}); err != nil {
+		return
+	}
+}

@@ -1,0 +1,99 @@
+package node
+
+import (
+	"sync/atomic"
+
+	"lrcdsm/internal/page"
+	"lrcdsm/internal/live/wire"
+)
+
+// Stats counts one live node's protocol activity. The counters mirror the
+// simulator's core.RunStats where a live equivalent exists (see the
+// mapping table in DESIGN.md §9), so live runs and simulated runs report
+// comparable numbers; wait times are real wall-clock nanoseconds instead
+// of simulated cycles. All fields are updated with atomics — a node's
+// worker, dispatcher and pump touch them concurrently.
+type Stats struct {
+	Node int `json:"node"`
+
+	// Message counters (frames moved through the transport).
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+
+	// Shared-data movement: page images and diff payloads (the live
+	// analogue of core.RunStats.DataBytes).
+	DataBytes int64 `json:"data_bytes"`
+
+	SharedReads  int64 `json:"shared_reads"`
+	SharedWrites int64 `json:"shared_writes"`
+
+	// Access faults and their resolution.
+	PageFaults  int64 `json:"page_faults"`  // core: AccessMisses
+	PageFetches int64 `json:"page_fetches"` // full-page copies installed
+	DiffPulls   int64 `json:"diff_pulls"`   // LH update pulls issued
+
+	TwinsCreated int64 `json:"twins_created"`
+	DiffsCreated int64 `json:"diffs_created"`
+	DiffsApplied int64 `json:"diffs_applied"`
+	DiffBytes    int64 `json:"diff_bytes"` // payload bytes of created diffs
+
+	Intervals     int64 `json:"intervals"` // closed write intervals
+	Invalidations int64 `json:"invalidations"`
+
+	LockAcquires    int64 `json:"lock_acquires"`
+	BarrierEpisodes int64 `json:"barrier_episodes"`
+
+	// Wall-clock waits, in nanoseconds (the live analogue of the
+	// simulator's *WaitCycles).
+	LockWaitNs    int64 `json:"lock_wait_ns"`
+	BarrierWaitNs int64 `json:"barrier_wait_ns"`
+	FaultWaitNs   int64 `json:"fault_wait_ns"`
+	FlushWaitNs   int64 `json:"flush_wait_ns"`
+}
+
+func (s *Stats) add(f *int64, d int64) { atomic.AddInt64(f, d) }
+
+// Snapshot returns a plain copy of the (atomically updated) counters.
+func (s *Stats) Snapshot() Stats {
+	var out Stats
+	out.Node = s.Node
+	for _, c := range []struct{ dst, src *int64 }{
+		{&out.MsgsSent, &s.MsgsSent}, {&out.MsgsRecv, &s.MsgsRecv},
+		{&out.BytesSent, &s.BytesSent}, {&out.BytesRecv, &s.BytesRecv},
+		{&out.DataBytes, &s.DataBytes},
+		{&out.SharedReads, &s.SharedReads}, {&out.SharedWrites, &s.SharedWrites},
+		{&out.PageFaults, &s.PageFaults}, {&out.PageFetches, &s.PageFetches},
+		{&out.DiffPulls, &s.DiffPulls},
+		{&out.TwinsCreated, &s.TwinsCreated}, {&out.DiffsCreated, &s.DiffsCreated},
+		{&out.DiffsApplied, &s.DiffsApplied}, {&out.DiffBytes, &s.DiffBytes},
+		{&out.Intervals, &s.Intervals}, {&out.Invalidations, &s.Invalidations},
+		{&out.LockAcquires, &s.LockAcquires}, {&out.BarrierEpisodes, &s.BarrierEpisodes},
+		{&out.LockWaitNs, &s.LockWaitNs}, {&out.BarrierWaitNs, &s.BarrierWaitNs},
+		{&out.FaultWaitNs, &s.FaultWaitNs}, {&out.FlushWaitNs, &s.FlushWaitNs},
+	} {
+		*c.dst = atomic.LoadInt64(c.src)
+	}
+	return out
+}
+
+// Observer receives protocol-level events from a live run, mirroring the
+// simulator's core.Observer where the concepts coincide. Callbacks fire
+// concurrently from node goroutines; implementations must be
+// thread-safe and must not call back into the node.
+type Observer interface {
+	// MsgSent fires for every frame handed to the transport.
+	MsgSent(from, to int, kind wire.Kind, bytes int)
+	// PageFault fires when an access faults on an invalid page.
+	PageFault(node int, pg page.ID)
+	// IntervalClosed fires when a node closes a write interval.
+	IntervalClosed(node int, idx int32, pages []page.ID)
+	// DiffApplied fires when a node incorporates writer's interval idx
+	// into its copy of pg (home application or hybrid pull).
+	DiffApplied(node int, pg page.ID, writer int, idx int32)
+	// Invalidated fires when a write notice invalidates a local copy.
+	Invalidated(node int, pg page.ID)
+	// BarrierDeparted fires when a node leaves a barrier episode.
+	BarrierDeparted(node int, episode int64)
+}

@@ -1,0 +1,50 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"lrcdsm/internal/check"
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/live/transport"
+)
+
+// TestTCPLoopbackSmoke runs a small Jacobi on a 2-node cluster over real
+// TCP loopback sockets and compares the result regions against a 1-node
+// in-process reference. A hard timeout turns a wedged protocol into a
+// test failure instead of a hung suite.
+func TestTCPLoopbackSmoke(t *testing.T) {
+	const nodes = 2
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		trs, err := transport.NewTCPLoopback(nodes, transport.TCPOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, stats := runApp(t, "jacobi", core.LH, nodes, trs)
+		if t.Failed() {
+			return
+		}
+		if stats.Total.BytesSent == 0 {
+			t.Error("TCP run moved no bytes")
+		}
+		ref, _ := runApp(t, "jacobi", core.LH, 1, nil)
+		app, err := harness.NewApp("jacobi", harness.ScaleTest)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ra := app.(harness.ResultApp)
+		for _, v := range check.CompareRegions(got, ref, ra.ResultRegions()) {
+			t.Errorf("region mismatch over TCP: %s", v.String())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("TCP loopback smoke test exceeded hard timeout")
+	}
+}

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInprocDelivery(t *testing.T) {
+	ts := NewInprocNetwork(3)
+	defer func() {
+		for _, x := range ts {
+			x.Close()
+		}
+	}()
+	if ts[1].Self() != 1 || ts[1].N() != 3 {
+		t.Fatalf("identity: self=%d n=%d", ts[1].Self(), ts[1].N())
+	}
+	if err := ts[0].Send(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ts[2].Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 0 || string(f.Payload) != "hi" {
+		t.Fatalf("got frame %+v", f)
+	}
+}
+
+func TestInprocInvalidPeer(t *testing.T) {
+	ts := NewInprocNetwork(2)
+	defer ts[0].Close()
+	defer ts[1].Close()
+	if err := ts[0].Send(0, nil); err == nil {
+		t.Error("send to self succeeded")
+	}
+	if err := ts[0].Send(5, nil); err == nil {
+		t.Error("send to out-of-range peer succeeded")
+	}
+}
+
+// TestInprocOrderingUnderConcurrency checks per-pair FIFO with many
+// concurrent senders (run under -race this also exercises the memory
+// model of the channel fabric).
+func TestInprocOrderingUnderConcurrency(t *testing.T) {
+	const n, msgs = 4, 200
+	ts := NewInprocNetwork(n)
+	defer func() {
+		for _, x := range ts {
+			x.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				if err := ts[s].Send(0, []byte(fmt.Sprintf("%d:%d", s, i))); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	next := make([]int, n)
+	for got := 0; got < (n-1)*msgs; got++ {
+		f, err := ts[0].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%d:%d", f.From, next[f.From])
+		if string(f.Payload) != want {
+			t.Fatalf("out of order from %d: got %q want %q", f.From, f.Payload, want)
+		}
+		next[f.From]++
+	}
+	wg.Wait()
+}
+
+func TestInprocClose(t *testing.T) {
+	ts := NewInprocNetwork(2)
+	ts[1].Close()
+	if _, err := ts[1].Recv(); err != ErrClosed {
+		t.Fatalf("Recv after close: %v", err)
+	}
+	if err := ts[0].Send(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("Send to closed peer: %v", err)
+	}
+}

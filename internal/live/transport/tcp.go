@@ -1,0 +1,383 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a received frame's claimed length; anything larger is
+// treated as a corrupt stream and the connection is dropped.
+const maxFrame = 64 << 20
+
+// TCPOptions tunes the TCP transport's dialing and I/O behaviour. The
+// zero value selects the defaults.
+type TCPOptions struct {
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// DialBackoff is the delay after the first failed dial attempt; it
+	// doubles per retry up to DialMaxBackoff (defaults 20ms / 1s).
+	DialBackoff    time.Duration
+	DialMaxBackoff time.Duration
+	// DialAttempts is the number of connect attempts per Send before the
+	// error is surfaced (default 8).
+	DialAttempts int
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// Dial replaces net.DialTimeout, for tests that inject dial failures.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 20 * time.Millisecond
+	}
+	if o.DialMaxBackoff <= 0 {
+		o.DialMaxBackoff = time.Second
+	}
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = 8
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// TCP is the TCP transport of one node. Each ordered peer pair uses one
+// outbound connection, established lazily on first Send and re-dialed
+// with exponential backoff after failures. Frames carry a per-peer
+// sequence number so a retransmission after a dropped connection is
+// de-duplicated at the receiver (exactly-once delivery per surviving
+// run, at-least-once on the wire).
+type TCP struct {
+	self  int
+	addrs []string
+	opts  TCPOptions
+	ln    net.Listener
+
+	inbox chan Frame
+	done  chan struct{}
+	once  sync.Once
+
+	mu    sync.Mutex // guards conns, seq, accepted
+	conns map[int]net.Conn
+	seq   map[int]uint64
+	// sendLocks serializes Sends per destination: a frame's sequence
+	// number must reach the wire in sequence order or the receiver's
+	// de-duplication would discard reordered (not duplicated) frames.
+	sendLocks []sync.Mutex
+
+	recvMu  sync.Mutex // guards lastSeq
+	lastSeq map[int]uint64
+
+	acceptWG sync.WaitGroup
+	accepted map[net.Conn]bool
+}
+
+// NewTCPNode builds the transport of node self in a cluster whose node i
+// listens on addrs[i]. It starts listening immediately; peers are dialed
+// lazily on first Send.
+func NewTCPNode(self int, addrs []string, opts TCPOptions) (*TCP, error) {
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: node %d listen %s: %w", self, addrs[self], err)
+	}
+	return newTCPNode(self, addrs, ln, opts), nil
+}
+
+func newTCPNode(self int, addrs []string, ln net.Listener, opts TCPOptions) *TCP {
+	t := &TCP{
+		self:     self,
+		addrs:    addrs,
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		inbox:    make(chan Frame, inboxDepth),
+		done:     make(chan struct{}),
+		conns:    make(map[int]net.Conn),
+		seq:      make(map[int]uint64),
+		lastSeq:  make(map[int]uint64),
+		accepted: make(map[net.Conn]bool),
+		sendLocks: make([]sync.Mutex, len(addrs)),
+	}
+	t.acceptWG.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// NewTCPLoopback builds an n-node cluster on ephemeral loopback ports and
+// returns one transport per node. Listeners are bound before any node
+// starts, so the address list is complete from the outset.
+func NewTCPLoopback(n int, opts TCPOptions) ([]Transport, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("transport: loopback listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ts := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		ts[i] = newTCPNode(i, addrs, lns[i], opts)
+	}
+	return ts, nil
+}
+
+// Addr returns the node's listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Self implements Transport.
+func (t *TCP) Self() int { return t.self }
+
+// N implements Transport.
+func (t *TCP) N() int { return len(t.addrs) }
+
+// Send implements Transport. On a write failure the connection is torn
+// down and the frame is retransmitted over a fresh connection (dialed
+// with retry and exponential backoff); the receiver de-duplicates by
+// sequence number, so a frame that did arrive before the drop is not
+// delivered twice.
+func (t *TCP) Send(to int, payload []byte) error {
+	if to < 0 || to >= len(t.addrs) || to == t.self {
+		return fmt.Errorf("transport: tcp send to invalid peer %d", to)
+	}
+	t.sendLocks[to].Lock()
+	defer t.sendLocks[to].Unlock()
+	t.mu.Lock()
+	t.seq[to]++
+	seq := t.seq[to]
+	t.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := t.peerConn(to)
+		if err != nil {
+			return err
+		}
+		if err = t.writeFrame(conn, seq, payload); err == nil {
+			return nil
+		}
+		lastErr = err
+		t.dropConn(to, conn)
+		if t.closed() {
+			return ErrClosed
+		}
+	}
+	return fmt.Errorf("transport: send to %d: %w", to, lastErr)
+}
+
+// writeFrame serializes one frame: 8-byte sequence, 4-byte length,
+// payload. Writes hold a per-connection deadline.
+func (t *TCP) writeFrame(conn net.Conn, seq uint64, payload []byte) error {
+	hdr := make([]byte, 12, 12+len(payload))
+	binary.BigEndian.PutUint64(hdr, seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	_, err := conn.Write(append(hdr, payload...))
+	return err
+}
+
+// peerConn returns the established outbound connection for a peer,
+// dialing with retry and exponential backoff if there is none.
+func (t *TCP) peerConn(to int) (net.Conn, error) {
+	t.mu.Lock()
+	if c := t.conns[to]; c != nil {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	backoff := t.opts.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < t.opts.DialAttempts; attempt++ {
+		if t.closed() {
+			return nil, ErrClosed
+		}
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-t.done:
+				return nil, ErrClosed
+			}
+			backoff *= 2
+			if backoff > t.opts.DialMaxBackoff {
+				backoff = t.opts.DialMaxBackoff
+			}
+		}
+		conn, err := t.opts.Dial(t.addrs[to], t.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Handshake: identify ourselves so the acceptor can attribute
+		// inbound frames.
+		var hello [4]byte
+		binary.BigEndian.PutUint32(hello[:], uint32(t.self))
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		if _, err := conn.Write(hello[:]); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		conn.SetWriteDeadline(time.Time{})
+		t.mu.Lock()
+		if old := t.conns[to]; old != nil {
+			// A concurrent Send raced us to the dial; keep the first.
+			t.mu.Unlock()
+			conn.Close()
+			return old, nil
+		}
+		t.conns[to] = conn
+		t.mu.Unlock()
+		return conn, nil
+	}
+	return nil, fmt.Errorf("transport: dial peer %d (%s) after %d attempts: %w",
+		to, t.addrs[to], t.opts.DialAttempts, lastErr)
+}
+
+// dropConn removes a failed outbound connection so the next Send
+// re-dials.
+func (t *TCP) dropConn(to int, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// acceptLoop admits inbound peer connections for the transport's
+// lifetime.
+func (t *TCP) acceptLoop() {
+	defer t.acceptWG.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.accepted == nil {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.acceptWG.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one inbound connection, de-duplicating by
+// per-peer sequence number, until the stream errors or closes. A partial
+// frame at the tail of a dropped connection is discarded silently — the
+// sender retransmits it with the same sequence number on its next
+// connection.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.acceptWG.Done()
+	defer func() {
+		t.mu.Lock()
+		if t.accepted != nil {
+			delete(t.accepted, conn)
+		}
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := int(binary.BigEndian.Uint32(hello[:]))
+	if from < 0 || from >= len(t.addrs) {
+		return
+	}
+	hdr := make([]byte, 12)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		seq := binary.BigEndian.Uint64(hdr)
+		size := binary.BigEndian.Uint32(hdr[8:])
+		if size > maxFrame {
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		t.recvMu.Lock()
+		dup := seq <= t.lastSeq[from]
+		if !dup {
+			t.lastSeq[from] = seq
+		}
+		t.recvMu.Unlock()
+		if dup {
+			continue
+		}
+		select {
+		case t.inbox <- Frame{From: from, Payload: payload}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv() (Frame, error) {
+	select {
+	case f := <-t.inbox:
+		return f, nil
+	case <-t.done:
+		select {
+		case f := <-t.inbox:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+func (t *TCP) closed() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.conns = map[int]net.Conn{}
+		for c := range t.accepted {
+			c.Close()
+		}
+		t.accepted = nil
+		t.mu.Unlock()
+	})
+	return nil
+}

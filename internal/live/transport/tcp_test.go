@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastOpts() TCPOptions {
+	return TCPOptions{
+		DialTimeout:    time.Second,
+		DialBackoff:    time.Millisecond,
+		DialMaxBackoff: 20 * time.Millisecond,
+		DialAttempts:   10,
+		WriteTimeout:   2 * time.Second,
+	}
+}
+
+func closeAll(ts []Transport) {
+	for _, t := range ts {
+		t.Close()
+	}
+}
+
+func TestTCPDelivery(t *testing.T) {
+	ts, err := NewTCPLoopback(3, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+	for i := 0; i < 10; i++ {
+		if err := ts[1].Send(2, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, err := ts[2].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.From != 1 || string(f.Payload) != fmt.Sprintf("m%d", i) {
+			t.Fatalf("frame %d: %+v", i, f)
+		}
+	}
+}
+
+// TestTCPDialRetry injects dial failures for the first attempts and
+// requires Send to succeed via retry with backoff.
+func TestTCPDialRetry(t *testing.T) {
+	var fails atomic.Int32
+	fails.Store(3)
+	opts := fastOpts()
+	opts.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		if fails.Add(-1) >= 0 {
+			return nil, errors.New("injected dial failure")
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	ts, err := NewTCPLoopback(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+	if err := ts[0].Send(1, []byte("after retries")); err != nil {
+		t.Fatalf("send did not survive injected dial failures: %v", err)
+	}
+	f, err := ts[1].Recv()
+	if err != nil || string(f.Payload) != "after retries" {
+		t.Fatalf("recv: %v %+v", err, f)
+	}
+	if fails.Load() >= 0 {
+		t.Fatalf("dial func not exercised enough: %d", fails.Load())
+	}
+}
+
+// TestTCPDialGivesUp bounds the retry loop: with every dial failing the
+// error must surface after DialAttempts.
+func TestTCPDialGivesUp(t *testing.T) {
+	opts := fastOpts()
+	opts.DialAttempts = 3
+	var attempts atomic.Int32
+	opts.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		attempts.Add(1)
+		return nil, errors.New("permanent failure")
+	}
+	ts, err := NewTCPLoopback(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+	if err := ts[0].Send(1, []byte("x")); err == nil {
+		t.Fatal("send succeeded with all dials failing")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("dial attempts = %d, want 3", got)
+	}
+}
+
+// TestTCPReconnectAfterDrop kills the established connection mid-run and
+// requires the next Send to re-dial and deliver, without duplicating the
+// frames that already arrived.
+func TestTCPReconnectAfterDrop(t *testing.T) {
+	// Track live outbound conns so the test can sever them.
+	var mu sync.Mutex
+	var conns []net.Conn
+	opts := fastOpts()
+	opts.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	ts, err := NewTCPLoopback(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+
+	if err := ts[0].Send(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := ts[1].Recv(); err != nil || string(f.Payload) != "before" {
+		t.Fatalf("recv before drop: %v %+v", err, f)
+	}
+
+	// Sever the established connection under the transport.
+	mu.Lock()
+	for _, c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+
+	// The next sends must transparently reconnect. The first write may
+	// "succeed" into a dead socket before the OS reports the reset, so
+	// send a few frames; sequence numbers de-duplicate any retransmits.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		if err := ts[0].Send(1, []byte(fmt.Sprintf("after%d", i))); err != nil {
+			t.Fatalf("send after drop: %v", err)
+		}
+		f, err := ts[1].Recv()
+		if err != nil {
+			t.Fatalf("recv after drop: %v", err)
+		}
+		if string(f.Payload) == fmt.Sprintf("after%d", i) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect did not deliver within deadline")
+		}
+	}
+}
+
+// TestTCPManyConcurrentSenders stresses per-pair ordering across real
+// sockets under -race.
+func TestTCPManyConcurrentSenders(t *testing.T) {
+	const n, msgs = 3, 100
+	ts, err := NewTCPLoopback(n, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				if err := ts[s].Send(0, []byte(fmt.Sprintf("%d:%d", s, i))); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	next := make([]int, n)
+	for got := 0; got < (n-1)*msgs; got++ {
+		f, err := ts[0].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%d:%d", f.From, next[f.From])
+		if string(f.Payload) != want {
+			t.Fatalf("out of order from %d: got %q want %q", f.From, f.Payload, want)
+		}
+		next[f.From]++
+	}
+	wg.Wait()
+}
+
+func TestTCPClose(t *testing.T) {
+	ts, err := NewTCPLoopback(2, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts[0].Close()
+	ts[1].Close()
+	if _, err := ts[0].Recv(); err != ErrClosed {
+		t.Fatalf("Recv after close: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+// Package transport moves encoded wire frames between live DSM nodes.
+//
+// Two implementations share the Transport interface: Inproc connects the
+// nodes of one process through channels (the default for tests and race
+// runs), and TCP connects them through length-prefixed frames over
+// per-peer connections with dial retry, deadlines and exponential
+// backoff. The protocol engine is transport-agnostic: it encodes every
+// message with the wire codec even in-process, so the codec is exercised
+// on every run.
+package transport
+
+import "errors"
+
+// Frame is one received payload and its sender.
+type Frame struct {
+	From    int
+	Payload []byte
+}
+
+// Transport connects one node to its peers. Send and Recv are safe for
+// concurrent use; payload ownership transfers on Send.
+type Transport interface {
+	// Self returns this node's id in [0, N); N the cluster size.
+	Self() int
+	N() int
+	// Send delivers payload to peer `to`. Frames from one sender to one
+	// receiver arrive in order; there is no cross-peer ordering.
+	Send(to int, payload []byte) error
+	// Recv blocks until a frame arrives or the transport closes.
+	Recv() (Frame, error)
+	// Close tears the transport down; pending and future Recv calls
+	// return ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned once a transport is shut down.
+var ErrClosed = errors.New("transport: closed")

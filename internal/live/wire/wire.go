@@ -1,0 +1,432 @@
+// Package wire is the versioned binary codec of the live DSM runtime's
+// message set. Every frame moved by a transport (in-process channel or
+// TCP) is one encoded Msg: a fixed two-byte header (version, kind)
+// followed by kind-dependent fields in little-endian fixed-width
+// encoding.
+//
+// Decode is strict and total: truncated frames, unknown versions or
+// kinds, oversized counts and trailing garbage all return an error and
+// never panic or allocate unboundedly — element counts are validated
+// against the bytes actually remaining before any slice is sized.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lrcdsm/internal/page"
+)
+
+// Version is the wire-format version stamped on every frame. Peers reject
+// frames of any other version.
+const Version = 1
+
+// MaxFrame is the largest frame Decode accepts (and Encode will produce
+// for any sane page size); a length-prefixed transport should enforce the
+// same bound before buffering a frame.
+const MaxFrame = 16 << 20
+
+// Kind identifies a message type.
+type Kind uint8
+
+// The live protocol's message set. Page and diff traffic flows between a
+// node and a page's home; lock and barrier traffic flows between a node
+// and the centralized manager on node 0.
+const (
+	// KHello introduces a peer on a fresh transport connection.
+	KHello Kind = iota + 1
+	// KPageReq asks a page's home for a full current copy.
+	KPageReq
+	// KPageReply returns the home's copy and its per-writer version.
+	KPageReply
+	// KDiffReq asks a page's home for the diffs the requester's copy is
+	// missing (lazy-hybrid update pulls).
+	KDiffReq
+	// KDiffReply returns the missing diffs — or, if the home has pruned
+	// its diff log past the requester's version, a full copy.
+	KDiffReply
+	// KWriteNotices flushes a closed interval's write notices and the
+	// diffs of the pages homed at the destination.
+	KWriteNotices
+	// KAck acknowledges a KWriteNotices flush.
+	KAck
+	// KLockReq asks the manager for a lock, carrying the requester's
+	// vector time.
+	KLockReq
+	// KLockGrant hands the lock to a requester with the release-time
+	// vector time and the write notices it is missing.
+	KLockGrant
+	// KLockRelease returns a lock to the manager, carrying the closed
+	// interval (if any) and the releaser's vector time.
+	KLockRelease
+	// KBarArrive joins a barrier, carrying the closed interval and the
+	// arriver's vector time.
+	KBarArrive
+	// KBarDepart releases a node from a barrier with the merged vector
+	// time and the write notices it is missing.
+	KBarDepart
+
+	kindEnd
+)
+
+var kindNames = [...]string{
+	KHello: "hello", KPageReq: "page-req", KPageReply: "page-reply",
+	KDiffReq: "diff-req", KDiffReply: "diff-reply",
+	KWriteNotices: "write-notices", KAck: "ack",
+	KLockReq: "lock-req", KLockGrant: "lock-grant", KLockRelease: "lock-release",
+	KBarArrive: "bar-arrive", KBarDepart: "bar-depart",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Notice is one interval's write notices: the pages writer's interval
+// modified. Receivers invalidate (LI) or refresh (LH) those pages.
+type Notice struct {
+	Writer int32
+	Index  int32
+	Pages  []int32
+}
+
+// Diff is one page's modifications from one interval, tagged with its
+// creator so receivers can track per-writer coverage.
+type Diff struct {
+	Writer int32
+	Index  int32
+	D      page.Diff
+}
+
+// Interval describes one closed interval: its creator, index, vector
+// time, and the pages its write notices cover.
+type Interval struct {
+	Writer int32
+	Index  int32
+	VT     []int32
+	Pages  []int32
+}
+
+// Msg is one live-protocol message. Only the fields relevant to its Kind
+// are encoded; see the per-kind field lists in encode.
+type Msg struct {
+	Kind  Kind
+	From  int32 // sending node
+	Token int64 // request/reply correlation
+
+	Lock    int32
+	Barrier int32
+	Episode int64
+	Page    int32
+
+	VT      []int32 // vector time (requester VT, grant VT, page version)
+	Data    []byte  // full page image (page/diff replies)
+	Diffs   []Diff
+	Notices []Notice
+	Interval *Interval // closed interval (release/arrive flushes)
+}
+
+// fieldSet describes which optional fields a kind encodes, so the codec
+// stays table-driven and every kind round-trips through one pair of
+// routines.
+type fieldSet struct {
+	lock, barrier, episode, pg     bool
+	vt, data, diffs, notices, ival bool
+}
+
+var fields = map[Kind]fieldSet{
+	KHello:        {},
+	KPageReq:      {pg: true},
+	KPageReply:    {pg: true, vt: true, data: true},
+	KDiffReq:      {pg: true, vt: true},
+	KDiffReply:    {pg: true, vt: true, data: true, diffs: true},
+	KWriteNotices: {diffs: true, ival: true},
+	KAck:          {},
+	KLockReq:      {lock: true, vt: true},
+	KLockGrant:    {lock: true, vt: true, notices: true, diffs: true},
+	KLockRelease:  {lock: true, vt: true, ival: true},
+	KBarArrive:    {barrier: true, vt: true, ival: true},
+	KBarDepart:    {barrier: true, episode: true, vt: true, notices: true},
+}
+
+// Encode serializes m into a fresh buffer.
+func Encode(m *Msg) []byte {
+	fs, ok := fields[m.Kind]
+	if !ok {
+		panic(fmt.Sprintf("wire: encode of unknown kind %v", m.Kind))
+	}
+	w := writer{b: make([]byte, 0, 64+len(m.Data))}
+	w.u8(Version)
+	w.u8(uint8(m.Kind))
+	w.i32(m.From)
+	w.i64(m.Token)
+	if fs.lock {
+		w.i32(m.Lock)
+	}
+	if fs.barrier {
+		w.i32(m.Barrier)
+	}
+	if fs.episode {
+		w.i64(m.Episode)
+	}
+	if fs.pg {
+		w.i32(m.Page)
+	}
+	if fs.vt {
+		w.i32slice(m.VT)
+	}
+	if fs.data {
+		w.bytes(m.Data)
+	}
+	if fs.diffs {
+		w.u32(uint32(len(m.Diffs)))
+		for i := range m.Diffs {
+			w.diff(&m.Diffs[i])
+		}
+	}
+	if fs.notices {
+		w.u32(uint32(len(m.Notices)))
+		for i := range m.Notices {
+			n := &m.Notices[i]
+			w.i32(n.Writer)
+			w.i32(n.Index)
+			w.i32slice(n.Pages)
+		}
+	}
+	if fs.ival {
+		if m.Interval == nil {
+			w.u8(0)
+		} else {
+			w.u8(1)
+			w.i32(m.Interval.Writer)
+			w.i32(m.Interval.Index)
+			w.i32slice(m.Interval.VT)
+			w.i32slice(m.Interval.Pages)
+		}
+	}
+	return w.b
+}
+
+// Decode parses one frame. It returns an error — never panics — on
+// truncated, oversized, or malformed input.
+func Decode(b []byte) (*Msg, error) {
+	if len(b) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(b))
+	}
+	r := reader{b: b}
+	if v := r.u8(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("wire: unknown version %d", v)
+	}
+	k := Kind(r.u8())
+	fs, ok := fields[k]
+	if r.err == nil && !ok {
+		return nil, fmt.Errorf("wire: unknown kind %d", uint8(k))
+	}
+	m := &Msg{Kind: k}
+	m.From = r.i32()
+	m.Token = r.i64()
+	if fs.lock {
+		m.Lock = r.i32()
+	}
+	if fs.barrier {
+		m.Barrier = r.i32()
+	}
+	if fs.episode {
+		m.Episode = r.i64()
+	}
+	if fs.pg {
+		m.Page = r.i32()
+	}
+	if fs.vt {
+		m.VT = r.i32slice()
+	}
+	if fs.data {
+		m.Data = r.bytes()
+	}
+	if fs.diffs {
+		n := r.count(9) // minimum bytes per encoded diff
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Diffs = append(m.Diffs, r.diff())
+		}
+	}
+	if fs.notices {
+		n := r.count(12)
+		for i := 0; i < n && r.err == nil; i++ {
+			var nt Notice
+			nt.Writer = r.i32()
+			nt.Index = r.i32()
+			nt.Pages = r.i32slice()
+			m.Notices = append(m.Notices, nt)
+		}
+	}
+	if fs.ival {
+		if r.u8() == 1 && r.err == nil {
+			iv := &Interval{}
+			iv.Writer = r.i32()
+			iv.Index = r.i32()
+			iv.VT = r.i32slice()
+			iv.Pages = r.i32slice()
+			m.Interval = iv
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(b)-r.off, k)
+	}
+	return m, nil
+}
+
+// ---- writer ----
+
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *writer) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+func (w *writer) i32slice(v []int32) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i32(x)
+	}
+}
+
+func (w *writer) diff(d *Diff) {
+	w.i32(d.Writer)
+	w.i32(d.Index)
+	w.i32(int32(d.D.Page))
+	w.u32(uint32(len(d.D.Runs)))
+	for _, r := range d.D.Runs {
+		w.i32(r.Off)
+		w.u32(uint32(len(r.Words)))
+		for _, x := range r.Words {
+			w.u64(x)
+		}
+	}
+}
+
+// ---- reader ----
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.b)-r.off < n {
+		r.fail("truncated frame: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// count reads an element count and validates it against the bytes left,
+// assuming each element occupies at least minBytes — an oversized count
+// fails immediately instead of driving a huge allocation.
+func (r *reader) count(minBytes int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(minBytes) > int64(len(r.b)-r.off) {
+		r.fail("oversized count %d (%d bytes remain)", n, len(r.b)-r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[r.off:r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *reader) i32slice() []int32 {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = r.i32()
+	}
+	return v
+}
+
+func (r *reader) diff() Diff {
+	var d Diff
+	d.Writer = r.i32()
+	d.Index = r.i32()
+	d.D.Page = page.ID(r.i32())
+	nr := r.count(8)
+	for i := 0; i < nr && r.err == nil; i++ {
+		var run page.Run
+		run.Off = r.i32()
+		nw := r.count(8)
+		if r.err != nil {
+			break
+		}
+		run.Words = make([]uint64, nw)
+		for j := range run.Words {
+			run.Words[j] = r.u64()
+		}
+		d.D.Runs = append(d.D.Runs, run)
+	}
+	return d
+}

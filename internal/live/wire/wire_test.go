@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"lrcdsm/internal/page"
+)
+
+// sampleMsgs returns one representative message per kind, with every
+// optional field of that kind populated.
+func sampleMsgs() []*Msg {
+	diffs := []Diff{
+		{Writer: 1, Index: 3, D: page.Diff{Page: 7, Runs: []page.Run{
+			{Off: 0, Words: []uint64{1, 2, 3}},
+			{Off: 200, Words: []uint64{0xdeadbeef}},
+		}}},
+		{Writer: 2, Index: 1, D: page.Diff{Page: 9}},
+	}
+	notices := []Notice{
+		{Writer: 0, Index: 4, Pages: []int32{1, 2, 3}},
+		{Writer: 3, Index: 1, Pages: nil},
+	}
+	ival := &Interval{Writer: 2, Index: 5, VT: []int32{1, 0, 5, 2}, Pages: []int32{4, 8}}
+	return []*Msg{
+		{Kind: KHello, From: 3, Token: 1},
+		{Kind: KPageReq, From: 1, Token: 42, Page: 17},
+		{Kind: KPageReply, From: 0, Token: 42, Page: 17, VT: []int32{3, 1, 0, 9}, Data: bytes.Repeat([]byte{0xab}, 4096)},
+		{Kind: KDiffReq, From: 2, Token: 7, Page: 5, VT: []int32{0, 0, 2, 0}},
+		{Kind: KDiffReply, From: 0, Token: 7, Page: 5, VT: []int32{1, 2, 3, 4}, Diffs: diffs},
+		{Kind: KDiffReply, From: 0, Token: 8, Page: 5, VT: []int32{1, 2, 3, 4}, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Kind: KWriteNotices, From: 1, Token: 9, Diffs: diffs, Interval: ival},
+		{Kind: KAck, From: 0, Token: 9},
+		{Kind: KLockReq, From: 3, Token: 10, Lock: 12, VT: []int32{0, 1, 2, 3}},
+		{Kind: KLockGrant, From: 0, Token: 10, Lock: 12, VT: []int32{5, 5, 5, 5}, Notices: notices, Diffs: diffs},
+		{Kind: KLockRelease, From: 3, Token: 11, Lock: 12, VT: []int32{6, 5, 5, 5}, Interval: ival},
+		{Kind: KLockRelease, From: 3, Token: 12, Lock: 0, VT: []int32{6, 5, 5, 5}}, // no interval
+		{Kind: KBarArrive, From: 2, Token: 13, Barrier: 1, VT: []int32{1, 1, 1, 1}, Interval: ival},
+		{Kind: KBarDepart, From: 0, Token: 13, Barrier: 1, Episode: 4, VT: []int32{2, 2, 2, 2}, Notices: notices},
+	}
+}
+
+// TestRoundTrip encodes and decodes one message of every kind and
+// requires structural equality.
+func TestRoundTrip(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, m := range sampleMsgs() {
+		seen[m.Kind] = true
+		b := Encode(m)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+	for k := KHello; k < kindEnd; k++ {
+		if !seen[k] {
+			t.Errorf("no round-trip sample for kind %v", k)
+		}
+	}
+}
+
+// TestDecodeTruncated decodes every strict prefix of every sample frame:
+// each must fail cleanly (or, never, succeed with trailing garbage).
+func TestDecodeTruncated(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		b := Encode(m)
+		for i := 0; i < len(b); i++ {
+			if _, err := Decode(b[:i]); err == nil {
+				t.Fatalf("%v: truncation to %d/%d bytes decoded successfully", m.Kind, i, len(b))
+			}
+		}
+	}
+}
+
+// TestDecodeTrailing requires frames with appended garbage to fail.
+func TestDecodeTrailing(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		b := append(Encode(m), 0x00)
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("%v: frame with trailing byte decoded successfully", m.Kind)
+		}
+	}
+}
+
+// TestDecodeMalformed covers version/kind/count rejections.
+func TestDecodeMalformed(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty frame decoded")
+	}
+	if _, err := Decode([]byte{99, byte(KAck), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Decode([]byte{Version, 0xEE, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// A page reply whose data length claims far more than the frame holds.
+	b := Encode(&Msg{Kind: KPageReply, Page: 1, VT: []int32{1}, Data: []byte{1, 2, 3}})
+	// Patch the data length field (last 4+3 bytes are len+data).
+	b[len(b)-7] = 0xff
+	b[len(b)-6] = 0xff
+	b[len(b)-5] = 0xff
+	b[len(b)-4] = 0x7f
+	if _, err := Decode(b); err == nil {
+		t.Error("oversized data length accepted")
+	}
+	if _, err := Decode(make([]byte, MaxFrame+1)); err == nil {
+		t.Error("frame above MaxFrame accepted")
+	}
+}
+
+// TestEncodeUnknownKindPanics pins the programming-error contract.
+func TestEncodeUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode of unknown kind did not panic")
+		}
+	}()
+	Encode(&Msg{Kind: 0xEE})
+}

@@ -36,7 +36,9 @@ package lrcdsm
 import (
 	"lrcdsm/internal/core"
 	"lrcdsm/internal/network"
+	"lrcdsm/internal/page"
 	"lrcdsm/internal/trace"
+	"lrcdsm/internal/vc"
 )
 
 // Core simulation types, re-exported from the implementation.
@@ -57,10 +59,24 @@ type (
 	NetworkParams = network.Params
 	// ProcStats is one processor's share of a run (time breakdown).
 	ProcStats = core.ProcStats
-	// TraceLog is the protocol event log (enable via Config.TraceCapacity).
+	// TraceLog is the protocol event log (enable via Config.TraceCapacity;
+	// read back with System.Trace after the run).
 	TraceLog = trace.Log
 	// TraceEvent is one recorded protocol event.
 	TraceEvent = trace.Event
+
+	// Observer receives protocol-level events as a run executes: set
+	// Config.Observer to instrument interval closes, diff applications,
+	// page-copy adoptions and barrier departures without importing the
+	// internal packages.
+	Observer = core.Observer
+	// PageID identifies a shared page in Observer callbacks.
+	PageID = page.ID
+	// VC is the vector timestamp handed to Observer callbacks.
+	VC = vc.VC
+	// ResultRegion names a shared-memory range whose final contents are
+	// schedule-independent, for cross-run memory comparison.
+	ResultRegion = core.ResultRegion
 )
 
 // The five protocols, in the paper's presentation order.
