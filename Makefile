@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke live bench-live verify
+.PHONY: build vet lint test race check-smoke live chaos bench-live verify
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ live:
 	$(GO) test -race -count=1 -timeout 300s ./internal/live/...
 	$(GO) run ./cmd/dsmd -app jacobi -nodes 2 -transport tcp -scale test -check -timeout 60s
 
+# chaos: the robustness gate — the seeded chaos soaks (all apps under
+# injected drops/dups/reorders in-proc, resets over TCP loopback, and
+# the partition fail-fast check) under -race, then one seeded dsmd run
+# with faults on real sockets, result regions checked against a
+# fault-free 1-node reference.
+chaos:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestChaosSoak|TestPartitionAbortsFast' ./internal/live/
+	$(GO) run ./cmd/dsmd -app jacobi -nodes 4 -transport tcp -scale test \
+		-chaos-seed 42 -drop 0.03 -dup 0.03 -delay-p 0.05 -delay 2ms -reset 0.05 \
+		-retry 10ms -hb-interval 50ms -check -timeout 60s
+
 # bench-live regenerates BENCH_live.json: one JSON object per line, one
 # line per app × protocol on a 4-node in-proc cluster at bench scale.
 bench-live:
@@ -44,4 +55,4 @@ bench-live:
 	done
 	@wc -l BENCH_live.json
 
-verify: build vet lint race check-smoke live
+verify: build vet lint race check-smoke live chaos

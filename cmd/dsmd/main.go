@@ -7,12 +7,18 @@
 //
 //	dsmd -app jacobi -nodes 4 -protocol LH -transport inproc -scale test
 //	dsmd -app water -nodes 2 -transport tcp -json
+//	dsmd -app tsp -nodes 4 -chaos-seed 42 -drop 0.05 -delay 2ms -check
 //
 // With -json, one JSON object describing the run — configuration,
-// elapsed time, per-node and total protocol counters — is printed to
-// stdout (one object per run, suitable for appending to a JSON-lines
-// file). With -check, the result regions are compared against a 1-node
-// reference run of the live engine.
+// elapsed time, per-node and total protocol counters, and any injected
+// faults — is printed to stdout (one object per run, suitable for
+// appending to a JSON-lines file). With -check, the result regions are
+// compared against a 1-node reference run of the live engine.
+//
+// The -drop/-dup/-delay/-reset/-partition flags inject transport faults
+// (internal/live/chaos) on a schedule derived from -chaos-seed, so a
+// faulty run is reproducible; -retry, -hb-interval and -hb-timeout tune
+// the engine's recovery machinery to match the fault rate.
 package main
 
 import (
@@ -20,21 +26,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"lrcdsm/internal/check"
 	"lrcdsm/internal/core"
 	"lrcdsm/internal/harness"
 	"lrcdsm/internal/live"
+	"lrcdsm/internal/live/chaos"
 	"lrcdsm/internal/live/transport"
 )
 
 // runReport is the -json output schema: one object per run.
 type runReport struct {
-	App       string      `json:"app"`
-	Scale     string      `json:"scale"`
-	Transport string      `json:"transport"`
-	Stats     *live.Stats `json:"stats"`
+	App       string          `json:"app"`
+	Scale     string          `json:"scale"`
+	Transport string          `json:"transport"`
+	ChaosSeed int64           `json:"chaos_seed,omitempty"`
+	Chaos     *chaos.Counters `json:"chaos,omitempty"`
+	Stats     *live.Stats     `json:"stats"`
+}
+
+// runOpts carries the tuning knobs from flags into runLive.
+type runOpts struct {
+	timeout    time.Duration
+	retryBase  time.Duration
+	hbInterval time.Duration
+	hbTimeout  time.Duration
+	chaos      *chaos.Config // nil: no fault injection
 }
 
 func main() {
@@ -47,6 +67,18 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-wait RPC timeout")
 		jsonOut   = flag.Bool("json", false, "print the run report as one JSON object")
 		checkRun  = flag.Bool("check", false, "compare result regions against a 1-node live reference run")
+
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault-injection schedule")
+		dropP     = flag.Float64("drop", 0, "per-frame probability of a silent drop")
+		dupP      = flag.Float64("dup", 0, "per-frame probability of a duplicate send")
+		delayP    = flag.Float64("delay-p", 0, "per-frame probability of a reordering delay")
+		delayMax  = flag.Duration("delay", 2*time.Millisecond, "maximum injected delay (with -delay-p)")
+		resetP    = flag.Float64("reset", 0, "per-frame probability of a connection reset (tcp)")
+		partition = flag.String("partition", "", "partition a node pair: a:b[:from[:dur]] (durations; dur 0 = forever)")
+
+		retryBase  = flag.Duration("retry", 0, "base RPC retransmission backoff (0: default 200ms)")
+		hbInterval = flag.Duration("hb-interval", 0, "heartbeat beacon interval (0: default 1s)")
+		hbTimeout  = flag.Duration("hb-timeout", 0, "silence before the manager declares a node down (0: default 10s, negative: disable)")
 	)
 	flag.Parse()
 
@@ -59,13 +91,40 @@ func main() {
 		fatal(err)
 	}
 
-	cluster, stats, err := runLive(*appName, scale, prot, *nodes, *trans, *timeout)
+	opts := runOpts{
+		timeout:    *timeout,
+		retryBase:  *retryBase,
+		hbInterval: *hbInterval,
+		hbTimeout:  *hbTimeout,
+	}
+	if *dropP > 0 || *dupP > 0 || *delayP > 0 || *resetP > 0 || *partition != "" {
+		cfg := &chaos.Config{
+			Seed:     *chaosSeed,
+			DropP:    *dropP,
+			DupP:     *dupP,
+			DelayP:   *delayP,
+			DelayMax: *delayMax,
+			ResetP:   *resetP,
+		}
+		if *partition != "" {
+			p, err := parsePartition(*partition)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Partitions = []chaos.Partition{p}
+		}
+		opts.chaos = cfg
+	}
+
+	cluster, stats, faults, err := runLive(*appName, scale, prot, *nodes, *trans, opts)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *checkRun && *nodes > 1 {
-		ref, _, err := runLive(*appName, scale, prot, 1, "inproc", *timeout)
+		// The reference runs fault-free: it defines what the faulty run
+		// must still compute.
+		ref, _, _, err := runLive(*appName, scale, prot, 1, "inproc", runOpts{timeout: *timeout})
 		if err != nil {
 			fatal(fmt.Errorf("reference run: %w", err))
 		}
@@ -86,54 +145,107 @@ func main() {
 
 	if *jsonOut {
 		rep := runReport{App: *appName, Scale: *scaleName, Transport: *trans, Stats: stats}
+		if opts.chaos != nil {
+			rep.ChaosSeed = *chaosSeed
+			rep.Chaos = faults
+		}
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(rep); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	printReport(*appName, *trans, stats)
+	printReport(*appName, *trans, stats, faults)
+}
+
+// parsePartition reads "a:b[:from[:dur]]" — node pair, optional window
+// start and length (Go durations; a zero or omitted length partitions
+// forever).
+func parsePartition(s string) (chaos.Partition, error) {
+	var p chaos.Partition
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return p, fmt.Errorf("-partition %q: want a:b[:from[:dur]]", s)
+	}
+	a, errA := strconv.Atoi(parts[0])
+	b, errB := strconv.Atoi(parts[1])
+	if errA != nil || errB != nil || a == b {
+		return p, fmt.Errorf("-partition %q: bad node pair", s)
+	}
+	p.A, p.B = a, b
+	if len(parts) >= 3 {
+		d, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return p, fmt.Errorf("-partition %q: bad window start: %w", s, err)
+		}
+		p.From = d
+	}
+	if len(parts) == 4 {
+		d, err := time.ParseDuration(parts[3])
+		if err != nil {
+			return p, fmt.Errorf("-partition %q: bad window length: %w", s, err)
+		}
+		p.Dur = d
+	}
+	return p, nil
 }
 
 // runLive executes one workload on a fresh live cluster and verifies its
-// result.
-func runLive(appName string, scale harness.Scale, prot core.Protocol, nodes int, trans string, timeout time.Duration) (*live.Cluster, *live.Stats, error) {
+// result. With opts.chaos set, every node's transport is wrapped with
+// fault injection and the summed fault counters are returned.
+func runLive(appName string, scale harness.Scale, prot core.Protocol, nodes int, trans string, opts runOpts) (*live.Cluster, *live.Stats, *chaos.Counters, error) {
 	app, err := harness.NewApp(appName, scale)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var trs []transport.Transport
 	switch trans {
 	case "inproc":
+		if opts.chaos != nil {
+			trs = transport.NewInprocNetwork(nodes)
+		}
 	case "tcp":
 		trs, err = transport.NewTCPLoopback(nodes, transport.TCPOptions{})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	default:
-		return nil, nil, fmt.Errorf("unknown transport %q (want inproc or tcp)", trans)
+		return nil, nil, nil, fmt.Errorf("unknown transport %q (want inproc or tcp)", trans)
+	}
+	var wrapped []*chaos.Transport
+	if opts.chaos != nil {
+		wrapped = chaos.WrapAll(trs, *opts.chaos)
+		trs = chaos.Transports(wrapped)
 	}
 	cluster, err := live.New(live.Config{
-		Nodes:      nodes,
-		Protocol:   prot,
-		Transports: trs,
-		RPCTimeout: timeout,
+		Nodes:             nodes,
+		Protocol:          prot,
+		Transports:        trs,
+		RPCTimeout:        opts.timeout,
+		RetryBase:         opts.retryBase,
+		HeartbeatInterval: opts.hbInterval,
+		HeartbeatTimeout:  opts.hbTimeout,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	app.Configure(cluster)
 	stats, err := cluster.Run(func(w core.Worker) { app.Worker(w) })
+	var faults *chaos.Counters
+	if wrapped != nil {
+		sum := chaos.SumCounters(wrapped)
+		faults = &sum
+	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s/%v/%dn: %w", appName, prot, nodes, err)
+		return nil, nil, faults, fmt.Errorf("%s/%v/%dn: %w", appName, prot, nodes, err)
 	}
 	if err := app.Verify(cluster); err != nil {
-		return nil, nil, fmt.Errorf("%s/%v/%dn failed verification: %w", appName, prot, nodes, err)
+		return nil, nil, faults, fmt.Errorf("%s/%v/%dn failed verification: %w", appName, prot, nodes, err)
 	}
-	return cluster, stats, nil
+	return cluster, stats, faults, nil
 }
 
-func printReport(appName, trans string, st *live.Stats) {
+func printReport(appName, trans string, st *live.Stats, faults *chaos.Counters) {
 	fmt.Printf("%s on %d live nodes (%s, %s): %.1f ms\n",
 		appName, st.Nodes, st.Protocol, trans, float64(st.ElapsedNs)/1e6)
 	fmt.Printf("  msgs %d (%.1f KB), data %.1f KB, faults %d, fetches %d, pulls %d\n",
@@ -146,6 +258,14 @@ func printReport(appName, trans string, st *live.Stats) {
 	fmt.Printf("  locks %d (wait %.1f ms), barriers %d (wait %.1f ms)\n",
 		st.Total.LockAcquires, float64(st.Total.LockWaitNs)/1e6,
 		st.Total.BarrierEpisodes, float64(st.Total.BarrierWaitNs)/1e6)
+	fmt.Printf("  retries %d, dup reqs %d, dup replies %d, heartbeats %d sent / %d recv\n",
+		st.Total.RPCRetries, st.Total.DupRequests, st.Total.DupReplies,
+		st.Total.HeartbeatsSent, st.Total.HeartbeatsRecv)
+	if faults != nil {
+		fmt.Printf("  chaos: %d faults (drop %d, dup %d, delay %d, reset %d, partition %d)\n",
+			faults.Total(), faults.Dropped, faults.Duplicated, faults.Delayed,
+			faults.Resets, faults.Partitioned)
+	}
 	for _, ns := range st.PerNode {
 		fmt.Printf("  node %d: sent %d msgs, faults %d, intervals %d\n",
 			ns.Node, ns.MsgsSent, ns.PageFaults, ns.Intervals)

@@ -1,0 +1,220 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lrcdsm/internal/check"
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/live/chaos"
+	"lrcdsm/internal/live/node"
+	"lrcdsm/internal/live/transport"
+)
+
+// chaosOpts are the recovery knobs used by the soak tests: aggressive
+// retransmission so the injected faults resolve inside a test budget,
+// and a heartbeat cadence fast enough that failure detection is
+// exercised (but with a timeout generous enough that retry stalls are
+// never mistaken for death).
+func chaosConfig(nodes int, prot core.Protocol, trs []transport.Transport) Config {
+	return Config{
+		Nodes:             nodes,
+		Protocol:          prot,
+		Transports:        trs,
+		RPCTimeout:        60 * time.Second,
+		RetryBase:         10 * time.Millisecond,
+		RetryMax:          100 * time.Millisecond,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  30 * time.Second,
+	}
+}
+
+// runAppChaos executes one workload on a cluster whose transports are
+// wrapped with the given fault schedule and returns the finished
+// cluster, the run stats and the injected-fault totals.
+func runAppChaos(t *testing.T, name string, prot core.Protocol, nodes int,
+	inner []transport.Transport, fcfg chaos.Config) (*Cluster, *Stats, chaos.Counters) {
+	t.Helper()
+	app, err := harness.NewApp(name, harness.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner == nil {
+		inner = transport.NewInprocNetwork(nodes)
+	}
+	wrapped := chaos.WrapAll(inner, fcfg)
+	c, err := New(chaosConfig(nodes, prot, chaos.Transports(wrapped)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Configure(c)
+	stats, err := c.Run(func(w core.Worker) { app.Worker(w) })
+	faults := chaos.SumCounters(wrapped)
+	if err != nil {
+		t.Fatalf("%s/%v/%dn under %+v faults: %v", name, prot, nodes, faults, err)
+	}
+	if err := app.Verify(c); err != nil {
+		t.Fatalf("%s/%v/%dn failed verification under faults: %v", name, prot, nodes, err)
+	}
+	return c, stats, faults
+}
+
+// compareToReference checks the faulty run's declared result regions
+// word-for-word against a fault-free 1-node run of the same engine.
+func compareToReference(t *testing.T, name string, prot core.Protocol, got *Cluster) {
+	t.Helper()
+	ref, _ := runApp(t, name, prot, 1, nil)
+	app, err := harness.NewApp(name, harness.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, ok := app.(harness.ResultApp)
+	if !ok {
+		t.Fatalf("%s does not declare result regions", name)
+	}
+	if vs := check.CompareRegions(got, ref, ra.ResultRegions()); len(vs) > 0 {
+		for i, v := range vs {
+			if i >= 5 {
+				t.Errorf("... and %d more", len(vs)-5)
+				break
+			}
+			t.Errorf("region mismatch under faults: %s", v.String())
+		}
+	}
+}
+
+// TestChaosSoakInproc is the tentpole's end-to-end claim: all four paper
+// workloads, both protocols, on a 4-node cluster whose every frame may
+// be dropped, duplicated or reordered — and the computed results still
+// match a fault-free 1-node reference exactly.
+func TestChaosSoakInproc(t *testing.T) {
+	for _, name := range harness.AppNames {
+		for _, prot := range []core.Protocol{core.LI, core.LH} {
+			name, prot := name, prot
+			t.Run(fmt.Sprintf("%s/%v", name, prot), func(t *testing.T) {
+				t.Parallel()
+				fcfg := chaos.Config{
+					Seed:     1,
+					DropP:    0.03,
+					DupP:     0.05,
+					DelayP:   0.10,
+					DelayMax: 2 * time.Millisecond,
+				}
+				got, stats, faults := runAppChaos(t, name, prot, 4, nil, fcfg)
+				if faults.Total() == 0 {
+					t.Fatal("soak injected no faults — the schedule is not exercising anything")
+				}
+				if faults.Dropped > 0 && stats.Total.RPCRetries == 0 {
+					t.Errorf("%d drops injected but no RPC retransmissions recorded", faults.Dropped)
+				}
+				if faults.Duplicated > 0 && stats.Total.DupRequests+stats.Total.DupReplies == 0 {
+					t.Errorf("%d duplicates injected but none de-duplicated", faults.Duplicated)
+				}
+				compareToReference(t, name, prot, got)
+			})
+		}
+	}
+}
+
+// TestChaosSoakTCP repeats the soak over real loopback sockets with
+// connection resets in the mix, so the re-dial + retransmit + receiver
+// de-duplication path runs under protocol load.
+func TestChaosSoakTCP(t *testing.T) {
+	for _, tc := range []struct {
+		app  string
+		prot core.Protocol
+	}{
+		{"jacobi", core.LH},
+		{"tsp", core.LI},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/%v", tc.app, tc.prot), func(t *testing.T) {
+			t.Parallel()
+			inner, err := transport.NewTCPLoopback(4, transport.TCPOptions{
+				DialBackoff:  time.Millisecond,
+				DialAttempts: 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcfg := chaos.Config{
+				Seed:     2,
+				DropP:    0.02,
+				DupP:     0.03,
+				DelayP:   0.05,
+				DelayMax: 2 * time.Millisecond,
+				ResetP:   0.08,
+			}
+			got, _, faults := runAppChaos(t, tc.app, tc.prot, 4, inner, fcfg)
+			if faults.Resets == 0 {
+				t.Error("TCP soak forced no connection resets")
+			}
+			compareToReference(t, tc.app, tc.prot, got)
+		})
+	}
+}
+
+// TestPartitionAbortsFast is the failure-detection claim: with one node
+// partitioned away from the manager forever, the run must not ride out
+// the 30s RPC timeout — the manager's heartbeat monitor must convert
+// the silence into a structured cluster-wide abort naming the suspect
+// node and its pending operation.
+func TestPartitionAbortsFast(t *testing.T) {
+	app, err := harness.NewApp("jacobi", harness.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := transport.NewInprocNetwork(4)
+	wrapped := chaos.WrapAll(inner, chaos.Config{
+		Partitions: []chaos.Partition{{A: 0, B: 3}}, // Dur 0: forever
+	})
+	cfg := chaosConfig(4, core.LH, chaos.Transports(wrapped))
+	cfg.RPCTimeout = 30 * time.Second
+	cfg.RetryBase = 10 * time.Millisecond
+	cfg.HeartbeatInterval = 25 * time.Millisecond
+	cfg.HeartbeatTimeout = 250 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Configure(c)
+
+	t0 := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(func(w core.Worker) { app.Worker(w) })
+		done <- err
+	}()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("partitioned run hung instead of aborting")
+	}
+	elapsed := time.Since(t0)
+
+	if runErr == nil {
+		t.Fatal("partitioned run reported success")
+	}
+	var pd *node.PeerDownError
+	if !errors.As(runErr, &pd) {
+		t.Fatalf("want *node.PeerDownError, got %T: %v", runErr, runErr)
+	}
+	if pd.Node != 3 {
+		t.Errorf("suspect node = %d, want 3 (the partitioned peer)", pd.Node)
+	}
+	if pd.Pending == "" {
+		t.Error("abort names no pending operation")
+	}
+	if pd.Silence < cfg.HeartbeatTimeout {
+		t.Errorf("declared down after %v of silence, before the %v timeout", pd.Silence, cfg.HeartbeatTimeout)
+	}
+	// Failure must come from the heartbeat monitor, not the RPC timeout.
+	if elapsed > 10*time.Second {
+		t.Errorf("abort took %v — heartbeat detection (timeout %v) did not fire", elapsed, cfg.HeartbeatTimeout)
+	}
+	t.Logf("aborted in %v: %v", elapsed, runErr)
+}

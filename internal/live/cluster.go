@@ -7,6 +7,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -38,6 +39,18 @@ type Config struct {
 	Observer node.Observer
 	// RPCTimeout bounds every remote wait (default 30s).
 	RPCTimeout time.Duration
+	// RetryBase / RetryMax shape the per-RPC retransmission backoff
+	// (defaults 200ms / 2s). Lower them when running under fault
+	// injection so recovery fits in a test budget.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HeartbeatInterval / HeartbeatTimeout parameterize failure
+	// detection (defaults 1s / 10s): every non-manager node beacons the
+	// manager at the interval, and the manager aborts the cluster when a
+	// peer has been silent past the timeout. A negative timeout disables
+	// detection.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 }
 
 // Stats is the outcome of a live run: per-node protocol counters, their
@@ -228,6 +241,11 @@ func (c *Cluster) Run(worker func(core.Worker)) (*Stats, error) {
 			Protocol:   c.cfg.Protocol,
 			Observer:   c.cfg.Observer,
 			RPCTimeout: c.cfg.RPCTimeout,
+
+			RetryBase:         c.cfg.RetryBase,
+			RetryMax:          c.cfg.RetryMax,
+			HeartbeatInterval: c.cfg.HeartbeatInterval,
+			HeartbeatTimeout:  c.cfg.HeartbeatTimeout,
 		})
 	}
 	for _, nd := range c.nodes {
@@ -274,21 +292,12 @@ func (c *Cluster) Run(worker func(core.Worker)) (*Stats, error) {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	var firstErr error
-	for _, err := range errs {
-		if err != nil {
-			firstErr = err
-			break
+	for _, nd := range c.nodes {
+		if err := nd.Err(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	if firstErr == nil {
-		for _, nd := range c.nodes {
-			if err := nd.Err(); err != nil {
-				firstErr = err
-				break
-			}
-		}
-	}
+	firstErr := pickErr(errs)
 	if firstErr == nil {
 		// Gather the final image from the homes before teardown.
 		c.final = make([]byte, c.brk)
@@ -320,6 +329,28 @@ func (c *Cluster) Run(worker func(core.Worker)) (*Stats, error) {
 	return st, nil
 }
 
+// pickErr selects the error to surface from a failed run. The manager's
+// failure-detection verdict (*node.PeerDownError) names the suspect node
+// and its pending operation, so it wins over the secondary
+// *node.RemoteAbortError panics it triggers on every other node; absent
+// one, the first error wins.
+func pickErr(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pd *node.PeerDownError
+		if errors.As(err, &pd) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // addStats accumulates src's counters into dst.
 func addStats(dst, src *node.Stats) {
 	dst.MsgsSent += src.MsgsSent
@@ -340,6 +371,11 @@ func addStats(dst, src *node.Stats) {
 	dst.Invalidations += src.Invalidations
 	dst.LockAcquires += src.LockAcquires
 	dst.BarrierEpisodes += src.BarrierEpisodes
+	dst.RPCRetries += src.RPCRetries
+	dst.DupRequests += src.DupRequests
+	dst.DupReplies += src.DupReplies
+	dst.HeartbeatsSent += src.HeartbeatsSent
+	dst.HeartbeatsRecv += src.HeartbeatsRecv
 	dst.LockWaitNs += src.LockWaitNs
 	dst.BarrierWaitNs += src.BarrierWaitNs
 	dst.FaultWaitNs += src.FaultWaitNs

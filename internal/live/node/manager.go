@@ -2,6 +2,9 @@ package node
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"lrcdsm/internal/live/wire"
 	"lrcdsm/internal/vc"
@@ -14,6 +17,14 @@ import (
 // the manager can compute, for any grant, the write notices between the
 // acquirer's vector time and the grant's vector time.
 //
+// Requests are de-duplicated per client before any state changes: a
+// node's worker issues manager RPCs strictly sequentially with strictly
+// increasing tokens, so a request whose token is not newer than the
+// client's last is a retransmission — the cached reply is re-sent (the
+// original was lost) or, while the original is still pending, the
+// duplicate is simply dropped. That makes every manager operation
+// idempotent under the node layer's retransmission schedule.
+//
 // All manager state is owned by node 0's dispatcher goroutine; no
 // locking is needed.
 type manager struct {
@@ -25,6 +36,9 @@ type manager struct {
 	bars   []mbar
 
 	episode int64
+
+	// clients[w] is the request de-duplication state of node w.
+	clients []mclient
 
 	// log[w] holds writer w's intervals in index order (index i at
 	// position i-1). Per-writer indices are contiguous because a node
@@ -53,18 +67,30 @@ type mbar struct {
 	arrivals []waiter
 }
 
+// mclient is one node's request de-duplication state: the newest token
+// seen from it and, once sent, the reply to that token (nil while the
+// request is still pending, e.g. queued on a held lock).
+type mclient struct {
+	lastTok int64
+	reply   *wire.Msg
+}
+
 func newManager(n *Node) *manager {
 	return &manager{
-		n:      n,
-		nn:     n.nn,
-		locks:  make([]mlock, n.cfg.NLocks),
-		lockVT: make([]vc.VC, n.cfg.NLocks),
-		bars:   make([]mbar, n.cfg.NBars),
-		log:    make([][]ivalRec, n.nn),
+		n:       n,
+		nn:      n.nn,
+		locks:   make([]mlock, n.cfg.NLocks),
+		lockVT:  make([]vc.VC, n.cfg.NLocks),
+		bars:    make([]mbar, n.cfg.NBars),
+		clients: make([]mclient, n.nn),
+		log:     make([][]ivalRec, n.nn),
 	}
 }
 
 func (g *manager) handle(m *wire.Msg) {
+	if g.dropDup(m) {
+		return
+	}
 	switch m.Kind {
 	case wire.KLockReq:
 		g.lockReq(m)
@@ -75,14 +101,49 @@ func (g *manager) handle(m *wire.Msg) {
 	}
 }
 
+// dropDup filters retransmitted requests before they can mutate manager
+// state, re-serving the cached reply when the original was already
+// answered. It reports true when the message was a duplicate.
+func (g *manager) dropDup(m *wire.Msg) bool {
+	c := &g.clients[m.From]
+	if m.Token > c.lastTok {
+		c.lastTok, c.reply = m.Token, nil
+		return false
+	}
+	atomic.AddInt64(&g.n.stats.DupRequests, 1)
+	if m.Token == c.lastTok && c.reply != nil {
+		g.n.send(int(m.From), c.reply)
+	}
+	return true
+}
+
+// reply sends a response to a client and caches it for retransmitted
+// requests. The cache holds at most one reply per client, which
+// suffices: a worker has at most one manager RPC outstanding, and its
+// next request (a strictly newer token) releases the slot.
+func (g *manager) reply(to int32, m *wire.Msg) {
+	c := &g.clients[to]
+	if m.Token == c.lastTok {
+		c.reply = m
+	}
+	g.n.send(int(to), m)
+}
+
 // recordInterval appends a reported interval to the global log, checking
 // the per-writer contiguity invariant the notice computation relies on.
+// An interval at or below the log's head is a retransmission the client
+// table already answered once — recorded exactly once, skipped here as
+// defense in depth.
 func (g *manager) recordInterval(iv *wire.Interval) {
 	if iv == nil {
 		return
 	}
 	w := int(iv.Writer)
-	if want := int32(len(g.log[w]) + 1); iv.Index != want {
+	want := int32(len(g.log[w]) + 1)
+	if iv.Index < want {
+		return
+	}
+	if iv.Index > want {
 		g.n.fail(fmt.Errorf("manager: writer %d reported interval %d, want %d", w, iv.Index, want))
 		return
 	}
@@ -128,6 +189,7 @@ func (g *manager) lockRelease(m *wire.Msg) {
 	}
 	g.lockVT[m.Lock] = vc.VC(m.VT).Clone()
 	lk.held = false
+	g.reply(m.From, &wire.Msg{Kind: wire.KReleaseAck, Token: m.Token, Lock: m.Lock})
 	if len(lk.waiters) == 0 {
 		return
 	}
@@ -146,14 +208,13 @@ func (g *manager) grant(lock int, to int32, token int64, reqVT []int32) {
 	if gvt == nil {
 		gvt = vc.New(g.nn)
 	}
-	reply := &wire.Msg{
+	g.reply(to, &wire.Msg{
 		Kind:    wire.KLockGrant,
 		Token:   token,
 		Lock:    int32(lock),
 		VT:      gvt.Clone(),
 		Notices: g.noticesBetween(reqVT, gvt),
-	}
-	g.n.send(int(to), reply)
+	})
 }
 
 func (g *manager) barArrive(m *wire.Msg) {
@@ -169,15 +230,85 @@ func (g *manager) barArrive(m *wire.Msg) {
 		merged.Join(a.vt)
 	}
 	for _, a := range b.arrivals {
-		reply := &wire.Msg{
+		g.reply(a.from, &wire.Msg{
 			Kind:    wire.KBarDepart,
 			Token:   a.token,
 			Barrier: m.Barrier,
 			Episode: g.episode,
 			VT:      merged.Clone(),
 			Notices: g.noticesBetween(a.vt, merged),
-		}
-		g.n.send(int(a.from), reply)
+		})
 	}
 	b.arrivals = nil
+}
+
+// ---- failure detection ----
+
+// checkLiveness sweeps the per-peer last-heard stamps; a peer silent
+// past HeartbeatTimeout is presumed dead and the whole cluster is
+// aborted with a structured error naming it and its pending
+// synchronization — a clean fast failure instead of N workers each
+// riding out an RPC timeout. Runs on the dispatcher goroutine, which
+// owns the manager state the verdict describes.
+func (g *manager) checkLiveness() {
+	now := time.Now().UnixNano()
+	for w := 1; w < g.nn; w++ {
+		silence := time.Duration(now - atomic.LoadInt64(&g.n.lastHeard[w]))
+		if silence <= g.n.cfg.HeartbeatTimeout {
+			continue
+		}
+		g.abort(&PeerDownError{Node: w, Silence: silence, Pending: g.pendingFor(w)})
+		return
+	}
+}
+
+// pendingFor describes a node's synchronization state as the manager
+// sees it, for the failure verdict.
+func (g *manager) pendingFor(w int) string {
+	var parts []string
+	for id := range g.locks {
+		lk := &g.locks[id]
+		if lk.held && int(lk.holder) == w {
+			parts = append(parts, fmt.Sprintf("holds lock %d", id))
+		}
+		for _, wt := range lk.waiters {
+			if int(wt.from) == w {
+				parts = append(parts, fmt.Sprintf("waiting for lock %d", id))
+			}
+		}
+	}
+	for id := range g.bars {
+		n := len(g.bars[id].arrivals)
+		if n == 0 {
+			continue
+		}
+		arrived := false
+		for _, a := range g.bars[id].arrivals {
+			if int(a.from) == w {
+				arrived = true
+				break
+			}
+		}
+		if !arrived {
+			parts = append(parts, fmt.Sprintf("barrier %d awaits it (%d/%d arrived)", id, n, g.nn))
+		}
+	}
+	if len(parts) == 0 {
+		return "no pending synchronization"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// abort fails this node with err and broadcasts it so every peer
+// unblocks immediately instead of waiting out its own timeout. The
+// broadcast is best-effort — a peer the abort cannot reach (the dead or
+// partitioned one) is torn down by the cluster anyway.
+func (g *manager) abort(err error) {
+	msg := &wire.Msg{Kind: wire.KAbort, Err: err.Error()}
+	for p := 0; p < g.nn; p++ {
+		if p != g.n.id {
+			g.n.send(p, msg)
+		}
+	}
+	g.n.fail(err)
 }

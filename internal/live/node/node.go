@@ -29,6 +29,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -77,6 +78,20 @@ type Config struct {
 	// RPCTimeout bounds every remote wait (default 30s); exceeding it
 	// fails the run instead of hanging.
 	RPCTimeout time.Duration
+	// RetryBase is the delay before the first retransmission of an
+	// unanswered RPC (default 200ms); it doubles per attempt up to
+	// RetryMax (default 2s). Retransmits reuse the request's token, and
+	// every receiver de-duplicates by it, so retries are idempotent. The
+	// total wait stays bounded by RPCTimeout.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HeartbeatInterval is the period of each node's liveness beacon to
+	// the manager (default 1s). HeartbeatTimeout is the silence after
+	// which the manager presumes a peer dead and aborts the whole cluster
+	// with a PeerDownError (default 10s). A negative HeartbeatTimeout
+	// disables failure detection.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 }
 
 // lpage is one node's view of one shared page.
@@ -125,6 +140,14 @@ type Node struct {
 
 	mgr *manager // non-nil on node 0
 
+	// lastHeard[w] (manager only) is the unix-nano time node 0 last
+	// received any frame from peer w; the pump stamps it, the liveness
+	// monitor reads it. Accessed with atomics.
+	lastHeard []int64
+	// hbCheck wakes the dispatcher to run a liveness sweep, so the check
+	// reads manager state from the goroutine that owns it.
+	hbCheck chan struct{}
+
 	stats Stats
 
 	done      chan struct{}
@@ -142,6 +165,18 @@ var _ core.Worker = (*Node)(nil)
 func New(tr transport.Transport, cfg Config) *Node {
 	if cfg.RPCTimeout <= 0 {
 		cfg.RPCTimeout = 30 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
 	}
 	n := &Node{
 		cfg:     cfg,
@@ -177,15 +212,75 @@ func New(tr transport.Transport, cfg Config) *Node {
 	}
 	if n.id == 0 {
 		n.mgr = newManager(n)
+		n.lastHeard = make([]int64, n.nn)
+		n.hbCheck = make(chan struct{}, 1)
 	}
 	return n
 }
 
-// Start launches the node's pump and dispatcher goroutines.
+// Start launches the node's pump and dispatcher goroutines, plus the
+// liveness machinery on clusters of more than one node: every non-zero
+// node beats a heartbeat at the manager, and the manager sweeps for
+// silent peers.
 func (n *Node) Start() {
 	n.wg.Add(2)
 	go n.pump()
 	go n.dispatch()
+	if n.nn < 2 {
+		return
+	}
+	if n.mgr != nil {
+		now := time.Now().UnixNano()
+		for w := range n.lastHeard {
+			atomic.StoreInt64(&n.lastHeard[w], now)
+		}
+		if n.cfg.HeartbeatTimeout > 0 {
+			n.wg.Add(1)
+			go n.monitor()
+		}
+		return
+	}
+	n.wg.Add(1)
+	go n.heartbeat()
+}
+
+// heartbeat beats a periodic liveness beacon at the manager until
+// shutdown. Losses are tolerated: the manager's timeout spans many
+// intervals, so only sustained silence — a dead or partitioned node —
+// trips detection.
+func (n *Node) heartbeat() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			n.send(0, &wire.Msg{Kind: wire.KHeartbeat})
+			atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// monitor (manager only) periodically wakes the dispatcher to sweep for
+// silent peers; the sweep itself runs on the dispatcher goroutine, which
+// owns the manager state the verdict describes.
+func (n *Node) monitor() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			select {
+			case n.hbCheck <- struct{}{}:
+			default:
+			}
+		case <-n.done:
+			return
+		}
+	}
 }
 
 // Close shuts the node down. It does not close the transport (the
@@ -297,13 +392,12 @@ func (n *Node) Lock(id int) {
 
 // Unlock implements core.Worker: it closes the write interval, flushes
 // its diffs home, and returns the lock (with the closed interval's write
-// notices) to the manager.
+// notices) to the manager. The release is an acknowledged RPC — not
+// fire-and-forget — so a dropped frame is retransmitted and the manager
+// provably holds the interval before the worker proceeds.
 func (n *Node) Unlock(id int) {
 	iv := n.closeInterval()
-	m := &wire.Msg{Kind: wire.KLockRelease, Lock: int32(id), VT: n.vtSnapshot(), Interval: iv}
-	if err := n.send(0, m); err != nil {
-		panic(runError{err})
-	}
+	n.rpc(0, &wire.Msg{Kind: wire.KLockRelease, Lock: int32(id), VT: n.vtSnapshot(), Interval: iv})
 }
 
 // Barrier implements core.Worker: it closes the write interval, arrives
@@ -439,22 +533,24 @@ func (n *Node) closeInterval() *wire.Interval {
 	}
 
 	// Flush to every remote home in parallel, then wait for all acks.
+	// Each flight keeps its request message so an unacknowledged flush is
+	// retransmitted under the same token; the home's per-writer version
+	// checks make re-application a no-op.
 	t0 := time.Now()
 	type flight struct {
-		tok int64
-		ch  chan *wire.Msg
+		to int
+		m  *wire.Msg
+		ch chan *wire.Msg
 	}
 	flights := make([]flight, 0, len(perHome))
 	for home, diffs := range perHome {
 		tok, ch := n.newToken()
 		m := &wire.Msg{Kind: wire.KWriteNotices, Token: tok, Diffs: diffs}
-		if err := n.send(home, m); err != nil {
-			panic(runError{err})
-		}
-		flights = append(flights, flight{tok, ch})
+		n.trySend(home, m)
+		flights = append(flights, flight{home, m, ch})
 	}
 	for _, f := range flights {
-		n.await(f.tok, f.ch)
+		n.awaitRetry(f.to, f.m, f.ch)
 	}
 	if len(flights) > 0 {
 		atomic.AddInt64(&n.stats.FlushWaitNs, time.Since(t0).Nanoseconds())
@@ -582,7 +678,7 @@ func (n *Node) pullDiffs(pg page.ID) {
 // waiting requester (bypassing the dispatcher queue).
 func isReply(k wire.Kind) bool {
 	switch k {
-	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart:
+	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart, wire.KReleaseAck:
 		return true
 	}
 	return false
@@ -598,39 +694,84 @@ func (n *Node) newToken() (int64, chan *wire.Msg) {
 	return tok, ch
 }
 
-// rpc sends a request and blocks for its reply.
+// rpc sends a request and blocks for its reply, retransmitting with
+// bounded exponential backoff while none arrives. Retries reuse the
+// request's token: receivers de-duplicate by (From, Token) — the manager
+// through its per-client table, homes through per-writer version checks
+// — so a retransmitted request is never executed twice, and a late
+// duplicate reply finds its token already resolved and is dropped.
 func (n *Node) rpc(to int, m *wire.Msg) *wire.Msg {
 	tok, ch := n.newToken()
 	m.Token = tok
-	if err := n.send(to, m); err != nil {
-		panic(runError{err})
-	}
-	return n.await(tok, ch)
+	n.trySend(to, m)
+	return n.awaitRetry(to, m, ch)
 }
 
-// await blocks for the reply registered under tok. A node failure or the
-// RPC timeout aborts the worker via runError.
-func (n *Node) await(tok int64, ch chan *wire.Msg) *wire.Msg {
-	timer := time.NewTimer(n.cfg.RPCTimeout)
+// awaitRetry blocks for the reply to m (already sent once under its
+// token), retransmitting on a backoff schedule. A node failure aborts
+// the worker via runError; exceeding RPCTimeout fails the run with an
+// error naming the operation and peer instead of hanging.
+func (n *Node) awaitRetry(to int, m *wire.Msg, ch chan *wire.Msg) *wire.Msg {
+	deadline := time.Now().Add(n.cfg.RPCTimeout)
+	backoff := n.cfg.RetryBase
+	timer := time.NewTimer(backoff)
 	defer timer.Stop()
-	select {
-	case r := <-ch:
-		return r
-	case <-n.done:
-		// A reply may have been routed concurrently with shutdown.
+	for attempt := 0; ; {
 		select {
 		case r := <-ch:
 			return r
-		default:
+		case <-n.done:
+			// A reply may have been routed concurrently with shutdown.
+			select {
+			case r := <-ch:
+				return r
+			default:
+			}
+			err := n.Err()
+			if err == nil {
+				err = fmt.Errorf("node %d: shut down while waiting for %v reply from %d", n.id, m.Kind, to)
+			}
+			panic(runError{err})
+		case <-timer.C:
 		}
-		err := n.Err()
-		if err == nil {
-			err = fmt.Errorf("node %d: shut down while waiting for reply", n.id)
+		if !time.Now().Before(deadline) {
+			panic(runError{fmt.Errorf("node %d: rpc timeout: %v to node %d after %v (token %d, %d retransmissions)",
+				n.id, m.Kind, to, n.cfg.RPCTimeout, m.Token, attempt)})
 		}
-		panic(runError{err})
-	case <-timer.C:
-		panic(runError{fmt.Errorf("node %d: rpc timeout after %v (token %d)", n.id, n.cfg.RPCTimeout, tok)})
+		attempt++
+		if attempt > 255 {
+			m.Attempt = 255
+		} else {
+			m.Attempt = uint8(attempt)
+		}
+		atomic.AddInt64(&n.stats.RPCRetries, 1)
+		n.trySend(to, m)
+		backoff *= 2
+		if backoff > n.cfg.RetryMax {
+			backoff = n.cfg.RetryMax
+		}
+		if rem := time.Until(deadline); rem < backoff {
+			backoff = rem
+			if backoff <= 0 {
+				backoff = time.Millisecond
+			}
+		}
+		timer.Reset(backoff)
 	}
+}
+
+// trySend transmits m, treating transport errors as transient — the
+// retransmission schedule recovers from them — except a closed
+// transport, which means the cluster is shutting down.
+func (n *Node) trySend(to int, m *wire.Msg) {
+	err := n.send(to, m)
+	if err == nil || !errors.Is(err, transport.ErrClosed) {
+		return
+	}
+	if e := n.Err(); e != nil {
+		err = e
+	}
+	panic(runError{fmt.Errorf("node %d: %v to %d aborted: %w", n.id, m.Kind, to, err)})
 }
 
 // send encodes and transmits m. Messages to self bypass the transport:
@@ -641,12 +782,16 @@ func (n *Node) send(to int, m *wire.Msg) error {
 	if to == n.id {
 		atomic.AddInt64(&n.stats.MsgsSent, 1)
 		atomic.AddInt64(&n.stats.MsgsRecv, 1)
-		if isReply(m.Kind) {
-			n.routeReply(m)
+		// Deliver a shallow copy: a retransmission mutates the sender's
+		// Msg (From, Attempt) while the dispatcher may still hold this
+		// delivery, exactly as a wire transport would re-encode it.
+		mc := *m
+		if isReply(mc.Kind) {
+			n.routeReply(&mc)
 			return nil
 		}
 		select {
-		case n.inq <- m:
+		case n.inq <- &mc:
 			return nil
 		case <-n.done:
 			return transport.ErrClosed
@@ -664,11 +809,11 @@ func (n *Node) send(to int, m *wire.Msg) error {
 	if n.obs != nil {
 		n.obs.MsgSent(n.id, to, m.Kind, len(b))
 	}
-	if err := n.tr.Send(to, b); err != nil {
-		n.fail(fmt.Errorf("node %d: send %v to %d: %w", n.id, m.Kind, to, err))
-		return err
-	}
-	return nil
+	// Transport errors are not fatal: a request's retransmission schedule
+	// recovers from transient failures, a lost reply is re-served when
+	// the requester retries, and a genuinely dead peer is converted into
+	// a clean abort by the RPC timeout or the manager's failure detector.
+	return n.tr.Send(to, b)
 }
 
 func (n *Node) routeReply(m *wire.Msg) {
@@ -678,7 +823,12 @@ func (n *Node) routeReply(m *wire.Msg) {
 	n.pmu.Unlock()
 	if ch != nil {
 		ch <- m
+		return
 	}
+	// No waiter: a duplicate or late reply to a token already resolved
+	// (its first copy won, or the RPC timed out). Dropping it here is the
+	// requester-side half of retry idempotence.
+	atomic.AddInt64(&n.stats.DupReplies, 1)
 }
 
 // pump drains the transport for the node's lifetime, routing replies to
@@ -697,6 +847,15 @@ func (n *Node) pump() {
 		}
 		atomic.AddInt64(&n.stats.MsgsRecv, 1)
 		atomic.AddInt64(&n.stats.BytesRecv, int64(len(f.Payload)))
+		// Any frame proves its sender alive; the manager's liveness sweep
+		// reads these stamps.
+		if n.lastHeard != nil && f.From >= 0 && f.From < len(n.lastHeard) {
+			atomic.StoreInt64(&n.lastHeard[f.From], time.Now().UnixNano())
+		}
+		if m.Kind == wire.KHeartbeat {
+			atomic.AddInt64(&n.stats.HeartbeatsRecv, 1)
+			continue // carries nothing beyond the liveness stamp
+		}
 		if isReply(m.Kind) {
 			n.routeReply(m)
 			continue
@@ -709,13 +868,18 @@ func (n *Node) pump() {
 	}
 }
 
-// dispatch serves protocol requests until shutdown.
+// dispatch serves protocol requests — and, on the manager, liveness
+// sweeps — until shutdown.
 func (n *Node) dispatch() {
 	defer n.wg.Done()
 	for {
 		select {
 		case m := <-n.inq:
 			n.handle(m)
+		case <-n.hbCheck:
+			if n.mgr != nil {
+				n.mgr.checkLiveness()
+			}
 		case <-n.done:
 			return
 		}
@@ -730,6 +894,8 @@ func (n *Node) handle(m *wire.Msg) {
 		n.handleDiffReq(m)
 	case wire.KWriteNotices:
 		n.handleWriteNotices(m)
+	case wire.KAbort:
+		n.fail(&RemoteAbortError{From: int(m.From), Reason: m.Err})
 	case wire.KLockReq, wire.KLockRelease, wire.KBarArrive:
 		if n.mgr == nil {
 			n.fail(fmt.Errorf("node %d: manager message %v at non-manager", n.id, m.Kind))
@@ -803,19 +969,32 @@ func (n *Node) handleDiffReq(m *wire.Msg) {
 }
 
 // handleWriteNotices applies a remote interval's diffs to the pages
-// homed here and acknowledges. The sender's release blocks on this ack.
+// homed here and acknowledges. The sender's release blocks on this ack,
+// retransmitting while it is missing, so a diff the home already holds
+// (by its per-writer version) is skipped: re-applying it could clobber a
+// newer write that landed on the same words in between.
 func (n *Node) handleWriteNotices(m *wire.Msg) {
+	var applied, dups int64
 	n.mu.Lock()
 	for i := range m.Diffs {
 		wd := m.Diffs[i]
 		ps := &n.pages[wd.D.Page]
+		if wd.Index <= ps.homeVT.Get(int(wd.Writer)) {
+			dups++
+			continue
+		}
 		n.homeRecordLocked(ps, wd, true)
+		applied++
 		if n.obs != nil {
 			n.obs.DiffApplied(n.id, wd.D.Page, int(wd.Writer), wd.Index)
 		}
 	}
 	n.mu.Unlock()
-	atomic.AddInt64(&n.stats.DiffsApplied, int64(len(m.Diffs)))
+	atomic.AddInt64(&n.stats.DiffsApplied, applied)
+	if dups > 0 {
+		atomic.AddInt64(&n.stats.DupRequests, dups)
+	}
+	// Always ack — including pure duplicates, whose original ack was lost.
 	if err := n.send(int(m.From), &wire.Msg{Kind: wire.KAck, Token: m.Token}); err != nil {
 		return
 	}

@@ -45,6 +45,14 @@ type Stats struct {
 	LockAcquires    int64 `json:"lock_acquires"`
 	BarrierEpisodes int64 `json:"barrier_episodes"`
 
+	// Robustness counters: the retransmission and failure-detection
+	// machinery's activity. All zero on a healthy network.
+	RPCRetries     int64 `json:"rpc_retries"`     // requests retransmitted after a silent backoff window
+	DupRequests    int64 `json:"dup_requests"`    // retransmitted requests de-duplicated at this node
+	DupReplies     int64 `json:"dup_replies"`     // late/duplicate replies dropped (token already resolved)
+	HeartbeatsSent int64 `json:"heartbeats_sent"` // liveness beacons sent to the manager
+	HeartbeatsRecv int64 `json:"heartbeats_recv"` // beacons received (manager only)
+
 	// Wall-clock waits, in nanoseconds (the live analogue of the
 	// simulator's *WaitCycles).
 	LockWaitNs    int64 `json:"lock_wait_ns"`
@@ -70,6 +78,9 @@ func (s *Stats) Snapshot() Stats {
 		{&out.DiffsApplied, &s.DiffsApplied}, {&out.DiffBytes, &s.DiffBytes},
 		{&out.Intervals, &s.Intervals}, {&out.Invalidations, &s.Invalidations},
 		{&out.LockAcquires, &s.LockAcquires}, {&out.BarrierEpisodes, &s.BarrierEpisodes},
+		{&out.RPCRetries, &s.RPCRetries}, {&out.DupRequests, &s.DupRequests},
+		{&out.DupReplies, &s.DupReplies},
+		{&out.HeartbeatsSent, &s.HeartbeatsSent}, {&out.HeartbeatsRecv, &s.HeartbeatsRecv},
 		{&out.LockWaitNs, &s.LockWaitNs}, {&out.BarrierWaitNs, &s.BarrierWaitNs},
 		{&out.FaultWaitNs, &s.FaultWaitNs}, {&out.FlushWaitNs, &s.FlushWaitNs},
 	} {

@@ -252,6 +252,20 @@ func (t *TCP) peerConn(to int) (net.Conn, error) {
 		to, t.addrs[to], t.opts.DialAttempts, lastErr)
 }
 
+// ResetPeer implements PeerResetter: it severs the established outbound
+// connection to a peer, as a crashed link would. The next Send re-dials
+// and retransmits; receiver-side sequence de-duplication keeps delivery
+// exactly-once.
+func (t *TCP) ResetPeer(to int) {
+	t.mu.Lock()
+	c := t.conns[to]
+	delete(t.conns, to)
+	t.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // dropConn removes a failed outbound connection so the next Send
 // re-dials.
 func (t *TCP) dropConn(to int, conn net.Conn) {

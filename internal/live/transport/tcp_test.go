@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -193,6 +194,139 @@ func TestTCPManyConcurrentSenders(t *testing.T) {
 		next[f.From]++
 	}
 	wg.Wait()
+}
+
+// stallConn wraps a connection so one designated Write emits only a
+// frame prefix and then stalls past the write deadline, simulating a
+// network that wedges mid-frame.
+type stallConn struct {
+	net.Conn
+	armed *atomic.Bool
+	stall time.Duration
+}
+
+func (c *stallConn) Write(b []byte) (int, error) {
+	if c.armed.CompareAndSwap(true, false) && len(b) > 6 {
+		n, err := c.Conn.Write(b[:6]) // partial header reaches the wire
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(c.stall) // ride past the write deadline
+		m, err := c.Conn.Write(b[6:])
+		return n + m, err // deadline-exceeded from the real conn
+	}
+	return c.Conn.Write(b)
+}
+
+// TestTCPWriteDeadlineMidFrame expires the write deadline with half a
+// frame on the wire: Send must tear the connection down, re-dial and
+// retransmit, and the receiver must deliver the frame exactly once
+// (the partial tail is discarded, the retransmission is not treated as
+// a duplicate).
+func TestTCPWriteDeadlineMidFrame(t *testing.T) {
+	var armed atomic.Bool
+	opts := fastOpts()
+	opts.WriteTimeout = 50 * time.Millisecond
+	opts.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &stallConn{Conn: c, armed: &armed, stall: 200 * time.Millisecond}, nil
+	}
+	ts, err := NewTCPLoopback(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+
+	if err := ts[0].Send(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+	if err := ts[0].Send(1, []byte("b")); err != nil {
+		t.Fatalf("send across a mid-frame deadline expiry: %v", err)
+	}
+	if err := ts[0].Send(1, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		f, err := ts[1].Recv()
+		if err != nil || string(f.Payload) != want {
+			t.Fatalf("want %q exactly once, got %q (err %v)", want, f.Payload, err)
+		}
+	}
+	// No stray duplicate of "b" behind "c".
+	select {
+	case f := <-func() chan Frame {
+		ch := make(chan Frame, 1)
+		go func() {
+			if fr, err := ts[1].Recv(); err == nil {
+				ch <- fr
+			}
+		}()
+		return ch
+	}():
+		t.Fatalf("unexpected extra frame %q after retransmission", f.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestTCPDuplicateSuppressionAfterReconnect plays a raw peer that
+// reconnects and retransmits already-delivered sequence numbers — the
+// receiver must suppress them and accept only the new frame.
+func TestTCPDuplicateSuppressionAfterReconnect(t *testing.T) {
+	ts, err := NewTCPLoopback(2, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(ts)
+	addr := ts[1].(*TCP).Addr()
+
+	frame := func(seq uint64, payload string) []byte {
+		b := make([]byte, 12+len(payload))
+		binary.BigEndian.PutUint64(b, seq)
+		binary.BigEndian.PutUint32(b[8:], uint32(len(payload)))
+		copy(b[12:], payload)
+		return b
+	}
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hello [4]byte // claim to be node 0
+		if _, err := c.Write(hello[:]); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	c1 := dial()
+	c1.Write(frame(1, "a"))
+	c1.Write(frame(2, "b"))
+	// Both must arrive before the "crash", or the reconnect could race
+	// ahead of the first connection's readLoop.
+	for _, want := range []string{"a", "b"} {
+		f, err := ts[1].Recv()
+		if err != nil || string(f.Payload) != want {
+			t.Fatalf("first connection: want %q, got %q (err %v)", want, f.Payload, err)
+		}
+	}
+	c1.Close()
+
+	// Reconnect and conservatively retransmit everything, like a sender
+	// that cannot know how much of its tail was delivered.
+	c2 := dial()
+	defer c2.Close()
+	c2.Write(frame(1, "a"))
+	c2.Write(frame(2, "b"))
+	c2.Write(frame(3, "c"))
+
+	f, err := ts[1].Recv()
+	if err != nil || string(f.Payload) != "c" {
+		t.Fatalf("after reconnect: want only %q, got %q (err %v)", "c", f.Payload, err)
+	}
 }
 
 func TestTCPClose(t *testing.T) {

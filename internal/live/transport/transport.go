@@ -35,3 +35,13 @@ type Transport interface {
 
 // ErrClosed is returned once a transport is shut down.
 var ErrClosed = errors.New("transport: closed")
+
+// PeerResetter is implemented by transports whose per-peer connections
+// can be forcibly severed mid-run — the TCP transport closes the
+// established outbound connection so the next Send must re-dial and
+// retransmit. Fault injection (internal/live/chaos) uses it to exercise
+// the reconnect path; connectionless transports simply don't implement
+// it.
+type PeerResetter interface {
+	ResetPeer(to int)
+}

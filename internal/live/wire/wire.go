@@ -17,9 +17,16 @@ import (
 	"lrcdsm/internal/page"
 )
 
-// Version is the wire-format version stamped on every frame. Peers reject
-// frames of any other version.
-const Version = 1
+// Version is the wire-format version stamped on every encoded frame.
+// Version 2 added the robustness message set (release acks, heartbeats,
+// aborts) and an Attempt retransmission counter on request kinds. Decode
+// still accepts MinVersion frames — a v1 frame simply has no Attempt
+// field and cannot carry the v2-only kinds — so a rolling upgrade never
+// wedges on the codec.
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 // MaxFrame is the largest frame Decode accepts (and Encode will produce
 // for any sane page size); a length-prefixed transport should enforce the
@@ -66,8 +73,23 @@ const (
 	// time and the write notices it is missing.
 	KBarDepart
 
+	// Version 2 kinds (the robustness layer). firstV2Kind below must stay
+	// in sync with the first of them.
+
+	// KReleaseAck acknowledges a KLockRelease, making lock releases
+	// retryable RPCs instead of fire-and-forget sends.
+	KReleaseAck
+	// KHeartbeat is a node's periodic liveness beacon to the manager.
+	KHeartbeat
+	// KAbort broadcasts a fatal cluster abort with a structured reason.
+	KAbort
+
 	kindEnd
 )
+
+// firstV2Kind is the first kind that requires wire version 2; a v1 frame
+// claiming such a kind is rejected.
+const firstV2Kind = KReleaseAck
 
 var kindNames = [...]string{
 	KHello: "hello", KPageReq: "page-req", KPageReply: "page-reply",
@@ -75,6 +97,7 @@ var kindNames = [...]string{
 	KWriteNotices: "write-notices", KAck: "ack",
 	KLockReq: "lock-req", KLockGrant: "lock-grant", KLockRelease: "lock-release",
 	KBarArrive: "bar-arrive", KBarDepart: "bar-depart",
+	KReleaseAck: "release-ack", KHeartbeat: "heartbeat", KAbort: "abort",
 }
 
 func (k Kind) String() string {
@@ -114,12 +137,17 @@ type Interval struct {
 type Msg struct {
 	Kind  Kind
 	From  int32 // sending node
-	Token int64 // request/reply correlation
+	Token int64 // request/reply correlation (the request ID retries reuse)
+
+	// Attempt counts retransmissions of a request (0 on first send,
+	// saturating at 255). Version 2 only: a v1 frame decodes as Attempt 0.
+	Attempt uint8
 
 	Lock    int32
 	Barrier int32
 	Episode int64
 	Page    int32
+	Err     string // abort reason (KAbort)
 
 	VT      []int32 // vector time (requester VT, grant VT, page version)
 	Data    []byte  // full page image (page/diff replies)
@@ -134,21 +162,28 @@ type Msg struct {
 type fieldSet struct {
 	lock, barrier, episode, pg     bool
 	vt, data, diffs, notices, ival bool
+	// attempt marks retryable request kinds; the field was added in
+	// version 2, so it is encoded always but decoded only from v2 frames.
+	attempt bool
+	errstr  bool
 }
 
 var fields = map[Kind]fieldSet{
 	KHello:        {},
-	KPageReq:      {pg: true},
+	KPageReq:      {pg: true, attempt: true},
 	KPageReply:    {pg: true, vt: true, data: true},
-	KDiffReq:      {pg: true, vt: true},
+	KDiffReq:      {pg: true, vt: true, attempt: true},
 	KDiffReply:    {pg: true, vt: true, data: true, diffs: true},
-	KWriteNotices: {diffs: true, ival: true},
+	KWriteNotices: {diffs: true, ival: true, attempt: true},
 	KAck:          {},
-	KLockReq:      {lock: true, vt: true},
+	KLockReq:      {lock: true, vt: true, attempt: true},
 	KLockGrant:    {lock: true, vt: true, notices: true, diffs: true},
-	KLockRelease:  {lock: true, vt: true, ival: true},
-	KBarArrive:    {barrier: true, vt: true, ival: true},
+	KLockRelease:  {lock: true, vt: true, ival: true, attempt: true},
+	KBarArrive:    {barrier: true, vt: true, ival: true, attempt: true},
 	KBarDepart:    {barrier: true, episode: true, vt: true, notices: true},
+	KReleaseAck:   {lock: true},
+	KHeartbeat:    {},
+	KAbort:        {errstr: true},
 }
 
 // Encode serializes m into a fresh buffer.
@@ -162,6 +197,12 @@ func Encode(m *Msg) []byte {
 	w.u8(uint8(m.Kind))
 	w.i32(m.From)
 	w.i64(m.Token)
+	if fs.attempt {
+		w.u8(m.Attempt)
+	}
+	if fs.errstr {
+		w.bytes([]byte(m.Err))
+	}
 	if fs.lock {
 		w.i32(m.Lock)
 	}
@@ -216,7 +257,8 @@ func Decode(b []byte) (*Msg, error) {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(b))
 	}
 	r := reader{b: b}
-	if v := r.u8(); r.err == nil && v != Version {
+	v := r.u8()
+	if r.err == nil && (v < MinVersion || v > Version) {
 		return nil, fmt.Errorf("wire: unknown version %d", v)
 	}
 	k := Kind(r.u8())
@@ -224,9 +266,20 @@ func Decode(b []byte) (*Msg, error) {
 	if r.err == nil && !ok {
 		return nil, fmt.Errorf("wire: unknown kind %d", uint8(k))
 	}
+	if r.err == nil && v < 2 && k >= firstV2Kind {
+		return nil, fmt.Errorf("wire: kind %v requires version 2, frame is version %d", k, v)
+	}
 	m := &Msg{Kind: k}
 	m.From = r.i32()
 	m.Token = r.i64()
+	if fs.attempt && v >= 2 {
+		m.Attempt = r.u8()
+	}
+	if fs.errstr {
+		if e := r.bytes(); len(e) > 0 {
+			m.Err = string(e)
+		}
+	}
 	if fs.lock {
 		m.Lock = r.i32()
 	}

@@ -32,12 +32,15 @@ func sampleMsgs() []*Msg {
 		{Kind: KDiffReply, From: 0, Token: 8, Page: 5, VT: []int32{1, 2, 3, 4}, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
 		{Kind: KWriteNotices, From: 1, Token: 9, Diffs: diffs, Interval: ival},
 		{Kind: KAck, From: 0, Token: 9},
-		{Kind: KLockReq, From: 3, Token: 10, Lock: 12, VT: []int32{0, 1, 2, 3}},
+		{Kind: KLockReq, From: 3, Token: 10, Lock: 12, VT: []int32{0, 1, 2, 3}, Attempt: 2},
 		{Kind: KLockGrant, From: 0, Token: 10, Lock: 12, VT: []int32{5, 5, 5, 5}, Notices: notices, Diffs: diffs},
 		{Kind: KLockRelease, From: 3, Token: 11, Lock: 12, VT: []int32{6, 5, 5, 5}, Interval: ival},
 		{Kind: KLockRelease, From: 3, Token: 12, Lock: 0, VT: []int32{6, 5, 5, 5}}, // no interval
 		{Kind: KBarArrive, From: 2, Token: 13, Barrier: 1, VT: []int32{1, 1, 1, 1}, Interval: ival},
 		{Kind: KBarDepart, From: 0, Token: 13, Barrier: 1, Episode: 4, VT: []int32{2, 2, 2, 2}, Notices: notices},
+		{Kind: KReleaseAck, From: 0, Token: 11, Lock: 12},
+		{Kind: KHeartbeat, From: 2},
+		{Kind: KAbort, From: 0, Err: "manager: node 3 silent for 2s (pending: barrier 1)"},
 	}
 }
 
@@ -109,6 +112,44 @@ func TestDecodeMalformed(t *testing.T) {
 	}
 	if _, err := Decode(make([]byte, MaxFrame+1)); err == nil {
 		t.Error("frame above MaxFrame accepted")
+	}
+}
+
+// encodeV1 builds a version-1 frame for kinds that existed in v1: the
+// same layout as Encode minus the Attempt byte version 2 added.
+func encodeV1(m *Msg) []byte {
+	b := Encode(m)
+	b[0] = 1
+	if fields[m.Kind].attempt {
+		// Attempt is the byte right after (version, kind, from, token).
+		b = append(b[:14], b[15:]...)
+	}
+	return b
+}
+
+// TestDecodeV1Compat checks the versioning contract: a v1 frame of a v1
+// kind still decodes (with Attempt zero), while the v2-only kinds are
+// rejected when stamped as v1.
+func TestDecodeV1Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Kind >= firstV2Kind {
+			b := Encode(m)
+			b[0] = 1
+			if _, err := Decode(b); err == nil {
+				t.Errorf("%v: v2-only kind accepted in a v1 frame", m.Kind)
+			}
+			continue
+		}
+		got, err := Decode(encodeV1(m))
+		if err != nil {
+			t.Errorf("%v: v1 frame rejected: %v", m.Kind, err)
+			continue
+		}
+		want := *m
+		want.Attempt = 0 // v1 frames have no Attempt field
+		if !reflect.DeepEqual(&want, got) {
+			t.Errorf("%v: v1 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
+		}
 	}
 }
 
