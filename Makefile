@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke live chaos bench-live verify
+.PHONY: build vet lint test race check-smoke live chaos recover bench-live verify
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,22 @@ chaos:
 		-chaos-seed 42 -drop 0.03 -dup 0.03 -delay-p 0.05 -delay 2ms -reset 0.05 \
 		-retry 10ms -hb-interval 50ms -check -timeout 60s
 
+# recover: the crash-recovery gate — the seeded kill+restart soaks (all
+# four apps × {LI, LH} with a node killed twice mid-run, in-proc and
+# over TCP loopback; lost-store and on-disk-store variants; the
+# partition-vs-restart discrimination check), the incarnation-fencing
+# and reply-cache-bound tests, and the restart-budget degradation check,
+# all under -race — then one seeded dsmd run that kills and restarts a
+# node on real sockets with frame faults in the mix, result regions
+# checked against a fault-free 1-node reference.
+recover:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'TestRecovery|TestPartitionHealSupervised|TestRestartBudgetExhausted|TestIncarnationFencing|TestReplyCacheBounded' \
+		./internal/live/...
+	$(GO) run ./cmd/dsmd -app jacobi -nodes 4 -transport tcp -scale test \
+		-recover -crash 2:25:5ms -chaos-seed 7 -drop 0.01 -dup 0.02 \
+		-retry 10ms -hb-interval 50ms -check -timeout 60s -deadline 120s
+
 # bench-live regenerates BENCH_live.json: one JSON object per line, one
 # line per app × protocol on a 4-node in-proc cluster at bench scale.
 bench-live:
@@ -55,4 +71,4 @@ bench-live:
 	done
 	@wc -l BENCH_live.json
 
-verify: build vet lint race check-smoke live chaos
+verify: build vet lint race check-smoke live chaos recover

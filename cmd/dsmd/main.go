@@ -8,6 +8,7 @@
 //	dsmd -app jacobi -nodes 4 -protocol LH -transport inproc -scale test
 //	dsmd -app water -nodes 2 -transport tcp -json
 //	dsmd -app tsp -nodes 4 -chaos-seed 42 -drop 0.05 -delay 2ms -check
+//	dsmd -app jacobi -nodes 4 -recover -crash 2:50:10ms -check
 //
 // With -json, one JSON object describing the run — configuration,
 // elapsed time, per-node and total protocol counters, and any injected
@@ -19,6 +20,14 @@
 // (internal/live/chaos) on a schedule derived from -chaos-seed, so a
 // faulty run is reproducible; -retry, -hb-interval and -hb-timeout tune
 // the engine's recovery machinery to match the fault rate.
+//
+// With -recover, the cluster survives node crashes: barrier-aligned
+// checkpoints are taken every -ckpt-every episodes (on disk under
+// -ckpt-dir, in memory otherwise), and a node killed by the -crash
+// schedule is restarted from the last stable checkpoint up to
+// -max-restarts times before the run degrades to the structured abort a
+// recovery-free cluster reports. -deadline bounds the whole run in wall
+// time; on expiry dsmd dumps a stats snapshot as JSON and exits nonzero.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +45,7 @@ import (
 	"lrcdsm/internal/harness"
 	"lrcdsm/internal/live"
 	"lrcdsm/internal/live/chaos"
+	ckpt "lrcdsm/internal/live/recover"
 	"lrcdsm/internal/live/transport"
 )
 
@@ -55,6 +66,15 @@ type runOpts struct {
 	hbInterval time.Duration
 	hbTimeout  time.Duration
 	chaos      *chaos.Config // nil: no fault injection
+
+	// Recovery knobs (-recover and friends).
+	recover     bool
+	maxRestarts int
+	ckptEvery   int64
+	ckptDir     string
+	crashes     []chaos.Crash
+	deadline    time.Duration
+	seed        int64
 }
 
 func main() {
@@ -79,6 +99,13 @@ func main() {
 		retryBase  = flag.Duration("retry", 0, "base RPC retransmission backoff (0: default 200ms)")
 		hbInterval = flag.Duration("hb-interval", 0, "heartbeat beacon interval (0: default 1s)")
 		hbTimeout  = flag.Duration("hb-timeout", 0, "silence before the manager declares a node down (0: default 10s, negative: disable)")
+
+		recoverRun  = flag.Bool("recover", false, "survive node crashes: checkpoint at barriers, restart killed nodes")
+		maxRestarts = flag.Int("max-restarts", 3, "restart budget before degrading to a structured abort (with -recover)")
+		ckptEvery   = flag.Int64("ckpt-every", 1, "checkpoint at every Nth barrier episode (with -recover)")
+		ckptDir     = flag.String("ckpt-dir", "", "directory for on-disk checkpoint stores (default: in-memory)")
+		crashSpec   = flag.String("crash", "", "kill schedule: node:atop[:delay][,...] — kill node when the cluster send count reaches atop, restart after delay")
+		deadline    = flag.Duration("deadline", 0, "wall-clock budget for the run; on expiry dump a stats JSON snapshot and exit nonzero")
 	)
 	flag.Parse()
 
@@ -92,10 +119,23 @@ func main() {
 	}
 
 	opts := runOpts{
-		timeout:    *timeout,
-		retryBase:  *retryBase,
-		hbInterval: *hbInterval,
-		hbTimeout:  *hbTimeout,
+		timeout:     *timeout,
+		retryBase:   *retryBase,
+		hbInterval:  *hbInterval,
+		hbTimeout:   *hbTimeout,
+		recover:     *recoverRun,
+		maxRestarts: *maxRestarts,
+		ckptEvery:   *ckptEvery,
+		ckptDir:     *ckptDir,
+		deadline:    *deadline,
+		seed:        *chaosSeed,
+	}
+	if *crashSpec != "" {
+		crashes, err := parseCrashes(*crashSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.crashes = crashes
 	}
 	if *dropP > 0 || *dupP > 0 || *delayP > 0 || *resetP > 0 || *partition != "" {
 		cfg := &chaos.Config{
@@ -145,7 +185,7 @@ func main() {
 
 	if *jsonOut {
 		rep := runReport{App: *appName, Scale: *scaleName, Transport: *trans, Stats: stats}
-		if opts.chaos != nil {
+		if faults != nil {
 			rep.ChaosSeed = *chaosSeed
 			rep.Chaos = faults
 		}
@@ -190,52 +230,169 @@ func parsePartition(s string) (chaos.Partition, error) {
 	return p, nil
 }
 
+// parseCrashes reads "node:atop[:delay][,...]" — kill the node when the
+// cluster-wide transport send count reaches atop, and (under -recover)
+// restart it after the optional delay.
+func parseCrashes(s string) ([]chaos.Crash, error) {
+	var crashes []chaos.Crash
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("-crash %q: want node:atop[:delay]", entry)
+		}
+		n, errN := strconv.Atoi(parts[0])
+		at, errA := strconv.ParseInt(parts[1], 10, 64)
+		if errN != nil || errA != nil || n < 0 || at < 1 {
+			return nil, fmt.Errorf("-crash %q: bad node or op count", entry)
+		}
+		c := chaos.Crash{Node: n, AtOp: at}
+		if len(parts) == 3 {
+			d, err := time.ParseDuration(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("-crash %q: bad restart delay: %w", entry, err)
+			}
+			c.RestartAfter = d
+		}
+		crashes = append(crashes, c)
+	}
+	return crashes, nil
+}
+
 // runLive executes one workload on a fresh live cluster and verifies its
 // result. With opts.chaos set, every node's transport is wrapped with
-// fault injection and the summed fault counters are returned.
+// fault injection and the summed fault counters are returned. With
+// opts.recover or a crash schedule, the cluster runs under the
+// supervisor: killed nodes are restarted from the last stable
+// barrier-aligned checkpoint until the restart budget runs out.
 func runLive(appName string, scale harness.Scale, prot core.Protocol, nodes int, trans string, opts runOpts) (*live.Cluster, *live.Stats, *chaos.Counters, error) {
 	app, err := harness.NewApp(appName, scale)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var trs []transport.Transport
-	switch trans {
-	case "inproc":
-		if opts.chaos != nil {
-			trs = transport.NewInprocNetwork(nodes)
-		}
-	case "tcp":
-		trs, err = transport.NewTCPLoopback(nodes, transport.TCPOptions{})
-		if err != nil {
-			return nil, nil, nil, err
-		}
-	default:
-		return nil, nil, nil, fmt.Errorf("unknown transport %q (want inproc or tcp)", trans)
-	}
-	var wrapped []*chaos.Transport
-	if opts.chaos != nil {
-		wrapped = chaos.WrapAll(trs, *opts.chaos)
-		trs = chaos.Transports(wrapped)
-	}
-	cluster, err := live.New(live.Config{
+	supervised := opts.recover || len(opts.crashes) > 0
+	cfg := live.Config{
 		Nodes:             nodes,
 		Protocol:          prot,
-		Transports:        trs,
 		RPCTimeout:        opts.timeout,
 		RetryBase:         opts.retryBase,
 		HeartbeatInterval: opts.hbInterval,
 		HeartbeatTimeout:  opts.hbTimeout,
-	})
+	}
+	var (
+		cluster *live.Cluster
+		wrapped []*chaos.Transport
+		nw      *chaos.Net
+	)
+	if supervised {
+		// Recovery needs a rebuildable transport fabric, not a fixed
+		// slice: a restarted node gets a fresh incarnation via Rejoin.
+		var inner transport.Network
+		switch trans {
+		case "inproc":
+			inner = transport.NewInprocNet(nodes)
+		case "tcp":
+			inner, err = transport.NewTCPLoopbackNet(nodes, transport.TCPOptions{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown transport %q (want inproc or tcp)", trans)
+		}
+		fcfg := chaos.Config{Seed: opts.seed}
+		if opts.chaos != nil {
+			fcfg = *opts.chaos
+		}
+		fcfg.Crashes = opts.crashes
+		fcfg.OnCrash = func(n int, d time.Duration) { cluster.Kill(n, d) }
+		nw = chaos.WrapNet(inner, fcfg)
+		cfg.Net = nw
+	} else {
+		var trs []transport.Transport
+		switch trans {
+		case "inproc":
+			if opts.chaos != nil {
+				trs = transport.NewInprocNetwork(nodes)
+			}
+		case "tcp":
+			trs, err = transport.NewTCPLoopback(nodes, transport.TCPOptions{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown transport %q (want inproc or tcp)", trans)
+		}
+		if opts.chaos != nil {
+			wrapped = chaos.WrapAll(trs, *opts.chaos)
+			trs = chaos.Transports(wrapped)
+		}
+		cfg.Transports = trs
+	}
+	cluster, err = live.New(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	app.Configure(cluster)
-	stats, err := cluster.Run(func(w core.Worker) { app.Worker(w) })
-	var faults *chaos.Counters
-	if wrapped != nil {
-		sum := chaos.SumCounters(wrapped)
-		faults = &sum
+
+	worker := func(w core.Worker) { app.Worker(w) }
+	run := func() (*live.Stats, error) {
+		if !supervised {
+			return cluster.Run(worker)
+		}
+		ropts := live.RecoverOptions{
+			MaxRestarts:     opts.maxRestarts,
+			CheckpointEvery: opts.ckptEvery,
+			Replicate:       true,
+			Seed:            opts.seed,
+		}
+		if !opts.recover {
+			// A crash schedule without -recover demonstrates the
+			// degraded path: no restarts, structured abort.
+			ropts.MaxRestarts = 0
+		}
+		if opts.ckptDir != "" {
+			stores := make([]ckpt.Store, nodes)
+			for i := range stores {
+				s, err := ckpt.NewDirStore(filepath.Join(opts.ckptDir, fmt.Sprintf("node%d", i)))
+				if err != nil {
+					return nil, err
+				}
+				stores[i] = s
+			}
+			ropts.Stores = stores
+		}
+		return cluster.RunSupervised(worker, ropts)
 	}
+
+	var stats *live.Stats
+	if opts.deadline > 0 {
+		type result struct {
+			stats *live.Stats
+			err   error
+		}
+		done := make(chan result, 1)
+		go func() {
+			s, e := run()
+			done <- result{s, e}
+		}()
+		select {
+		case r := <-done:
+			stats, err = r.stats, r.err
+		case <-time.After(opts.deadline):
+			// The run is still in flight; dump what the cluster has done
+			// so far and exit nonzero so scripts see the overrun.
+			rep := runReport{
+				App: appName, Scale: scaleString(scale), Transport: trans,
+				Stats: cluster.StatsSnapshot(),
+			}
+			rep.Chaos = liveFaults(nw, wrapped)
+			json.NewEncoder(os.Stdout).Encode(rep)
+			fmt.Fprintf(os.Stderr, "dsmd: deadline %v exceeded, aborting\n", opts.deadline)
+			os.Exit(2)
+		}
+	} else {
+		stats, err = run()
+	}
+	faults := liveFaults(nw, wrapped)
 	if err != nil {
 		return nil, nil, faults, fmt.Errorf("%s/%v/%dn: %w", appName, prot, nodes, err)
 	}
@@ -243,6 +400,30 @@ func runLive(appName string, scale harness.Scale, prot core.Protocol, nodes int,
 		return nil, nil, faults, fmt.Errorf("%s/%v/%dn failed verification: %w", appName, prot, nodes, err)
 	}
 	return cluster, stats, faults, nil
+}
+
+// liveFaults sums injected-fault counters from whichever wrapping was in
+// play: the network wrapper (supervised runs) or the per-transport slice.
+func liveFaults(nw *chaos.Net, wrapped []*chaos.Transport) *chaos.Counters {
+	switch {
+	case nw != nil:
+		sum := nw.Counters()
+		return &sum
+	case wrapped != nil:
+		sum := chaos.SumCounters(wrapped)
+		return &sum
+	}
+	return nil
+}
+
+func scaleString(s harness.Scale) string {
+	switch s {
+	case harness.ScalePaper:
+		return "paper"
+	case harness.ScaleBench:
+		return "bench"
+	}
+	return "test"
 }
 
 func printReport(appName, trans string, st *live.Stats, faults *chaos.Counters) {
@@ -262,9 +443,15 @@ func printReport(appName, trans string, st *live.Stats, faults *chaos.Counters) 
 		st.Total.RPCRetries, st.Total.DupRequests, st.Total.DupReplies,
 		st.Total.HeartbeatsSent, st.Total.HeartbeatsRecv)
 	if faults != nil {
-		fmt.Printf("  chaos: %d faults (drop %d, dup %d, delay %d, reset %d, partition %d)\n",
+		fmt.Printf("  chaos: %d faults (drop %d, dup %d, delay %d, reset %d, partition %d, crash %d)\n",
 			faults.Total(), faults.Dropped, faults.Duplicated, faults.Delayed,
-			faults.Resets, faults.Partitioned)
+			faults.Resets, faults.Partitioned, faults.Crashes)
+	}
+	if st.Restarts > 0 || st.Total.CheckpointsTaken > 0 || st.Total.StaleFrames > 0 {
+		fmt.Printf("  recovery: %d restarts (%.1f ms), %d checkpoints (%.1f KB), %d stale frames fenced\n",
+			st.Restarts, float64(st.RecoveryNs)/1e6,
+			st.Total.CheckpointsTaken, float64(st.Total.CheckpointBytes)/1024,
+			st.Total.StaleFrames)
 	}
 	for _, ns := range st.PerNode {
 		fmt.Printf("  node %d: sent %d msgs, faults %d, intervals %d\n",

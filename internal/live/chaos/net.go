@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"sync"
+
+	"lrcdsm/internal/live/transport"
+)
+
+// Net wraps a whole transport.Network with fault injection so the
+// supervisor's recovery path runs under the same chaos schedule as the
+// original run: a rejoined node's fresh transport is wrapped with the
+// same config, the same partition-window origin, and the same crash
+// schedule (already-fired crash entries stay fired).
+type Net struct {
+	inner transport.Network
+	cfg   Config
+	sched *sched
+
+	mu      sync.Mutex
+	wrapped []*Transport
+	retired Counters // counters of replaced incarnations
+}
+
+var _ transport.Network = (*Net)(nil)
+
+// WrapNet builds a fault-injecting view of a whole network.
+func WrapNet(inner transport.Network, cfg Config) *Net {
+	ts := WrapAll(inner.Transports(), cfg)
+	nw := &Net{inner: inner, cfg: cfg, wrapped: ts}
+	if len(ts) > 0 {
+		nw.sched = ts[0].sched
+	}
+	return nw
+}
+
+// Transports implements transport.Network.
+func (nw *Net) Transports() []transport.Transport {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]transport.Transport, len(nw.wrapped))
+	for i, t := range nw.wrapped {
+		out[i] = t
+	}
+	return out
+}
+
+// Wrapped returns the current fault-injecting transports, for counter
+// inspection by tests and the dsmd report.
+func (nw *Net) Wrapped() []*Transport {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return append([]*Transport(nil), nw.wrapped...)
+}
+
+// Rejoin implements transport.Network: the fresh incarnation is wrapped
+// with the same schedule, and the replaced wrapper's fault counters are
+// folded into the network total.
+func (nw *Net) Rejoin(i int) (transport.Transport, error) {
+	fresh, err := nw.inner.Rejoin(i)
+	if err != nil {
+		return nil, err
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	old := nw.wrapped[i]
+	nw.retired.Add(old.Counters())
+	// Keep the original partition-window origin so "From" offsets stay
+	// anchored at cluster start, not at each restart.
+	t := wrapAt(fresh, nw.cfg, old.start, nw.sched)
+	nw.wrapped[i] = t
+	return t, nil
+}
+
+// Close implements transport.Network.
+func (nw *Net) Close() error { return nw.inner.Close() }
+
+// Counters totals the faults injected across every incarnation of every
+// node's transport.
+func (nw *Net) Counters() Counters {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	sum := nw.retired
+	for _, t := range nw.wrapped {
+		sum.Add(t.Counters())
+	}
+	return sum
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lrcdsm/internal/core"
@@ -35,6 +36,10 @@ type Config struct {
 	// Transports, when non-nil, supplies one transport per node (e.g.
 	// transport.NewTCPLoopback). Nil selects the in-process transport.
 	Transports []transport.Transport
+	// Net, when non-nil, supplies the whole network instead of
+	// Transports. RunSupervised requires it: recovery rebuilds a crashed
+	// node's transport through Network.Rejoin.
+	Net transport.Network
 	// Observer, when non-nil, receives protocol events from every node.
 	Observer node.Observer
 	// RPCTimeout bounds every remote wait (default 30s).
@@ -61,6 +66,11 @@ type Stats struct {
 	ElapsedNs int64        `json:"elapsed_ns"`
 	PerNode   []node.Stats `json:"per_node"`
 	Total     node.Stats   `json:"total"`
+
+	// Recovery outcome (RunSupervised only). Total folds in the counters
+	// of killed engine incarnations, so it can exceed the sum of PerNode.
+	Restarts   int64 `json:"restarts,omitempty"`
+	RecoveryNs int64 `json:"recovery_ns,omitempty"`
 }
 
 // Cluster is a live DSM machine. Like core.System it is used once:
@@ -76,9 +86,22 @@ type Cluster struct {
 	nbars  int
 	init   map[page.ID][]byte
 
+	mu    sync.Mutex // guards nodes/trs against Kill during construction
 	nodes []*node.Node
+	trs   []transport.Transport
 	final []byte
 	ran   bool
+
+	// Crash plumbing (see supervisor.go): Kill records the event here and
+	// RunSupervised drains it; crashPending marks a rollback in flight so
+	// worker failures during it are forgiven.
+	crashCh      chan crashEvent
+	crashPending atomic.Bool
+}
+
+type crashEvent struct {
+	victim       int
+	restartAfter time.Duration
 }
 
 var (
@@ -106,7 +129,10 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Transports != nil && len(cfg.Transports) != cfg.Nodes {
 		return nil, fmt.Errorf("live: %d transports for %d nodes", len(cfg.Transports), cfg.Nodes)
 	}
-	c := &Cluster{cfg: cfg, init: make(map[page.ID][]byte)}
+	if cfg.Net != nil && cfg.Transports != nil {
+		return nil, fmt.Errorf("live: set Net or Transports, not both")
+	}
+	c := &Cluster{cfg: cfg, init: make(map[page.ID][]byte), crashCh: make(chan crashEvent, 4*cfg.Nodes)}
 	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
 		c.pageShift++
 	}
@@ -210,6 +236,28 @@ func (c *Cluster) homeAssignment(npages int) []int32 {
 	return homes
 }
 
+// nodeConfig builds the per-node engine configuration shared by Run and
+// RunSupervised; rc is nil when recovery is disabled.
+func (c *Cluster) nodeConfig(npages int, homes []int32, rc *node.RecoverConfig) node.Config {
+	return node.Config{
+		PageSize:   c.cfg.PageSize,
+		NPages:     npages,
+		Homes:      homes,
+		Init:       c.init,
+		NLocks:     c.nlocks,
+		NBars:      c.nbars,
+		Protocol:   c.cfg.Protocol,
+		Observer:   c.cfg.Observer,
+		RPCTimeout: c.cfg.RPCTimeout,
+
+		RetryBase:         c.cfg.RetryBase,
+		RetryMax:          c.cfg.RetryMax,
+		HeartbeatInterval: c.cfg.HeartbeatInterval,
+		HeartbeatTimeout:  c.cfg.HeartbeatTimeout,
+		Recover:           rc,
+	}
+}
+
 // Run executes worker on every node concurrently and returns the run's
 // statistics. Shared memory must be allocated and initialized first; the
 // initial image is placed at each page's home, and all other nodes start
@@ -226,29 +274,21 @@ func (c *Cluster) Run(worker func(core.Worker)) (*Stats, error) {
 	homes := c.homeAssignment(npages)
 
 	trs := c.cfg.Transports
+	if c.cfg.Net != nil {
+		trs = c.cfg.Net.Transports()
+	}
 	if trs == nil {
 		trs = transport.NewInprocNetwork(c.cfg.Nodes)
 	}
-	c.nodes = make([]*node.Node, c.cfg.Nodes)
-	for i := range c.nodes {
-		c.nodes[i] = node.New(trs[i], node.Config{
-			PageSize:   c.cfg.PageSize,
-			NPages:     npages,
-			Homes:      homes,
-			Init:       c.init,
-			NLocks:     c.nlocks,
-			NBars:      c.nbars,
-			Protocol:   c.cfg.Protocol,
-			Observer:   c.cfg.Observer,
-			RPCTimeout: c.cfg.RPCTimeout,
-
-			RetryBase:         c.cfg.RetryBase,
-			RetryMax:          c.cfg.RetryMax,
-			HeartbeatInterval: c.cfg.HeartbeatInterval,
-			HeartbeatTimeout:  c.cfg.HeartbeatTimeout,
-		})
+	nodes := make([]*node.Node, c.cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = node.New(trs[i], c.nodeConfig(npages, homes, nil))
 	}
-	for _, nd := range c.nodes {
+	c.mu.Lock()
+	c.nodes = nodes
+	c.trs = trs
+	c.mu.Unlock()
+	for _, nd := range nodes {
 		nd.Start()
 	}
 
@@ -329,6 +369,28 @@ func (c *Cluster) Run(worker func(core.Worker)) (*Stats, error) {
 	return st, nil
 }
 
+// StatsSnapshot returns the protocol counters of the cluster's current
+// engines, safe to call while a run is in flight (dsmd uses it to dump
+// state when a wall-clock deadline expires). Elapsed time and the
+// recovery totals are only known once the run returns, so they are zero
+// here.
+func (c *Cluster) StatsSnapshot() *Stats {
+	c.mu.Lock()
+	nds := append([]*node.Node(nil), c.nodes...)
+	c.mu.Unlock()
+	st := &Stats{Nodes: c.cfg.Nodes, Protocol: c.cfg.Protocol.String()}
+	for _, nd := range nds {
+		if nd == nil {
+			continue
+		}
+		s := nd.Stats()
+		st.PerNode = append(st.PerNode, s)
+		addStats(&st.Total, &s)
+	}
+	st.Total.Node = -1
+	return st
+}
+
 // pickErr selects the error to surface from a failed run. The manager's
 // failure-detection verdict (*node.PeerDownError) names the suspect node
 // and its pending operation, so it wins over the secondary
@@ -376,6 +438,9 @@ func addStats(dst, src *node.Stats) {
 	dst.DupReplies += src.DupReplies
 	dst.HeartbeatsSent += src.HeartbeatsSent
 	dst.HeartbeatsRecv += src.HeartbeatsRecv
+	dst.CheckpointsTaken += src.CheckpointsTaken
+	dst.CheckpointBytes += src.CheckpointBytes
+	dst.StaleFrames += src.StaleFrames
 	dst.LockWaitNs += src.LockWaitNs
 	dst.BarrierWaitNs += src.BarrierWaitNs
 	dst.FaultWaitNs += src.FaultWaitNs

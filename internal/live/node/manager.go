@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	ckpt "lrcdsm/internal/live/recover"
 	"lrcdsm/internal/live/wire"
 	"lrcdsm/internal/vc"
 )
@@ -45,6 +46,35 @@ type manager struct {
 	// ticks its clock only when closing a non-empty interval, and
 	// reports it with the same message.
 	log [][]ivalRec
+
+	// Recovery state (only used when the node's RecoverConfig is set).
+	// recovering[w] marks a peer mid-recovery: liveness skips it and a
+	// KJoinReq from it is expected. incarnations[w] is the newest
+	// incarnation w announced. ckptConfirmed[w] is the newest checkpoint
+	// episode w confirmed durably stored; the stable checkpoint is their
+	// minimum (0 = the initial image, always available).
+	recovering    []bool
+	incarnations  []uint32
+	ckptConfirmed []int64
+	// resumeEpisode/resumeVT describe the checkpoint the cluster last
+	// rolled back to, handed to joiners in KJoinGrant.
+	resumeEpisode int64
+	resumeVT      vc.VC
+	// push[w] assembles a snapshot blob w is streaming in KSnapPush
+	// chunks; joinBlob[w] is the encoded replica being served back to a
+	// rejoining w in KSnapChunk replies.
+	push     []*pushAsm
+	joinBlob [][]byte
+}
+
+// pushAsm reassembles one node's replicated snapshot from its chunks.
+// Chunks arrive strictly in order: the pusher streams them as blocking
+// RPCs and the client table drops retransmissions.
+type pushAsm struct {
+	episode int64
+	nchunks int32
+	next    int32
+	buf     []byte
 }
 
 type ivalRec struct {
@@ -67,23 +97,51 @@ type mbar struct {
 	arrivals []waiter
 }
 
+// replyCacheCap bounds each client's cached-reply window. A worker has
+// at most one manager RPC outstanding, so one slot would suffice for
+// liveness; the window absorbs deep retransmission storms re-asking for
+// recently answered tokens without letting a hot client grow the cache
+// without bound.
+const replyCacheCap = 32
+
 // mclient is one node's request de-duplication state: the newest token
-// seen from it and, once sent, the reply to that token (nil while the
-// request is still pending, e.g. queued on a held lock).
+// seen from it and a bounded cache of recent replies, keyed by token
+// (a pending request — e.g. queued on a held lock — has no entry yet).
+// The oldest token is evicted once the cache exceeds replyCacheCap.
 type mclient struct {
 	lastTok int64
-	reply   *wire.Msg
+	replies map[int64]*wire.Msg
+	order   []int64 // cached tokens, oldest first
+}
+
+func (c *mclient) cache(m *wire.Msg) {
+	if c.replies == nil {
+		c.replies = make(map[int64]*wire.Msg)
+	}
+	if _, ok := c.replies[m.Token]; !ok {
+		c.order = append(c.order, m.Token)
+		if len(c.order) > replyCacheCap {
+			delete(c.replies, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.replies[m.Token] = m
 }
 
 func newManager(n *Node) *manager {
 	return &manager{
-		n:       n,
-		nn:      n.nn,
-		locks:   make([]mlock, n.cfg.NLocks),
-		lockVT:  make([]vc.VC, n.cfg.NLocks),
-		bars:    make([]mbar, n.cfg.NBars),
-		clients: make([]mclient, n.nn),
-		log:     make([][]ivalRec, n.nn),
+		n:             n,
+		nn:            n.nn,
+		locks:         make([]mlock, n.cfg.NLocks),
+		lockVT:        make([]vc.VC, n.cfg.NLocks),
+		bars:          make([]mbar, n.cfg.NBars),
+		clients:       make([]mclient, n.nn),
+		log:           make([][]ivalRec, n.nn),
+		recovering:    make([]bool, n.nn),
+		incarnations:  make([]uint32, n.nn),
+		ckptConfirmed: make([]int64, n.nn),
+		push:          make([]*pushAsm, n.nn),
+		joinBlob:      make([][]byte, n.nn),
 	}
 }
 
@@ -98,6 +156,16 @@ func (g *manager) handle(m *wire.Msg) {
 		g.lockRelease(m)
 	case wire.KBarArrive:
 		g.barArrive(m)
+	case wire.KJoinReq:
+		g.joinReq(m)
+	case wire.KSnapReq:
+		g.snapReq(m)
+	case wire.KSnapPush:
+		g.snapPush(m)
+	case wire.KResume:
+		g.resume(m)
+	case wire.KCkptDone:
+		g.ckptDone(m)
 	}
 }
 
@@ -107,24 +175,22 @@ func (g *manager) handle(m *wire.Msg) {
 func (g *manager) dropDup(m *wire.Msg) bool {
 	c := &g.clients[m.From]
 	if m.Token > c.lastTok {
-		c.lastTok, c.reply = m.Token, nil
+		c.lastTok = m.Token
 		return false
 	}
 	atomic.AddInt64(&g.n.stats.DupRequests, 1)
-	if m.Token == c.lastTok && c.reply != nil {
-		g.n.send(int(m.From), c.reply)
+	if r, ok := c.replies[m.Token]; ok {
+		g.n.send(int(m.From), r)
 	}
 	return true
 }
 
 // reply sends a response to a client and caches it for retransmitted
-// requests. The cache holds at most one reply per client, which
-// suffices: a worker has at most one manager RPC outstanding, and its
-// next request (a strictly newer token) releases the slot.
+// requests (bounded per client by replyCacheCap).
 func (g *manager) reply(to int32, m *wire.Msg) {
 	c := &g.clients[to]
-	if m.Token == c.lastTok {
-		c.reply = m
+	if m.Token <= c.lastTok {
+		c.cache(m)
 	}
 	g.n.send(int(to), m)
 }
@@ -229,6 +295,12 @@ func (g *manager) barArrive(m *wire.Msg) {
 	for _, a := range b.arrivals {
 		merged.Join(a.vt)
 	}
+	// A flagged episode captures the manager's half of the checkpoint
+	// before any departure: by the time a node can snapshot (after its
+	// depart) or confirm, the manager snapshot it pairs with exists.
+	if rc := g.n.cfg.Recover; rc != nil && rc.Every > 0 && g.episode%rc.Every == 0 {
+		g.captureManager(merged)
+	}
 	for _, a := range b.arrivals {
 		g.reply(a.from, &wire.Msg{
 			Kind:    wire.KBarDepart,
@@ -242,6 +314,208 @@ func (g *manager) barArrive(m *wire.Msg) {
 	b.arrivals = nil
 }
 
+// ---- checkpoint and rejoin ----
+
+// captureManager snapshots the manager's synchronization state at the
+// just-completed (flagged) episode into the store.
+func (g *manager) captureManager(merged vc.VC) {
+	snap := &ckpt.ManagerSnapshot{
+		Episode: g.episode,
+		VT:      merged.Clone(),
+		LockVT:  make([][]int32, len(g.lockVT)),
+		Log:     make([][]ckpt.LogRec, g.nn),
+	}
+	for i, lv := range g.lockVT {
+		if lv != nil {
+			snap.LockVT[i] = lv.Clone()
+		}
+	}
+	for w := range g.log {
+		for _, r := range g.log[w] {
+			snap.Log[w] = append(snap.Log[w], ckpt.LogRec{Pages: append([]int32(nil), r.pages...)})
+		}
+	}
+	if err := g.n.cfg.Recover.Store.PutManager(snap); err != nil {
+		g.abort(fmt.Errorf("manager: storing checkpoint %d: %w", g.episode, err))
+	}
+}
+
+// ckptDone records a node's confirmation that it durably stored its
+// snapshot for an episode.
+func (g *manager) ckptDone(m *wire.Msg) {
+	w := int(m.From)
+	if m.Episode > g.ckptConfirmed[w] {
+		g.ckptConfirmed[w] = m.Episode
+	}
+	g.reply(m.From, &wire.Msg{Kind: wire.KAck, Token: m.Token})
+}
+
+// stableCkpt is the newest episode every node has confirmed; the
+// rollback target a recovery restores.
+func (g *manager) stableCkpt() int64 {
+	stable := g.ckptConfirmed[0]
+	for _, e := range g.ckptConfirmed[1:] {
+		if e < stable {
+			stable = e
+		}
+	}
+	return stable
+}
+
+// snapPush assembles a replicated snapshot streamed by a node, one
+// chunk per (acknowledged, de-duplicated) RPC, and stores it once
+// complete.
+func (g *manager) snapPush(m *wire.Msg) {
+	w := int(m.From)
+	a := g.push[w]
+	if a == nil || a.episode != m.Episode {
+		a = &pushAsm{episode: m.Episode, nchunks: m.NChunks}
+		g.push[w] = a
+	}
+	if m.Chunk != a.next {
+		g.abort(fmt.Errorf("manager: snapshot chunk %d from %d, want %d", m.Chunk, w, a.next))
+		return
+	}
+	a.buf = append(a.buf, m.Data...)
+	a.next++
+	if a.next == a.nchunks {
+		g.push[w] = nil
+		snap, err := ckpt.DecodeNode(a.buf)
+		if err != nil {
+			g.abort(fmt.Errorf("manager: replicated snapshot from %d: %w", w, err))
+			return
+		}
+		if err := g.n.cfg.Recover.Store.PutNode(snap); err != nil {
+			g.abort(fmt.Errorf("manager: storing replica of %d: %w", w, err))
+			return
+		}
+	}
+	g.reply(m.From, &wire.Msg{Kind: wire.KAck, Token: m.Token})
+}
+
+// joinReq admits a restarted node: the grant names the checkpoint
+// episode the cluster rolled back to, its merged vector time, and — when
+// the manager holds a replica of the joiner's snapshot — how many chunks
+// the joiner may stream with KSnapReq if its own store is gone.
+func (g *manager) joinReq(m *wire.Msg) {
+	w := int(m.From)
+	g.incarnations[w] = m.Incarnation
+	reply := &wire.Msg{
+		Kind: wire.KJoinGrant, Token: m.Token,
+		Incarnation: m.Incarnation, Episode: g.resumeEpisode,
+	}
+	if g.resumeVT != nil {
+		reply.VT = g.resumeVT.Clone()
+	}
+	if g.resumeEpisode > 0 {
+		if snap, err := g.n.cfg.Recover.Store.GetNode(g.resumeEpisode, w); err == nil {
+			blob := ckpt.EncodeNode(snap)
+			g.joinBlob[w] = blob
+			reply.NChunks = int32((len(blob) + snapChunkSize - 1) / snapChunkSize)
+		}
+	}
+	g.reply(m.From, reply)
+}
+
+// snapReq serves one chunk of the joiner's replicated snapshot.
+func (g *manager) snapReq(m *wire.Msg) {
+	w := int(m.From)
+	blob := g.joinBlob[w]
+	lo := int(m.Chunk) * snapChunkSize
+	if blob == nil || lo < 0 || lo >= len(blob) {
+		g.abort(fmt.Errorf("manager: snapshot chunk %d requested by %d, have %d bytes", m.Chunk, w, len(blob)))
+		return
+	}
+	hi := lo + snapChunkSize
+	if hi > len(blob) {
+		hi = len(blob)
+	}
+	g.reply(m.From, &wire.Msg{
+		Kind: wire.KSnapChunk, Token: m.Token,
+		Episode: m.Episode, Chunk: m.Chunk, Data: blob[lo:hi],
+	})
+}
+
+// resume re-arms liveness for a rejoined node and ends its recovery.
+func (g *manager) resume(m *wire.Msg) {
+	w := int(m.From)
+	g.recovering[w] = false
+	g.joinBlob[w] = nil
+	if g.n.lastHeard != nil {
+		atomic.StoreInt64(&g.n.lastHeard[w], time.Now().UnixNano())
+	}
+	g.reply(m.From, &wire.Msg{Kind: wire.KAck, Token: m.Token})
+}
+
+// resetTo rolls the manager back to checkpoint episode k (0 = pristine):
+// locks free, barriers empty, the interval log and lock vector times
+// restored from the manager snapshot, client de-duplication cleared for
+// the new epoch, and victim marked recovering. Runs on the dispatcher
+// via Node.Control.
+func (g *manager) resetTo(k int64, victim int) error {
+	var ms *ckpt.ManagerSnapshot
+	if k > 0 {
+		var err error
+		if ms, err = g.n.cfg.Recover.Store.GetManager(k); err != nil {
+			return fmt.Errorf("manager: checkpoint %d: %w", k, err)
+		}
+	}
+	for i := range g.locks {
+		g.locks[i] = mlock{}
+	}
+	for i := range g.lockVT {
+		g.lockVT[i] = nil
+		if ms != nil && i < len(ms.LockVT) && ms.LockVT[i] != nil {
+			g.lockVT[i] = vc.VC(ms.LockVT[i]).Clone()
+		}
+	}
+	for i := range g.bars {
+		g.bars[i] = mbar{}
+	}
+	g.episode = k
+	for i := range g.clients {
+		g.clients[i] = mclient{}
+	}
+	g.log = make([][]ivalRec, g.nn)
+	if ms != nil {
+		for w := range ms.Log {
+			for _, r := range ms.Log[w] {
+				g.log[w] = append(g.log[w], ivalRec{pages: append([]int32(nil), r.Pages...)})
+			}
+		}
+	}
+	g.resumeEpisode = k
+	g.resumeVT = nil
+	if ms != nil {
+		g.resumeVT = vc.VC(ms.VT).Clone()
+	}
+	for w := range g.recovering {
+		g.recovering[w] = false
+	}
+	if victim >= 0 && victim < g.nn {
+		g.recovering[victim] = true
+	}
+	// Confirmations past the rollback point refer to episodes the
+	// re-execution will reach (and re-store) again; clamping keeps the
+	// stable computation conservative.
+	for w := range g.ckptConfirmed {
+		if g.ckptConfirmed[w] > k {
+			g.ckptConfirmed[w] = k
+		}
+	}
+	for w := range g.push {
+		g.push[w] = nil
+	}
+	for w := range g.joinBlob {
+		g.joinBlob[w] = nil
+	}
+	now := time.Now().UnixNano()
+	for w := range g.n.lastHeard {
+		atomic.StoreInt64(&g.n.lastHeard[w], now)
+	}
+	return nil
+}
+
 // ---- failure detection ----
 
 // checkLiveness sweeps the per-peer last-heard stamps; a peer silent
@@ -253,11 +527,25 @@ func (g *manager) barArrive(m *wire.Msg) {
 func (g *manager) checkLiveness() {
 	now := time.Now().UnixNano()
 	for w := 1; w < g.nn; w++ {
+		if g.recovering[w] {
+			continue // its silence is expected; KResume re-arms it
+		}
 		silence := time.Duration(now - atomic.LoadInt64(&g.n.lastHeard[w]))
 		if silence <= g.n.cfg.HeartbeatTimeout {
 			continue
 		}
-		g.abort(&PeerDownError{Node: w, Silence: silence, Pending: g.pendingFor(w)})
+		perr := &PeerDownError{Node: w, Silence: silence, Pending: g.pendingFor(w)}
+		// With a supervisor attached, hand the failure over instead of
+		// aborting: marking the peer recovering stops this sweep from
+		// re-firing while the rollback is organized.
+		if rc := g.n.cfg.Recover; rc != nil && rc.OnPeerDown != nil {
+			g.recovering[w] = true
+			if rc.OnPeerDown(perr) {
+				continue
+			}
+			g.recovering[w] = false
+		}
+		g.abort(perr)
 		return
 	}
 }

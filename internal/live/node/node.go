@@ -92,6 +92,11 @@ type Config struct {
 	// disables failure detection.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// Recover, when non-nil, enables barrier-aligned checkpointing and
+	// the crash/rejoin protocol (see recover.go). Nil keeps the node's
+	// behaviour identical to a recovery-free build: no epoch fencing, no
+	// checkpoint capture, and peer death aborts the cluster.
+	Recover *RecoverConfig
 }
 
 // lpage is one node's view of one shared page.
@@ -131,6 +136,40 @@ type Node struct {
 	vt    vc.VC
 	pages []lpage
 	mod   []page.ID
+
+	// Capture-gate state (under mu; see recover.go). While gateEpisode is
+	// non-zero, incoming flushes stamped with that episode or later are
+	// buffered in gated — unapplied and unacknowledged — until the
+	// worker's checkpoint capture completes.
+	gateEpisode int64
+	gated       []*wire.Msg
+
+	// Worker-private recovery state: the worker's count of departed
+	// barrier episodes (stamps outgoing flushes, flags checkpoint
+	// episodes) and the replay machinery (see recover.go). Only the
+	// worker goroutine touches these.
+	barsDone      int64
+	replaying     bool
+	replayTarget  int64
+	replayScratch map[page.ID]page.Buf
+
+	// epoch is the cluster recovery epoch this engine currently belongs
+	// to; the pump and dispatcher fence frames from other epochs when
+	// recovery is enabled. incarnation numbers this engine's restarts.
+	epoch       atomic.Uint32
+	incarnation uint32
+
+	// Worker interrupt: the supervisor arms it to roll every worker back
+	// for recovery. intrFlag is the fast path checked on every shared
+	// access; intrCh unblocks workers parked in RPC waits.
+	intrMu   sync.Mutex
+	intrFlag atomic.Bool
+	intrCh   chan struct{}
+	intrErr  error
+
+	// ctl runs functions on the dispatcher goroutine, which owns the
+	// manager state the supervisor must read and reset.
+	ctl chan func()
 
 	inq chan *wire.Msg
 
@@ -188,7 +227,13 @@ func New(tr transport.Transport, cfg Config) *Node {
 		pages:   make([]lpage, cfg.NPages),
 		inq:     make(chan *wire.Msg, inqDepth),
 		pending: make(map[int64]chan *wire.Msg),
+		intrCh:  make(chan struct{}),
+		ctl:     make(chan func()),
 		done:    make(chan struct{}),
+	}
+	if rc := cfg.Recover; rc != nil {
+		n.epoch.Store(rc.Epoch)
+		n.incarnation = rc.Incarnation
 	}
 	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
 		n.pageShift++
@@ -325,6 +370,9 @@ func (n *Node) N() int { return n.nn }
 func (n *Node) Compute(int64) {}
 
 func (n *Node) locate(a core.Addr) (page.ID, int) {
+	if n.intrFlag.Load() {
+		n.panicInterrupted()
+	}
 	pg := page.ID(a >> n.pageShift)
 	if int(pg) >= n.cfg.NPages {
 		panic(runError{fmt.Errorf("node %d: address %d beyond shared space", n.id, a)})
@@ -335,6 +383,9 @@ func (n *Node) locate(a core.Addr) (page.ID, int) {
 // ReadU64 implements core.Worker.
 func (n *Node) ReadU64(a core.Addr) uint64 {
 	pg, off := n.locate(a)
+	if n.replaying {
+		return n.scratchPage(pg).U64(off)
+	}
 	atomic.AddInt64(&n.stats.SharedReads, 1)
 	n.mu.Lock()
 	ps := &n.pages[pg]
@@ -351,6 +402,10 @@ func (n *Node) ReadU64(a core.Addr) uint64 {
 // WriteU64 implements core.Worker.
 func (n *Node) WriteU64(a core.Addr, v uint64) {
 	pg, off := n.locate(a)
+	if n.replaying {
+		n.scratchPage(pg).PutU64(off, v)
+		return
+	}
 	atomic.AddInt64(&n.stats.SharedWrites, 1)
 	n.mu.Lock()
 	ps := &n.pages[pg]
@@ -383,6 +438,9 @@ func (n *Node) WriteI64(a core.Addr, v int64) { n.WriteU64(a, uint64(v)) }
 // Lock implements core.Worker: it asks the manager for the lock and
 // applies the granted vector time and write notices.
 func (n *Node) Lock(id int) {
+	if n.replaying {
+		return // replay re-derives private state only; locks are moot
+	}
 	t0 := time.Now()
 	reply := n.rpc(0, &wire.Msg{Kind: wire.KLockReq, Lock: int32(id), VT: n.vtSnapshot()})
 	n.applyNotices(reply.VT, reply.Notices)
@@ -396,6 +454,9 @@ func (n *Node) Lock(id int) {
 // fire-and-forget — so a dropped frame is retransmitted and the manager
 // provably holds the interval before the worker proceeds.
 func (n *Node) Unlock(id int) {
+	if n.replaying {
+		return
+	}
 	iv := n.closeInterval()
 	n.rpc(0, &wire.Msg{Kind: wire.KLockRelease, Lock: int32(id), VT: n.vtSnapshot(), Interval: iv})
 }
@@ -404,6 +465,26 @@ func (n *Node) Unlock(id int) {
 // at the manager, and departs with the merged vector time and the write
 // notices of every other arriver.
 func (n *Node) Barrier(id int) {
+	if n.replaying {
+		n.replayBarrier()
+		return
+	}
+	// A flagged episode closes a checkpoint cut at this barrier. The
+	// capture gate goes up before the arrival is sent: every flush this
+	// node receives from a peer that already departed the episode (its
+	// stamp >= gateEpisode) is buffered until the capture is done, so the
+	// snapshot sees exactly the pre-barrier state. Flushes stamped below
+	// the gate belong to intervals that happened-before the barrier and
+	// apply normally — causality guarantees they were all acknowledged
+	// before this node's own departure.
+	episodeNext := n.barsDone + 1
+	flagged := false
+	if rc := n.cfg.Recover; rc != nil && rc.Every > 0 && episodeNext%rc.Every == 0 {
+		flagged = true
+		n.mu.Lock()
+		n.gateEpisode = episodeNext
+		n.mu.Unlock()
+	}
 	iv := n.closeInterval()
 	t0 := time.Now()
 	reply := n.rpc(0, &wire.Msg{Kind: wire.KBarArrive, Barrier: int32(id), VT: n.vtSnapshot(), Interval: iv})
@@ -412,6 +493,10 @@ func (n *Node) Barrier(id int) {
 	atomic.AddInt64(&n.stats.BarrierWaitNs, time.Since(t0).Nanoseconds())
 	if n.obs != nil {
 		n.obs.BarrierDeparted(n.id, reply.Episode)
+	}
+	n.barsDone++
+	if flagged {
+		n.captureCheckpoint(reply.Episode)
 	}
 }
 
@@ -545,7 +630,10 @@ func (n *Node) closeInterval() *wire.Interval {
 	flights := make([]flight, 0, len(perHome))
 	for home, diffs := range perHome {
 		tok, ch := n.newToken()
-		m := &wire.Msg{Kind: wire.KWriteNotices, Token: tok, Diffs: diffs}
+		// The Episode stamp is the sender's departed-barrier count: a home
+		// holding a capture gate for episode E applies flushes stamped
+		// below E (pre-cut) and buffers the rest (post-cut).
+		m := &wire.Msg{Kind: wire.KWriteNotices, Token: tok, Episode: n.barsDone, Diffs: diffs}
 		n.trySend(home, m)
 		flights = append(flights, flight{home, m, ch})
 	}
@@ -678,7 +766,8 @@ func (n *Node) pullDiffs(pg page.ID) {
 // waiting requester (bypassing the dispatcher queue).
 func isReply(k wire.Kind) bool {
 	switch k {
-	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart, wire.KReleaseAck:
+	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart, wire.KReleaseAck,
+		wire.KJoinGrant, wire.KSnapChunk:
 		return true
 	}
 	return false
@@ -716,10 +805,13 @@ func (n *Node) awaitRetry(to int, m *wire.Msg, ch chan *wire.Msg) *wire.Msg {
 	backoff := n.cfg.RetryBase
 	timer := time.NewTimer(backoff)
 	defer timer.Stop()
+	intr := n.intrChan()
 	for attempt := 0; ; {
 		select {
 		case r := <-ch:
 			return r
+		case <-intr:
+			n.panicInterrupted()
 		case <-n.done:
 			// A reply may have been routed concurrently with shutdown.
 			select {
@@ -779,6 +871,9 @@ func (n *Node) trySend(to int, m *wire.Msg) {
 // queue (node 0's worker talking to its own manager).
 func (n *Node) send(to int, m *wire.Msg) error {
 	m.From = int32(n.id)
+	if n.cfg.Recover != nil {
+		m.Epoch = n.epoch.Load()
+	}
 	if to == n.id {
 		atomic.AddInt64(&n.stats.MsgsSent, 1)
 		atomic.AddInt64(&n.stats.MsgsRecv, 1)
@@ -847,6 +942,14 @@ func (n *Node) pump() {
 		}
 		atomic.AddInt64(&n.stats.MsgsRecv, 1)
 		atomic.AddInt64(&n.stats.BytesRecv, int64(len(f.Payload)))
+		// Epoch fence: a frame from a previous recovery epoch — a delayed
+		// or retransmitted message from before a rollback, possibly from a
+		// dead incarnation whose tokens collide with the live one's — must
+		// not reach the waiter tables or the dispatcher.
+		if n.cfg.Recover != nil && m.Epoch != n.epoch.Load() {
+			atomic.AddInt64(&n.stats.StaleFrames, 1)
+			continue
+		}
 		// Any frame proves its sender alive; the manager's liveness sweep
 		// reads these stamps.
 		if n.lastHeard != nil && f.From >= 0 && f.From < len(n.lastHeard) {
@@ -876,6 +979,8 @@ func (n *Node) dispatch() {
 		select {
 		case m := <-n.inq:
 			n.handle(m)
+		case fn := <-n.ctl:
+			fn()
 		case <-n.hbCheck:
 			if n.mgr != nil {
 				n.mgr.checkLiveness()
@@ -887,6 +992,12 @@ func (n *Node) dispatch() {
 }
 
 func (n *Node) handle(m *wire.Msg) {
+	// Re-check the epoch fence: the epoch may have been bumped after the
+	// pump queued this message but before the dispatcher got to it.
+	if n.cfg.Recover != nil && m.Epoch != n.epoch.Load() {
+		atomic.AddInt64(&n.stats.StaleFrames, 1)
+		return
+	}
 	switch m.Kind {
 	case wire.KPageReq:
 		n.handlePageReq(m)
@@ -896,7 +1007,8 @@ func (n *Node) handle(m *wire.Msg) {
 		n.handleWriteNotices(m)
 	case wire.KAbort:
 		n.fail(&RemoteAbortError{From: int(m.From), Reason: m.Err})
-	case wire.KLockReq, wire.KLockRelease, wire.KBarArrive:
+	case wire.KLockReq, wire.KLockRelease, wire.KBarArrive,
+		wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone:
 		if n.mgr == nil {
 			n.fail(fmt.Errorf("node %d: manager message %v at non-manager", n.id, m.Kind))
 			return
@@ -976,6 +1088,16 @@ func (n *Node) handleDiffReq(m *wire.Msg) {
 func (n *Node) handleWriteNotices(m *wire.Msg) {
 	var applied, dups int64
 	n.mu.Lock()
+	// Capture gate: a flush from a sender that already departed the
+	// flagged episode is post-cut — buffer it unapplied and, crucially,
+	// unacknowledged, so the sender keeps retransmitting while the
+	// checkpoint captures the pre-barrier state. The capture drains the
+	// buffer (re-applications are version-checked no-ops).
+	if n.gateEpisode > 0 && m.Episode >= n.gateEpisode {
+		n.gated = append(n.gated, m)
+		n.mu.Unlock()
+		return
+	}
 	for i := range m.Diffs {
 		wd := m.Diffs[i]
 		ps := &n.pages[wd.D.Page]

@@ -1,0 +1,398 @@
+package node
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	ckpt "lrcdsm/internal/live/recover"
+	"lrcdsm/internal/live/wire"
+	"lrcdsm/internal/page"
+	"lrcdsm/internal/vc"
+)
+
+// snapChunkSize is the payload size of one KSnapPush/KSnapChunk frame
+// when a serialized snapshot is streamed to or from the manager.
+const snapChunkSize = 32 << 10
+
+// keepCheckpoints bounds how many checkpoint episodes a node's store
+// retains. The stable checkpoint lags the newest by at most one episode
+// (KCkptDone is an acknowledged RPC inside the barrier, so no node can
+// be a full checkpoint period ahead of an unconfirmed peer), so pruning
+// to the newest few can never drop the episode a recovery would pick.
+const keepCheckpoints = 4
+
+// RecoverConfig enables barrier-aligned checkpointing and the
+// crash/rejoin protocol on a node.
+type RecoverConfig struct {
+	// Store receives this node's snapshots. On the manager it also holds
+	// the manager snapshots and, with Replicate, the peers' replicas.
+	Store ckpt.Store
+	// Every takes a checkpoint at each barrier episode divisible by it;
+	// non-positive disables capture (the epoch fence stays active).
+	Every int64
+	// Replicate streams every non-manager snapshot to the manager's
+	// store, so a node that loses its own store (disk gone with the
+	// host) can still rejoin by pulling chunks from the manager.
+	Replicate bool
+	// Epoch is the cluster recovery epoch this engine starts in;
+	// Incarnation counts the node's restarts (0 for the original).
+	Epoch       uint32
+	Incarnation uint32
+	// OnPeerDown, on the manager, intercepts failure detection: return
+	// true to hand the failure to the supervisor (the peer is marked
+	// recovering and the cluster keeps running), false to abort as a
+	// recovery-free cluster would. Called on the dispatcher goroutine;
+	// it must not block.
+	OnPeerDown func(err *PeerDownError) bool
+}
+
+// RollbackError marks a worker unwound deliberately so the cluster can
+// roll back to a checkpoint; the supervisor forgives it.
+type RollbackError struct {
+	// Victim is the crashed node that triggered the rollback.
+	Victim int
+}
+
+func (e *RollbackError) Error() string {
+	return fmt.Sprintf("node: rolled back for recovery of node %d", e.Victim)
+}
+
+// ---- worker interrupt ----
+
+// InterruptWorker unwinds this node's worker out of whatever it is doing
+// — including RPC waits — with err. The engine (pump, dispatcher,
+// heartbeat) keeps running; the worker panics out at its next shared
+// access or wait and the interrupt stays armed until ClearInterrupt.
+func (n *Node) InterruptWorker(err error) {
+	n.intrMu.Lock()
+	defer n.intrMu.Unlock()
+	if n.intrFlag.Load() {
+		return
+	}
+	n.intrErr = err
+	n.intrFlag.Store(true)
+	close(n.intrCh)
+}
+
+// ClearInterrupt re-arms the interrupt for the next round. Call only
+// with no worker running.
+func (n *Node) ClearInterrupt() {
+	n.intrMu.Lock()
+	defer n.intrMu.Unlock()
+	if !n.intrFlag.Load() {
+		return
+	}
+	n.intrCh = make(chan struct{})
+	n.intrErr = nil
+	n.intrFlag.Store(false)
+}
+
+func (n *Node) intrChan() chan struct{} {
+	n.intrMu.Lock()
+	defer n.intrMu.Unlock()
+	return n.intrCh
+}
+
+func (n *Node) panicInterrupted() {
+	n.intrMu.Lock()
+	err := n.intrErr
+	n.intrMu.Unlock()
+	if err == nil {
+		err = &RollbackError{Victim: -1}
+	}
+	panic(runError{err})
+}
+
+// ---- epoch ----
+
+// SetEpoch moves the engine to recovery epoch e: frames stamped with any
+// other epoch are fenced from then on. The supervisor bumps every
+// surviving engine before resetting any state, so in-flight pre-rollback
+// traffic cannot touch post-rollback state.
+func (n *Node) SetEpoch(e uint32) { n.epoch.Store(e) }
+
+// ---- replay ----
+
+// BeginReplay puts the worker into replay mode up to barrier episode
+// target: shared accesses go to a private scratch space, locks are
+// no-ops and barriers only count, so re-executing the app function
+// rebuilds the worker's private state (loop counters, cursors) without
+// touching the restored shared state. Call before launching the worker.
+func (n *Node) BeginReplay(target int64) {
+	n.barsDone = 0
+	n.replayTarget = target
+	n.replaying = target > 0
+	n.replayScratch = nil
+	if n.replaying {
+		n.replayScratch = make(map[page.ID]page.Buf)
+	}
+}
+
+// scratchPage returns the worker-local replay copy of pg, seeded from
+// the configured initial image on first touch. Worker-only: no locking.
+func (n *Node) scratchPage(pg page.ID) page.Buf {
+	b := n.replayScratch[pg]
+	if b == nil {
+		b = page.NewBuf(n.cfg.PageSize)
+		if init, ok := n.cfg.Init[pg]; ok {
+			copy(b, init)
+		}
+		n.replayScratch[pg] = b
+	}
+	return b
+}
+
+// replayBarrier counts a barrier during replay; reaching the target
+// episode drops the worker back into live execution.
+func (n *Node) replayBarrier() {
+	if n.intrFlag.Load() {
+		n.panicInterrupted()
+	}
+	n.barsDone++
+	if n.barsDone >= n.replayTarget {
+		n.replaying = false
+		n.replayScratch = nil
+	}
+}
+
+// ---- checkpoint capture ----
+
+// captureCheckpoint runs on the worker right after departing a flagged
+// barrier episode: it snapshots the pages homed here (plus the merged
+// vector time) into the store, then lets the buffered post-cut flushes
+// through, replicates to the manager if configured, and confirms the
+// checkpoint so the manager can advance the stable episode.
+func (n *Node) captureCheckpoint(episode int64) {
+	rc := n.cfg.Recover
+	n.mu.Lock()
+	snap := &ckpt.NodeSnapshot{Episode: episode, Node: int32(n.id), VT: n.vt.Clone()}
+	for pg := range n.pages {
+		if int(n.cfg.Homes[pg]) != n.id {
+			continue
+		}
+		ps := &n.pages[pg]
+		src := ps.data
+		if ps.twin != nil {
+			src = ps.twin
+		}
+		snap.Pages = append(snap.Pages, ckpt.PageImage{
+			Page:   int32(pg),
+			Data:   append([]byte(nil), src...),
+			HomeVT: ps.homeVT.Clone(),
+		})
+	}
+	gated := n.gated
+	n.gated = nil
+	n.gateEpisode = 0
+	n.mu.Unlock()
+
+	if err := rc.Store.PutNode(snap); err != nil {
+		panic(runError{fmt.Errorf("node %d: storing checkpoint %d: %w", n.id, episode, err)})
+	}
+	atomic.AddInt64(&n.stats.CheckpointsTaken, 1)
+	atomic.AddInt64(&n.stats.CheckpointBytes, snap.Bytes())
+
+	// Drain the gated flushes first — their senders are blocked on these
+	// acks. A retransmitted copy buffered twice re-applies as a no-op
+	// through the per-writer version checks.
+	for _, m := range gated {
+		n.handleWriteNotices(m)
+	}
+
+	if rc.Replicate && n.id != 0 {
+		blob := ckpt.EncodeNode(snap)
+		total := (len(blob) + snapChunkSize - 1) / snapChunkSize
+		for i := 0; i < total; i++ {
+			lo := i * snapChunkSize
+			hi := lo + snapChunkSize
+			if hi > len(blob) {
+				hi = len(blob)
+			}
+			n.rpc(0, &wire.Msg{
+				Kind: wire.KSnapPush, Episode: episode,
+				Chunk: int32(i), NChunks: int32(total),
+				Data: blob[lo:hi],
+			})
+		}
+	}
+	n.rpc(0, &wire.Msg{Kind: wire.KCkptDone, Episode: episode})
+	if err := rc.Store.Prune(keepCheckpoints); err != nil {
+		panic(runError{fmt.Errorf("node %d: pruning checkpoints: %w", n.id, err)})
+	}
+}
+
+// ---- rollback and rejoin ----
+
+// ResetToCheckpoint rolls this node's shared state back to snap (nil
+// means the initial image, episode 0): homed pages take the snapshot
+// contents and version accounting, every cached copy is invalidated,
+// open write intervals are discarded, and the vector time becomes the
+// snapshot's. Call only with the worker stopped.
+func (n *Node) ResetToCheckpoint(snap *ckpt.NodeSnapshot) {
+	imgs := make(map[page.ID]*ckpt.PageImage)
+	if snap != nil {
+		for i := range snap.Pages {
+			imgs[page.ID(snap.Pages[i].Page)] = &snap.Pages[i]
+		}
+	}
+	n.mu.Lock()
+	if snap != nil {
+		n.vt = vc.VC(snap.VT).Clone()
+	} else {
+		n.vt = vc.New(n.nn)
+	}
+	for pg := range n.pages {
+		ps := &n.pages[pg]
+		if ps.twin != nil {
+			page.FreeTwin(ps.twin)
+			ps.twin = nil
+		}
+		ps.log = nil
+		if int(n.cfg.Homes[pg]) != n.id {
+			ps.valid = false
+			ps.copyVT = vc.New(n.nn)
+			continue
+		}
+		if ps.data == nil {
+			ps.data = page.NewBuf(n.cfg.PageSize)
+		}
+		if img := imgs[page.ID(pg)]; img != nil {
+			copy(ps.data, img.Data)
+			ps.homeVT = vc.VC(img.HomeVT).Clone()
+		} else {
+			for i := range ps.data {
+				ps.data[i] = 0
+			}
+			if init, ok := n.cfg.Init[page.ID(pg)]; ok {
+				copy(ps.data, init)
+			}
+			ps.homeVT = vc.New(n.nn)
+		}
+		// The diff log restarts empty with its base at the restored
+		// version: a puller behind the base falls back to a full copy.
+		ps.logBase = ps.homeVT.Clone()
+		ps.copyVT = ps.homeVT.Clone()
+		ps.valid = true
+	}
+	n.mod = n.mod[:0]
+	n.gateEpisode = 0
+	n.gated = nil
+	n.mu.Unlock()
+
+	n.pmu.Lock()
+	n.pending = make(map[int64]chan *wire.Msg)
+	n.pmu.Unlock()
+}
+
+// JoinCluster runs a restarted node's rejoin handshake: it announces
+// itself to the manager, restores the checkpoint the cluster rolled back
+// to — from its own store if it survived the crash, else streamed from
+// the manager's replica — resumes liveness, and arms replay up to the
+// checkpoint episode. Call on a freshly built engine after Start, before
+// launching the worker.
+func (n *Node) JoinCluster() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(runError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("node %d: rejoin: %w", n.id, re.err)
+		}
+	}()
+	rc := n.cfg.Recover
+	localBest := int64(-1)
+	if ep, ok := rc.Store.LatestNode(n.id); ok {
+		localBest = ep
+	}
+	grant := n.rpc(0, &wire.Msg{Kind: wire.KJoinReq, Incarnation: n.incarnation, Episode: localBest})
+	k := grant.Episode
+	var snap *ckpt.NodeSnapshot
+	if k > 0 {
+		if s, gerr := rc.Store.GetNode(k, n.id); gerr == nil {
+			snap = s
+		} else if grant.NChunks > 0 {
+			var blob []byte
+			for i := int32(0); i < grant.NChunks; i++ {
+				r := n.rpc(0, &wire.Msg{Kind: wire.KSnapReq, Episode: k, Chunk: i})
+				blob = append(blob, r.Data...)
+			}
+			if snap, err = ckpt.DecodeNode(blob); err != nil {
+				return fmt.Errorf("node %d: decoding streamed snapshot %d: %w", n.id, k, err)
+			}
+			// Keep the restored snapshot locally so the next stable-episode
+			// accounting and a repeated crash stay honest.
+			if err = rc.Store.PutNode(snap); err != nil {
+				return fmt.Errorf("node %d: storing streamed snapshot %d: %w", n.id, k, err)
+			}
+		} else {
+			return fmt.Errorf("node %d: checkpoint %d neither local nor at manager", n.id, k)
+		}
+	}
+	n.ResetToCheckpoint(snap)
+	n.rpc(0, &wire.Msg{Kind: wire.KResume, Incarnation: n.incarnation})
+	n.BeginReplay(k)
+	return nil
+}
+
+// ---- dispatcher control ----
+
+// Control runs fn on the dispatcher goroutine — the owner of all manager
+// state — and waits for it. It fails instead of blocking when the node
+// is shut down.
+func (n *Node) Control(fn func()) error {
+	ran := make(chan struct{})
+	wrapped := func() { fn(); close(ran) }
+	select {
+	case n.ctl <- wrapped:
+	case <-n.done:
+		return n.closedErr()
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-n.done:
+		// The dispatcher may have picked fn up right before shutdown.
+		select {
+		case <-ran:
+			return nil
+		default:
+			return n.closedErr()
+		}
+	}
+}
+
+func (n *Node) closedErr() error {
+	if err := n.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("node %d: shut down", n.id)
+}
+
+// StableCheckpoint returns the newest checkpoint episode every node has
+// confirmed durably stored (0 = the initial image). Manager node only.
+func (n *Node) StableCheckpoint() (int64, error) {
+	if n.mgr == nil {
+		return 0, fmt.Errorf("node %d: not the manager", n.id)
+	}
+	var k int64
+	if err := n.Control(func() { k = n.mgr.stableCkpt() }); err != nil {
+		return 0, err
+	}
+	return k, nil
+}
+
+// ResetManager rolls the manager's synchronization state back to
+// checkpoint episode k and marks victim as recovering: its silence is
+// expected, its rejoin is awaited, and liveness skips it until KResume.
+// Manager node only; call after SetEpoch on every surviving engine.
+func (n *Node) ResetManager(k int64, victim int) error {
+	if n.mgr == nil {
+		return fmt.Errorf("node %d: not the manager", n.id)
+	}
+	var rerr error
+	if err := n.Control(func() { rerr = n.mgr.resetTo(k, victim) }); err != nil {
+		return err
+	}
+	return rerr
+}

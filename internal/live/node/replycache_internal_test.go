@@ -1,0 +1,110 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/live/transport"
+	"lrcdsm/internal/live/wire"
+)
+
+// TestReplyCacheBounded hammers the manager with far more RPCs than the
+// reply cache holds, then with retransmission storms of recent and
+// ancient tokens, and checks the per-client dedup state stays bounded by
+// replyCacheCap throughout — the cache must be an LRU window, not a
+// leak.
+func TestReplyCacheBounded(t *testing.T) {
+	const rounds = 200 // 2 RPCs per round: far beyond replyCacheCap
+	cfg := Config{
+		PageSize: 256, NPages: 1, Homes: []int32{0},
+		NLocks: 1, NBars: 1, Protocol: core.LI,
+		HeartbeatTimeout: -1,
+	}
+	trs := transport.NewInprocNetwork(2)
+	nodes := []*Node{New(trs[0], cfg), New(trs[1], cfg)}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		for _, tr := range trs {
+			tr.Close()
+		}
+		for _, nd := range nodes {
+			nd.Wait()
+		}
+	}()
+
+	for i := 0; i < rounds; i++ {
+		nodes[1].Lock(0)
+		nodes[1].Unlock(0)
+	}
+
+	cacheState := func() (lastTok int64, replies, order int) {
+		if err := nodes[0].Control(func() {
+			c := &nodes[0].mgr.clients[1]
+			lastTok, replies, order = c.lastTok, len(c.replies), len(c.order)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	lastTok, replies, order := cacheState()
+	if lastTok < rounds*2 {
+		t.Fatalf("lastTok = %d after %d RPCs", lastTok, rounds*2)
+	}
+	if replies > replyCacheCap || order > replyCacheCap {
+		t.Fatalf("reply cache grew past the bound: %d replies / %d order entries (cap %d)",
+			replies, order, replyCacheCap)
+	}
+	if replies != order {
+		t.Fatalf("replies (%d) and eviction order (%d) disagree", replies, order)
+	}
+
+	// Sustained retransmission storm: re-ask for the most recent tokens
+	// over and over. Every one must be answered from the cache without
+	// growing it.
+	dup0 := nodes[0].Stats().DupRequests
+	for storm := 0; storm < 3; storm++ {
+		for tok := lastTok - 5; tok <= lastTok; tok++ {
+			if err := nodes[1].send(0, &wire.Msg{Kind: wire.KLockReq, Token: tok, Lock: 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// An ancient token, long evicted: deduplicated but unanswerable.
+	if err := nodes[1].send(0, &wire.Msg{Kind: wire.KLockReq, Token: 1, Lock: 0}); err != nil {
+		t.Fatal(err)
+	}
+	wantDups := dup0 + 3*6 + 1
+	deadline := time.Now().Add(2 * time.Second)
+	for nodes[0].Stats().DupRequests < wantDups {
+		if time.Now().After(deadline) {
+			t.Fatalf("DupRequests = %d, want %d — retransmits not deduplicated",
+				nodes[0].Stats().DupRequests, wantDups)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, replies, order := cacheState(); replies > replyCacheCap || order > replyCacheCap {
+		t.Fatalf("retransmission storm grew the cache: %d replies / %d order entries (cap %d)",
+			replies, order, replyCacheCap)
+	}
+
+	// The cluster must still be live after the storm.
+	done := make(chan struct{})
+	go func() {
+		nodes[1].Lock(0)
+		nodes[1].Unlock(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lock RPC hung after retransmission storm")
+	}
+}

@@ -49,9 +49,15 @@ type Stats struct {
 	// machinery's activity. All zero on a healthy network.
 	RPCRetries     int64 `json:"rpc_retries"`     // requests retransmitted after a silent backoff window
 	DupRequests    int64 `json:"dup_requests"`    // retransmitted requests de-duplicated at this node
-	DupReplies     int64 `json:"dup_replies"`     // late/duplicate replies dropped (token already resolved)
+	DupReplies    int64 `json:"dup_replies"`    // late/duplicate replies dropped (token already resolved)
 	HeartbeatsSent int64 `json:"heartbeats_sent"` // liveness beacons sent to the manager
 	HeartbeatsRecv int64 `json:"heartbeats_recv"` // beacons received (manager only)
+
+	// Recovery counters: the checkpoint/rejoin machinery's activity. All
+	// zero unless recovery is configured.
+	CheckpointsTaken int64 `json:"checkpoints_taken"` // barrier-aligned snapshots captured
+	CheckpointBytes  int64 `json:"checkpoint_bytes"`  // serialized snapshot bytes stored
+	StaleFrames      int64 `json:"stale_frames"`      // frames fenced for carrying an old recovery epoch
 
 	// Wall-clock waits, in nanoseconds (the live analogue of the
 	// simulator's *WaitCycles).
@@ -81,6 +87,8 @@ func (s *Stats) Snapshot() Stats {
 		{&out.RPCRetries, &s.RPCRetries}, {&out.DupRequests, &s.DupRequests},
 		{&out.DupReplies, &s.DupReplies},
 		{&out.HeartbeatsSent, &s.HeartbeatsSent}, {&out.HeartbeatsRecv, &s.HeartbeatsRecv},
+		{&out.CheckpointsTaken, &s.CheckpointsTaken}, {&out.CheckpointBytes, &s.CheckpointBytes},
+		{&out.StaleFrames, &s.StaleFrames},
 		{&out.LockWaitNs, &s.LockWaitNs}, {&out.BarrierWaitNs, &s.BarrierWaitNs},
 		{&out.FaultWaitNs, &s.FaultWaitNs}, {&out.FlushWaitNs, &s.FlushWaitNs},
 	} {

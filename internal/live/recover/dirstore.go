@@ -1,0 +1,151 @@
+package recover
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DirStore is an on-disk Store: one file per snapshot under a
+// directory, named ep<episode>-node<k>.ckpt / ep<episode>-mgr.ckpt.
+// Writes go through a temp file and rename, so a crash mid-write never
+// leaves a truncated snapshot behind a valid name.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (st *DirStore) nodePath(episode int64, node int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("ep%d-node%d.ckpt", episode, node))
+}
+
+func (st *DirStore) mgrPath(episode int64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("ep%d-mgr.ckpt", episode))
+}
+
+func (st *DirStore) write(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	return nil
+}
+
+// PutNode implements Store.
+func (st *DirStore) PutNode(s *NodeSnapshot) error {
+	return st.write(st.nodePath(s.Episode, int(s.Node)), EncodeNode(s))
+}
+
+// GetNode implements Store.
+func (st *DirStore) GetNode(episode int64, node int) (*NodeSnapshot, error) {
+	b, err := os.ReadFile(st.nodePath(episode, node))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: episode %d node %d", ErrNotFound, episode, node)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	return DecodeNode(b)
+}
+
+// LatestNode implements Store.
+func (st *DirStore) LatestNode(node int) (int64, bool) {
+	best, ok := int64(0), false
+	for _, ep := range st.episodes() {
+		if _, err := os.Stat(st.nodePath(ep, node)); err == nil && (!ok || ep > best) {
+			best, ok = ep, true
+		}
+	}
+	return best, ok
+}
+
+// PutManager implements Store.
+func (st *DirStore) PutManager(s *ManagerSnapshot) error {
+	return st.write(st.mgrPath(s.Episode), EncodeManager(s))
+}
+
+// GetManager implements Store.
+func (st *DirStore) GetManager(episode int64) (*ManagerSnapshot, error) {
+	b, err := os.ReadFile(st.mgrPath(episode))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: episode %d manager", ErrNotFound, episode)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	return DecodeManager(b)
+}
+
+// Prune implements Store.
+func (st *DirStore) Prune(keep int) error {
+	eps := st.episodes()
+	sort.Slice(eps, func(i, j int) bool { return eps[i] > eps[j] })
+	if len(eps) <= keep {
+		return nil
+	}
+	drop := make(map[int64]bool)
+	for _, ep := range eps[keep:] {
+		drop[ep] = true
+	}
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	for _, e := range ents {
+		if ep, ok := episodeOf(e.Name()); ok && drop[ep] {
+			if err := os.Remove(filepath.Join(st.dir, e.Name())); err != nil {
+				return fmt.Errorf("recover: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// episodes lists the distinct episodes present in the directory.
+func (st *DirStore) episodes() []int64 {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[int64]bool)
+	for _, e := range ents {
+		if ep, ok := episodeOf(e.Name()); ok {
+			seen[ep] = true
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for ep := range seen {
+		out = append(out, ep)
+	}
+	return out
+}
+
+// episodeOf parses the episode out of a snapshot file name.
+func episodeOf(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "ep") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	rest := name[2:]
+	i := strings.IndexByte(rest, '-')
+	if i < 0 {
+		return 0, false
+	}
+	ep, err := strconv.ParseInt(rest[:i], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ep, true
+}

@@ -1,0 +1,197 @@
+package recover
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleNode(ep int64, node int32) *NodeSnapshot {
+	return &NodeSnapshot{
+		Episode: ep,
+		Node:    node,
+		VT:      []int32{3, 1, 4, 1},
+		Pages: []PageImage{
+			{Page: 0, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}, HomeVT: []int32{1, 0, 2, 0}},
+			{Page: 7, Data: make([]byte, 4096), HomeVT: []int32{0, 0, 0, 1}},
+		},
+	}
+}
+
+func sampleManager(ep int64) *ManagerSnapshot {
+	return &ManagerSnapshot{
+		Episode: ep,
+		VT:      []int32{3, 1, 4, 1},
+		LockVT:  [][]int32{nil, {2, 0, 1, 0}, nil},
+		Log: [][]LogRec{
+			{{Pages: []int32{0, 1}}, {Pages: []int32{2}}},
+			{},
+			{{Pages: nil}},
+			{{Pages: []int32{5}}},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ns := sampleNode(4, 2)
+	got, err := DecodeNode(EncodeNode(ns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ns, got) {
+		t.Errorf("node snapshot round trip mismatch:\n got %+v\nwant %+v", got, ns)
+	}
+	ms := sampleManager(4)
+	gotM, err := DecodeManager(EncodeManager(ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty Log rows decode as empty (not nil) only when allocated; accept
+	// structural equality after normalizing nils.
+	if gotM.Episode != ms.Episode || !reflect.DeepEqual(gotM.VT, ms.VT) || !reflect.DeepEqual(gotM.LockVT, ms.LockVT) {
+		t.Errorf("manager snapshot round trip mismatch:\n got %+v\nwant %+v", gotM, ms)
+	}
+	if len(gotM.Log) != len(ms.Log) {
+		t.Fatalf("log rows = %d, want %d", len(gotM.Log), len(ms.Log))
+	}
+	for w := range ms.Log {
+		if len(gotM.Log[w]) != len(ms.Log[w]) {
+			t.Fatalf("log[%d] = %d recs, want %d", w, len(gotM.Log[w]), len(ms.Log[w]))
+		}
+		for i := range ms.Log[w] {
+			if !reflect.DeepEqual(gotM.Log[w][i].Pages, ms.Log[w][i].Pages) {
+				t.Errorf("log[%d][%d] = %v, want %v", w, i, gotM.Log[w][i].Pages, ms.Log[w][i].Pages)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	nb := EncodeNode(sampleNode(1, 0))
+	mb := EncodeManager(sampleManager(1))
+	for i := 0; i < len(nb); i++ {
+		if _, err := DecodeNode(nb[:i]); err == nil {
+			t.Fatalf("truncated node snapshot (%d/%d bytes) decoded", i, len(nb))
+		}
+	}
+	for i := 0; i < len(mb); i++ {
+		if _, err := DecodeManager(mb[:i]); err == nil {
+			t.Fatalf("truncated manager snapshot (%d/%d bytes) decoded", i, len(mb))
+		}
+	}
+	if _, err := DecodeNode(append(nb, 0)); err == nil {
+		t.Error("node snapshot with trailing byte decoded")
+	}
+	if _, err := DecodeManager(append(mb, 0)); err == nil {
+		t.Error("manager snapshot with trailing byte decoded")
+	}
+	if _, err := DecodeNode(mb); err == nil {
+		t.Error("manager bytes decoded as node snapshot")
+	}
+	bad := append([]byte(nil), nb...)
+	bad[4] = 99 // version
+	if _, err := DecodeNode(bad); err == nil {
+		t.Error("unknown snapshot version decoded")
+	}
+}
+
+// storeContract exercises the Store interface contract shared by both
+// implementations.
+func storeContract(t *testing.T, st Store) {
+	t.Helper()
+	if _, err := st.GetNode(1, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store GetNode err = %v, want ErrNotFound", err)
+	}
+	if _, err := st.GetManager(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store GetManager err = %v, want ErrNotFound", err)
+	}
+	if _, ok := st.LatestNode(0); ok {
+		t.Fatal("empty store claims a latest episode")
+	}
+
+	for _, ep := range []int64{2, 4, 6} {
+		for n := int32(0); n < 3; n++ {
+			if err := st.PutNode(sampleNode(ep, n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.PutManager(sampleManager(ep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := st.GetNode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleNode(4, 2)) {
+		t.Errorf("GetNode(4,2) mismatch: %+v", got)
+	}
+	// Mutating the returned snapshot must not corrupt the store.
+	got.Pages[0].Data[0] = 0xFF
+	again, _ := st.GetNode(4, 2)
+	if again.Pages[0].Data[0] == 0xFF {
+		t.Error("store aliases returned snapshot buffers")
+	}
+
+	if ep, ok := st.LatestNode(1); !ok || ep != 6 {
+		t.Errorf("LatestNode(1) = %d,%v want 6,true", ep, ok)
+	}
+	if _, err := st.GetManager(6); err != nil {
+		t.Errorf("GetManager(6): %v", err)
+	}
+
+	if err := st.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetNode(2, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("pruned episode 2 still present (err %v)", err)
+	}
+	if _, err := st.GetManager(2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("pruned manager episode 2 still present (err %v)", err)
+	}
+	if _, err := st.GetNode(4, 1); err != nil {
+		t.Errorf("kept episode 4 missing after prune: %v", err)
+	}
+	if _, err := st.GetNode(6, 0); err != nil {
+		t.Errorf("kept episode 6 missing after prune: %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) { storeContract(t, NewMemStore()) }
+
+func TestDirStore(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, st)
+}
+
+// TestDirStorePersistence checks a reopened DirStore still serves
+// snapshots written by the previous instance — the property a restarted
+// node's local restore depends on.
+func TestDirStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutNode(sampleNode(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep, ok := st2.LatestNode(1); !ok || ep != 8 {
+		t.Fatalf("reopened LatestNode = %d,%v want 8,true", ep, ok)
+	}
+	got, err := st2.GetNode(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleNode(8, 1)) {
+		t.Error("reopened snapshot mismatch")
+	}
+}

@@ -1,0 +1,525 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/live/node"
+	ckpt "lrcdsm/internal/live/recover"
+	"lrcdsm/internal/live/transport"
+	"lrcdsm/internal/page"
+)
+
+// RecoverOptions parameterizes RunSupervised's crash-recovery policy.
+type RecoverOptions struct {
+	// MaxRestarts bounds how many node restarts the supervisor performs
+	// before degrading to the structured abort a recovery-free cluster
+	// produces. Zero or negative disables recovery entirely: the run
+	// behaves like Run and a killed node aborts the cluster.
+	MaxRestarts int
+	// CheckpointEvery takes a barrier-aligned checkpoint at every episode
+	// divisible by it (default 1: every barrier).
+	CheckpointEvery int64
+	// Replicate streams every non-manager checkpoint to the manager's
+	// store, so a node whose own store dies with it can still rejoin.
+	Replicate bool
+	// Stores supplies one checkpoint store per node; nil selects fresh
+	// in-memory stores.
+	Stores []ckpt.Store
+	// RestartDelay adds a seeded random delay in [0, RestartDelay) on top
+	// of each crash event's own restart-after time.
+	RestartDelay time.Duration
+	// Seed drives the restart jitter (default 1).
+	Seed int64
+	// LoseStoreOnCrash replaces the victim's store with an empty one
+	// before it rejoins, forcing the chunk-pull path from the manager's
+	// replica (requires Replicate).
+	LoseStoreOnCrash bool
+}
+
+// Kill crashes node victim: its engine and transport are torn down
+// mid-run, exactly as if the process died. Under RunSupervised the
+// cluster rolls back to the last stable checkpoint and restarts the node
+// after restartAfter; under Run the failure detector aborts the cluster.
+// Safe to call from any goroutine (chaos schedules call it from Send).
+func (c *Cluster) Kill(victim int, restartAfter time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if victim < 0 || victim >= len(c.nodes) || c.nodes[victim] == nil {
+		return
+	}
+	c.crashPending.Store(true)
+	// Queue the event before closing: by the time any worker can observe
+	// the closure, the supervisor can already see the crash.
+	select {
+	case c.crashCh <- crashEvent{victim: victim, restartAfter: restartAfter}:
+	default:
+	}
+	c.nodes[victim].Close()
+	c.trs[victim].Close()
+}
+
+// runDegraded is RunSupervised with the restart budget exhausted from
+// the start: no checkpointing, no rejoin. It differs from Run in one
+// respect — a node killed through Kill dies like a separate process
+// would, so its worker's own unwinding does not abort the cluster; the
+// survivors keep running until the manager's failure detector converts
+// the silence into the structured PeerDownError abort.
+func (c *Cluster) runDegraded(worker func(core.Worker)) (*Stats, error) {
+	if c.ran {
+		return nil, fmt.Errorf("live: Cluster already ran")
+	}
+	c.ran = true
+	if c.brk == 0 {
+		return nil, fmt.Errorf("live: no shared memory allocated")
+	}
+	npages := int(c.pageOf(c.brk-1)) + 1
+	homes := c.homeAssignment(npages)
+
+	trs := c.cfg.Net.Transports()
+	nodes := make([]*node.Node, c.cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = node.New(trs[i], c.nodeConfig(npages, homes, nil))
+	}
+	c.mu.Lock()
+	c.nodes = nodes
+	c.trs = trs
+	c.mu.Unlock()
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	teardown := func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}
+
+	t0 := time.Now()
+	doneCh := make(chan []error, 1)
+	errCh := make(chan int, c.cfg.Nodes)
+	go func() {
+		errs := make([]error, c.cfg.Nodes)
+		var wg sync.WaitGroup
+		for i, nd := range nodes {
+			wg.Add(1)
+			go func(i int, nd *node.Node) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						if re, ok := r.(interface{ Unwrap() error }); ok {
+							errs[i] = re.Unwrap()
+						} else {
+							errs[i] = fmt.Errorf("live: node %d worker panic: %v\n%s", i, r, debug.Stack())
+						}
+						errCh <- i
+					}
+				}()
+				worker(nd)
+				nd.FinalFlush()
+			}(i, nd)
+		}
+		wg.Wait()
+		doneCh <- errs
+	}()
+
+	var roundErrs []error
+wait:
+	for {
+		select {
+		case <-errCh:
+			select {
+			case <-c.crashCh:
+				// A killed node's worker unwound. Leave the survivors
+				// running: the manager's heartbeat monitor will declare
+				// the node down and abort the cluster with the verdict.
+			default:
+				// A genuine worker failure aborts the run, as Run would.
+				teardown()
+				roundErrs = <-doneCh
+				break wait
+			}
+		case roundErrs = <-doneCh:
+			break wait
+		}
+	}
+	elapsed := time.Since(t0)
+	for _, nd := range nodes {
+		if err := nd.Err(); err != nil {
+			roundErrs = append(roundErrs, err)
+		}
+	}
+	firstErr := pickErr(roundErrs)
+	if firstErr == nil {
+		c.final = make([]byte, c.brk)
+		for pg := 0; pg < npages; pg++ {
+			img := nodes[homes[pg]].HomePage(page.ID(pg))
+			off := pg << c.pageShift
+			copy(c.final[off:], img)
+		}
+	}
+	teardown()
+	for _, nd := range nodes {
+		nd.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	st := &Stats{
+		Nodes:     c.cfg.Nodes,
+		Protocol:  c.cfg.Protocol.String(),
+		ElapsedNs: elapsed.Nanoseconds(),
+	}
+	for _, nd := range nodes {
+		s := nd.Stats()
+		st.PerNode = append(st.PerNode, s)
+		addStats(&st.Total, &s)
+	}
+	st.Total.Node = -1
+	return st, nil
+}
+
+// RunSupervised executes worker on every node like Run, but survives
+// node crashes (Kill, or death detected by the manager's liveness
+// machinery): the cluster rolls back to the last barrier-aligned
+// checkpoint every node has confirmed, the victim rejoins with a fresh
+// transport incarnation and restored state, and every worker re-executes
+// — replaying its private state up to the checkpoint against a scratch
+// image, then continuing live. Requires Config.Net.
+func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (*Stats, error) {
+	if c.cfg.Net == nil {
+		return nil, fmt.Errorf("live: RunSupervised requires Config.Net (recovery rebuilds a crashed node's transport through Network.Rejoin)")
+	}
+	if opts.MaxRestarts <= 0 {
+		// No restart budget: run without the recovery machinery so a
+		// crash produces the structured PeerDownError abort.
+		return c.runDegraded(worker)
+	}
+	if c.ran {
+		return nil, fmt.Errorf("live: Cluster already ran")
+	}
+	c.ran = true
+	if c.brk == 0 {
+		return nil, fmt.Errorf("live: no shared memory allocated")
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	stores := opts.Stores
+	if stores == nil {
+		stores = make([]ckpt.Store, c.cfg.Nodes)
+		for i := range stores {
+			stores[i] = ckpt.NewMemStore()
+		}
+	}
+	if len(stores) != c.cfg.Nodes {
+		return nil, fmt.Errorf("live: %d checkpoint stores for %d nodes", len(stores), c.cfg.Nodes)
+	}
+
+	npages := int(c.pageOf(c.brk-1)) + 1
+	homes := c.homeAssignment(npages)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var (
+		epoch        uint32
+		incarnations = make([]uint32, c.cfg.Nodes)
+		restarts     atomic.Int64
+	)
+	rcFor := func(i int) *node.RecoverConfig {
+		rc := &node.RecoverConfig{
+			Store:       stores[i],
+			Every:       opts.CheckpointEvery,
+			Replicate:   opts.Replicate,
+			Epoch:       epoch,
+			Incarnation: incarnations[i],
+		}
+		if i == 0 {
+			rc.OnPeerDown = func(pe *node.PeerDownError) bool {
+				// Dispatcher goroutine: hand the failure to the
+				// supervisor while budget remains. A rollback already in
+				// flight swallows the report — the victim is either the
+				// same node or will be re-detected after recovery.
+				if int(restarts.Load()) >= opts.MaxRestarts {
+					return false
+				}
+				if c.crashPending.CompareAndSwap(false, true) {
+					select {
+					case c.crashCh <- crashEvent{victim: pe.Node}:
+					default:
+					}
+				}
+				return true
+			}
+		}
+		return rc
+	}
+
+	trs := c.cfg.Net.Transports()
+	nodes := make([]*node.Node, c.cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = node.New(trs[i], c.nodeConfig(npages, homes, rcFor(i)))
+	}
+	c.mu.Lock()
+	c.nodes = nodes
+	c.trs = trs
+	c.mu.Unlock()
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	teardown := func() {
+		c.mu.Lock()
+		nds := append([]*node.Node(nil), c.nodes...)
+		ts := append([]transport.Transport(nil), c.trs...)
+		c.mu.Unlock()
+		for _, nd := range nds {
+			nd.Close()
+		}
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}
+
+	// launch starts one worker per node; errCh fires once per worker
+	// failure, doneCh once when the whole round has unwound.
+	launch := func() (doneCh chan []error, errCh chan int) {
+		doneCh = make(chan []error, 1)
+		errCh = make(chan int, c.cfg.Nodes)
+		go func() {
+			errs := make([]error, c.cfg.Nodes)
+			var wg sync.WaitGroup
+			for i, nd := range nodes {
+				wg.Add(1)
+				go func(i int, nd *node.Node) {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							if re, ok := r.(interface{ Unwrap() error }); ok {
+								errs[i] = re.Unwrap()
+							} else {
+								errs[i] = fmt.Errorf("live: node %d worker panic: %v\n%s", i, r, debug.Stack())
+							}
+							errCh <- i
+						}
+					}()
+					worker(nd)
+					nd.FinalFlush()
+				}(i, nd)
+			}
+			wg.Wait()
+			doneCh <- errs
+		}()
+		return doneCh, errCh
+	}
+
+	fail := func(doneCh chan []error, roundErrs []error, err error) (*Stats, error) {
+		teardown()
+		if roundErrs == nil && doneCh != nil {
+			roundErrs = <-doneCh
+		}
+		if err == nil {
+			err = pickErr(roundErrs)
+		}
+		for _, nd := range nodes {
+			nd.Wait()
+		}
+		return nil, err
+	}
+
+	var (
+		killedTotal node.Stats
+		recoveryNs  int64
+	)
+	t0 := time.Now()
+	for {
+		doneCh, errCh := launch()
+		var (
+			ev        crashEvent
+			crashed   bool
+			roundErrs []error
+		)
+		select {
+		case ev = <-c.crashCh:
+			crashed = true
+		case first := <-errCh:
+			// A worker failed. If a crash event is already queued this
+			// is (or races with) a rollback; otherwise it is a genuine
+			// failure and the run aborts like Run would.
+			select {
+			case ev = <-c.crashCh:
+				crashed = true
+			default:
+				teardown()
+				roundErrs = <-doneCh
+				for _, nd := range nodes {
+					if err := nd.Err(); err != nil {
+						roundErrs = append(roundErrs, err)
+					}
+				}
+				err := pickErr(roundErrs)
+				var pd *node.PeerDownError
+				if !errors.As(err, &pd) && roundErrs[first] != nil {
+					err = roundErrs[first]
+				}
+				for _, nd := range nodes {
+					nd.Wait()
+				}
+				return nil, err
+			}
+		case roundErrs = <-doneCh:
+			select {
+			case ev = <-c.crashCh:
+				// A crash landed as the round finished. If every worker
+				// already completed cleanly the results are flushed and
+				// final — the late crash changes nothing.
+				crashed = pickErr(roundErrs) != nil
+			default:
+			}
+			if !crashed {
+				if err := pickErr(roundErrs); err != nil {
+					return fail(nil, roundErrs, nil)
+				}
+				goto finished
+			}
+		}
+
+		// ---- crash: roll back, rejoin, re-run ----
+		if ev.victim == 0 {
+			return fail(doneCh, roundErrs, fmt.Errorf("live: manager (node 0) crashed; manager recovery is not supported"))
+		}
+		if int(restarts.Load()) >= opts.MaxRestarts {
+			return fail(doneCh, roundErrs, &node.PeerDownError{
+				Node:    ev.victim,
+				Pending: fmt.Sprintf("restart budget exhausted (%d restarts used)", restarts.Load()),
+			})
+		}
+		restarts.Add(1)
+		tRec := time.Now()
+
+		// Unwind every worker; their rollback panics (and the victim's
+		// death) are forgiven. Interrupting the victim's dead engine is
+		// harmless and speeds up a compute-bound worker's exit.
+		if roundErrs == nil {
+			for _, nd := range nodes {
+				nd.InterruptWorker(&node.RollbackError{Victim: ev.victim})
+			}
+			<-doneCh
+		}
+
+		// Fence the old epoch everywhere before touching any state, so
+		// in-flight pre-rollback frames cannot land on rolled-back nodes.
+		epoch++
+		for i, nd := range nodes {
+			if i != ev.victim {
+				nd.SetEpoch(epoch)
+			}
+		}
+
+		k, err := nodes[0].StableCheckpoint()
+		if err != nil {
+			return fail(nil, nil, fmt.Errorf("live: reading stable checkpoint: %w", err))
+		}
+		if err := nodes[0].ResetManager(k, ev.victim); err != nil {
+			return fail(nil, nil, fmt.Errorf("live: rolling manager back to episode %d: %w", k, err))
+		}
+		for i, nd := range nodes {
+			if i == ev.victim {
+				continue
+			}
+			var snap *ckpt.NodeSnapshot
+			if k > 0 {
+				s, gerr := stores[i].GetNode(k, i)
+				if gerr != nil {
+					return fail(nil, nil, fmt.Errorf("live: node %d lost stable checkpoint %d: %w", i, k, gerr))
+				}
+				snap = s
+			}
+			nd.ResetToCheckpoint(snap)
+			nd.ClearInterrupt()
+			nd.BeginReplay(k)
+		}
+
+		// The killed incarnation's counters would vanish with the engine;
+		// fold them into the run total.
+		ks := nodes[ev.victim].Stats()
+		addStats(&killedTotal, &ks)
+
+		delay := ev.restartAfter
+		if opts.RestartDelay > 0 {
+			delay += time.Duration(rng.Int63n(int64(opts.RestartDelay)))
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if opts.LoseStoreOnCrash {
+			stores[ev.victim] = ckpt.NewMemStore()
+		}
+
+		tr, err := c.cfg.Net.Rejoin(ev.victim)
+		if err != nil {
+			return fail(nil, nil, fmt.Errorf("live: rebuilding node %d transport: %w", ev.victim, err))
+		}
+		incarnations[ev.victim]++
+		fresh := node.New(tr, c.nodeConfig(npages, homes, rcFor(ev.victim)))
+		c.mu.Lock()
+		c.nodes[ev.victim] = fresh
+		c.trs[ev.victim] = tr
+		nodes = c.nodes
+		c.mu.Unlock()
+		fresh.Start()
+		if err := fresh.JoinCluster(); err != nil {
+			if len(c.crashCh) > 0 {
+				// Another crash landed during the handshake — possibly
+				// killing the rejoining node itself. Let the next round's
+				// crash handling roll back again from here.
+				recoveryNs += time.Since(tRec).Nanoseconds()
+				continue
+			}
+			return fail(nil, nil, fmt.Errorf("live: node %d rejoin: %w", ev.victim, err))
+		}
+		if len(c.crashCh) == 0 {
+			c.crashPending.Store(false)
+		}
+		recoveryNs += time.Since(tRec).Nanoseconds()
+	}
+
+finished:
+	elapsed := time.Since(t0)
+	c.final = make([]byte, c.brk)
+	for pg := 0; pg < npages; pg++ {
+		img := nodes[homes[pg]].HomePage(page.ID(pg))
+		off := pg << c.pageShift
+		copy(c.final[off:], img)
+	}
+	teardown()
+	for _, nd := range nodes {
+		nd.Wait()
+	}
+
+	st := &Stats{
+		Nodes:      c.cfg.Nodes,
+		Protocol:   c.cfg.Protocol.String(),
+		ElapsedNs:  elapsed.Nanoseconds(),
+		Restarts:   restarts.Load(),
+		RecoveryNs: recoveryNs,
+	}
+	for _, nd := range nodes {
+		s := nd.Stats()
+		st.PerNode = append(st.PerNode, s)
+		addStats(&st.Total, &s)
+	}
+	addStats(&st.Total, &killedTotal)
+	st.Total.Node = -1
+	return st, nil
+}

@@ -10,58 +10,119 @@ import (
 // bursts (a barrier fan-in of N arrivals, a batch of diff flushes).
 const inboxDepth = 4096
 
-// Inproc is an in-process transport: every node owns one inbox channel
-// and Send enqueues directly into the destination's inbox.
+// InprocNet is an in-process network: one transport slot per node, with
+// Rejoin replacing a slot by a fresh incarnation (the crashed node's old
+// inbox is abandoned, like frames lost on a dead host).
+type InprocNet struct {
+	mu    sync.RWMutex
+	slots []*Inproc
+}
+
+// NewInprocNet builds a fully connected n-node in-process network.
+func NewInprocNet(n int) *InprocNet {
+	nw := &InprocNet{slots: make([]*Inproc, n)}
+	for i := range nw.slots {
+		nw.slots[i] = newInproc(nw, i, n)
+	}
+	return nw
+}
+
+// NewInprocNetwork builds an n-node in-process network and returns one
+// transport per node (the historical flat-slice constructor).
+func NewInprocNetwork(n int) []Transport { return NewInprocNet(n).Transports() }
+
+// Transports implements Network.
+func (nw *InprocNet) Transports() []Transport {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	ts := make([]Transport, len(nw.slots))
+	for i, s := range nw.slots {
+		ts[i] = s
+	}
+	return ts
+}
+
+// Rejoin implements Network: it closes node i's current transport and
+// replaces it with a fresh incarnation. Frames in the old inbox are
+// dropped — exactly what a crash does — and concurrent Sends race
+// harmlessly: they deliver to whichever incarnation the slot held when
+// they looked it up, and a closed incarnation drops silently.
+func (nw *InprocNet) Rejoin(i int) (Transport, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if i < 0 || i >= len(nw.slots) {
+		return nil, fmt.Errorf("transport: inproc rejoin of invalid node %d", i)
+	}
+	nw.slots[i].Close()
+	fresh := newInproc(nw, i, len(nw.slots))
+	nw.slots[i] = fresh
+	return fresh, nil
+}
+
+// Close implements Network.
+func (nw *InprocNet) Close() error {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	for _, s := range nw.slots {
+		s.Close()
+	}
+	return nil
+}
+
+func (nw *InprocNet) peer(i int) *Inproc {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.slots[i]
+}
+
+// Inproc is one node's in-process transport: an inbox channel fed by the
+// peers' Sends through the network's slot table.
 type Inproc struct {
-	self  int
-	peers []*Inproc
+	net  *InprocNet
+	self int
+	n    int
 
 	inbox chan Frame
 	done  chan struct{}
 	once  sync.Once
 }
 
-// NewInprocNetwork builds a fully connected n-node in-process network and
-// returns one transport per node.
-func NewInprocNetwork(n int) []Transport {
-	nodes := make([]*Inproc, n)
-	for i := range nodes {
-		nodes[i] = &Inproc{self: i, peers: nodes, inbox: make(chan Frame, inboxDepth), done: make(chan struct{})}
-	}
-	ts := make([]Transport, n)
-	for i, nd := range nodes {
-		ts[i] = nd
-	}
-	return ts
+func newInproc(nw *InprocNet, self, n int) *Inproc {
+	return &Inproc{net: nw, self: self, n: n, inbox: make(chan Frame, inboxDepth), done: make(chan struct{})}
 }
 
 // Self implements Transport.
 func (t *Inproc) Self() int { return t.self }
 
 // N implements Transport.
-func (t *Inproc) N() int { return len(t.peers) }
+func (t *Inproc) N() int { return t.n }
 
-// Send implements Transport.
+// Send implements Transport. A send to a closed or replaced peer is
+// dropped silently and reports success — the in-process analogue of
+// writing to a dead host's address: the network accepts the frame and
+// nobody receives it. Only the sender's own closed transport is an
+// error; the protocol layer recovers lost frames by retransmission and
+// converts genuinely dead peers into structured failures.
 func (t *Inproc) Send(to int, payload []byte) error {
-	if to < 0 || to >= len(t.peers) || to == t.self {
+	if to < 0 || to >= t.n || to == t.self {
 		return fmt.Errorf("transport: inproc send to invalid peer %d", to)
 	}
-	p := t.peers[to]
-	// Prefer the closed verdict when it is already decidable: the select
-	// below picks randomly among ready cases, and an enqueue into a
-	// closed peer's inbox would be silently dropped.
 	select {
 	case <-t.done:
 		return ErrClosed
+	default:
+	}
+	p := t.net.peer(to)
+	select {
 	case <-p.done:
-		return ErrClosed
+		return nil // dead destination: the frame is lost, not an error
 	default:
 	}
 	select {
 	case <-t.done:
 		return ErrClosed
 	case <-p.done:
-		return ErrClosed
+		return nil
 	case p.inbox <- Frame{From: t.self, Payload: payload}:
 		return nil
 	}

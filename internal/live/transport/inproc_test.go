@@ -85,7 +85,56 @@ func TestInprocClose(t *testing.T) {
 	if _, err := ts[1].Recv(); err != ErrClosed {
 		t.Fatalf("Recv after close: %v", err)
 	}
+	// A dead destination loses the frame silently — the protocol layer's
+	// retransmission and failure detection handle it — while the sender's
+	// own closed transport is an error.
+	if err := ts[0].Send(1, []byte("x")); err != nil {
+		t.Fatalf("Send to closed peer: %v, want silent drop", err)
+	}
+	ts[0].Close()
 	if err := ts[0].Send(1, []byte("x")); err != ErrClosed {
-		t.Fatalf("Send to closed peer: %v", err)
+		t.Fatalf("Send on closed transport: %v, want ErrClosed", err)
+	}
+}
+
+// TestInprocRejoin replaces a node's transport mid-network: frames sent
+// to the old incarnation's inbox are lost, the new incarnation receives
+// subsequent traffic, and the old handle stays closed.
+func TestInprocRejoin(t *testing.T) {
+	nw := NewInprocNet(3)
+	defer nw.Close()
+	ts := nw.Transports()
+
+	if err := ts[0].Send(1, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := nw.Rejoin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Self() != 1 || fresh.N() != 3 {
+		t.Fatalf("rejoined identity: self=%d n=%d", fresh.Self(), fresh.N())
+	}
+	// The old incarnation drains what it already held, then reports closed;
+	// nothing sent after the rejoin reaches it.
+	if f, err := ts[1].Recv(); err != nil || string(f.Payload) != "lost" {
+		t.Fatalf("old incarnation drain: %v %+v", err, f)
+	}
+	if _, err := ts[1].Recv(); err != ErrClosed {
+		t.Fatalf("old incarnation Recv: %v, want ErrClosed", err)
+	}
+	if err := ts[0].Send(1, []byte("hello again")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fresh.Recv()
+	if err != nil || string(f.Payload) != "hello again" {
+		t.Fatalf("new incarnation recv: %v %+v", err, f)
+	}
+	// The new incarnation can send, too.
+	if err := fresh.Send(0, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := ts[0].Recv(); err != nil || string(f.Payload) != "back" {
+		t.Fatalf("recv from rejoined node: %v %+v", err, f)
 	}
 }

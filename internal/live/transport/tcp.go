@@ -67,6 +67,13 @@ type TCP struct {
 	opts  TCPOptions
 	ln    net.Listener
 
+	// boot numbers this transport incarnation (0 for the original). It is
+	// carried in the connection hello: a receiver seeing a higher boot id
+	// from a peer resets that peer's sequence de-duplication, so a
+	// restarted node — whose sequence numbers restart at 1 — is not
+	// silently discarded as a replay of its previous life.
+	boot uint32
+
 	inbox chan Frame
 	done  chan struct{}
 	once  sync.Once
@@ -79,8 +86,9 @@ type TCP struct {
 	// de-duplication would discard reordered (not duplicated) frames.
 	sendLocks []sync.Mutex
 
-	recvMu  sync.Mutex // guards lastSeq
-	lastSeq map[int]uint64
+	recvMu   sync.Mutex // guards lastSeq, lastBoot
+	lastSeq  map[int]uint64
+	lastBoot map[int]uint32
 
 	acceptWG sync.WaitGroup
 	accepted map[net.Conn]bool
@@ -94,20 +102,22 @@ func NewTCPNode(self int, addrs []string, opts TCPOptions) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: node %d listen %s: %w", self, addrs[self], err)
 	}
-	return newTCPNode(self, addrs, ln, opts), nil
+	return newTCPNode(self, addrs, ln, opts, 0), nil
 }
 
-func newTCPNode(self int, addrs []string, ln net.Listener, opts TCPOptions) *TCP {
+func newTCPNode(self int, addrs []string, ln net.Listener, opts TCPOptions, boot uint32) *TCP {
 	t := &TCP{
 		self:     self,
 		addrs:    addrs,
 		opts:     opts.withDefaults(),
 		ln:       ln,
+		boot:     boot,
 		inbox:    make(chan Frame, inboxDepth),
 		done:     make(chan struct{}),
 		conns:    make(map[int]net.Conn),
 		seq:      make(map[int]uint64),
 		lastSeq:  make(map[int]uint64),
+		lastBoot: make(map[int]uint32),
 		accepted: make(map[net.Conn]bool),
 		sendLocks: make([]sync.Mutex, len(addrs)),
 	}
@@ -135,7 +145,7 @@ func NewTCPLoopback(n int, opts TCPOptions) ([]Transport, error) {
 	}
 	ts := make([]Transport, n)
 	for i := 0; i < n; i++ {
-		ts[i] = newTCPNode(i, addrs, lns[i], opts)
+		ts[i] = newTCPNode(i, addrs, lns[i], opts, 0)
 	}
 	return ts, nil
 }
@@ -226,10 +236,11 @@ func (t *TCP) peerConn(to int) (net.Conn, error) {
 			lastErr = err
 			continue
 		}
-		// Handshake: identify ourselves so the acceptor can attribute
-		// inbound frames.
-		var hello [4]byte
-		binary.BigEndian.PutUint32(hello[:], uint32(t.self))
+		// Handshake: identify ourselves (node id + boot) so the acceptor
+		// can attribute inbound frames and fence replays across restarts.
+		var hello [8]byte
+		binary.BigEndian.PutUint32(hello[:4], uint32(t.self))
+		binary.BigEndian.PutUint32(hello[4:], t.boot)
 		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
 		if _, err := conn.Write(hello[:]); err != nil {
 			conn.Close()
@@ -314,14 +325,29 @@ func (t *TCP) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 		conn.Close()
 	}()
-	var hello [4]byte
+	var hello [8]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		return
 	}
-	from := int(binary.BigEndian.Uint32(hello[:]))
+	from := int(binary.BigEndian.Uint32(hello[:4]))
+	boot := binary.BigEndian.Uint32(hello[4:])
 	if from < 0 || from >= len(t.addrs) {
 		return
 	}
+	t.recvMu.Lock()
+	switch last := t.lastBoot[from]; {
+	case boot > last:
+		// A restarted incarnation: its sequence numbers restart at 1, so
+		// the old de-duplication watermark would discard every frame.
+		t.lastBoot[from] = boot
+		t.lastSeq[from] = 0
+	case boot < last:
+		// A connection from a dead incarnation that dialed before the
+		// restart; its frames are stale by definition.
+		t.recvMu.Unlock()
+		return
+	}
+	t.recvMu.Unlock()
 	hdr := make([]byte, 12)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {

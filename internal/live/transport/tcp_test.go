@@ -295,7 +295,7 @@ func TestTCPDuplicateSuppressionAfterReconnect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var hello [4]byte // claim to be node 0
+		var hello [8]byte // claim to be node 0, boot 0
 		if _, err := c.Write(hello[:]); err != nil {
 			t.Fatal(err)
 		}
@@ -338,5 +338,62 @@ func TestTCPClose(t *testing.T) {
 	ts[1].Close()
 	if _, err := ts[0].Recv(); err != ErrClosed {
 		t.Fatalf("Recv after close: %v", err)
+	}
+}
+
+// TestTCPNetRejoin crashes a node and rebuilds it on the same address
+// with a bumped boot id. The fresh incarnation's sequence numbers restart
+// at 1; without the boot id in the hello, the receiver's duplicate
+// suppression would silently discard everything it sends.
+func TestTCPNetRejoin(t *testing.T) {
+	nw, err := NewTCPLoopbackNet(3, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	ts := nw.Transports()
+
+	// Advance node 1's sequence numbers at node 0 past what the fresh
+	// incarnation will start with.
+	for i := 0; i < 5; i++ {
+		if err := ts[1].Send(0, []byte(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if f, err := ts[0].Recv(); err != nil || string(f.Payload) != fmt.Sprintf("pre%d", i) {
+			t.Fatalf("warm-up recv %d: %q err %v", i, f.Payload, err)
+		}
+	}
+	oldAddr := ts[1].(*TCP).Addr()
+
+	fresh, err := nw.Rejoin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Self() != 1 || fresh.N() != 3 {
+		t.Fatalf("rejoined identity: self=%d n=%d", fresh.Self(), fresh.N())
+	}
+	if got := fresh.(*TCP).Addr(); got != oldAddr {
+		t.Fatalf("rejoined on %s, want original address %s", got, oldAddr)
+	}
+	if _, err := ts[1].Recv(); err != ErrClosed {
+		t.Fatalf("old incarnation Recv: %v, want ErrClosed", err)
+	}
+
+	// Seq restarts at 1 in the new incarnation; the boot bump must reset
+	// the receiver's de-dup state so this is delivered, not dropped.
+	if err := fresh.Send(0, []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := ts[0].Recv(); err != nil || string(f.Payload) != "reborn" {
+		t.Fatalf("recv from rejoined node: %q err %v", f.Payload, err)
+	}
+	// And traffic toward the new incarnation re-dials its rebound listener.
+	if err := ts[2].Send(1, []byte("welcome back")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := fresh.Recv(); err != nil || string(f.Payload) != "welcome back" {
+		t.Fatalf("rejoined node recv: %q err %v", f.Payload, err)
 	}
 }

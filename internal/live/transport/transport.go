@@ -36,6 +36,22 @@ type Transport interface {
 // ErrClosed is returned once a transport is shut down.
 var ErrClosed = errors.New("transport: closed")
 
+// Network owns the transports of a whole cluster and can rebuild one
+// node's transport after a crash. Rejoin(i) closes node i's current
+// transport (if still open) and returns a fresh incarnation bound to the
+// same identity — and, for TCP, the same address with a bumped boot id,
+// so receivers reset their per-peer sequence de-duplication instead of
+// discarding the new incarnation's frames. The supervisor
+// (internal/live) drives recovery through this interface.
+type Network interface {
+	// Transports returns the current transport of every node.
+	Transports() []Transport
+	// Rejoin replaces node i's transport with a fresh incarnation.
+	Rejoin(i int) (Transport, error)
+	// Close tears the whole network down.
+	Close() error
+}
+
 // PeerResetter is implemented by transports whose per-peer connections
 // can be forcibly severed mid-run — the TCP transport closes the
 // established outbound connection so the next Send must re-dial and

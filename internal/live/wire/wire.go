@@ -19,12 +19,16 @@ import (
 
 // Version is the wire-format version stamped on every encoded frame.
 // Version 2 added the robustness message set (release acks, heartbeats,
-// aborts) and an Attempt retransmission counter on request kinds. Decode
-// still accepts MinVersion frames — a v1 frame simply has no Attempt
-// field and cannot carry the v2-only kinds — so a rolling upgrade never
-// wedges on the codec.
+// aborts) and an Attempt retransmission counter on request kinds.
+// Version 3 added the recovery layer: a cluster Epoch fence on every
+// kind, the join/snapshot/resume kinds a restarted node uses to rejoin,
+// and a sender-episode stamp on KWriteNotices so homes can gate
+// post-checkpoint flushes during capture. Decode still accepts
+// MinVersion frames — an old frame simply has none of the newer fields
+// and cannot carry the newer kinds — so a rolling upgrade never wedges
+// on the codec.
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -84,12 +88,43 @@ const (
 	// KAbort broadcasts a fatal cluster abort with a structured reason.
 	KAbort
 
+	// Version 3 kinds (the recovery layer). firstV3Kind below must stay
+	// in sync with the first of them.
+
+	// KJoinReq is a restarted node's request to rejoin the cluster,
+	// carrying its new incarnation number and the newest checkpoint
+	// episode it holds locally (-1 for none).
+	KJoinReq
+	// KJoinGrant admits a joiner: the checkpoint episode the cluster
+	// resumed from, its merged vector time, and how many snapshot chunks
+	// the manager's replica can stream if the joiner's store is blank.
+	KJoinGrant
+	// KSnapReq asks the manager's replica for one chunk of the joiner's
+	// checkpoint.
+	KSnapReq
+	// KSnapChunk returns one checkpointed page (image + per-writer
+	// version) of a node snapshot.
+	KSnapChunk
+	// KSnapPush replicates one checkpointed page from a home to the
+	// manager's store (the inverse direction of KSnapChunk).
+	KSnapPush
+	// KResume tells the manager a rejoined node is live again, re-arming
+	// its liveness accounting.
+	KResume
+	// KCkptDone confirms a node has durably stored its snapshot for an
+	// episode; the manager's stable checkpoint is the minimum confirmed
+	// episode across nodes.
+	KCkptDone
+
 	kindEnd
 )
 
 // firstV2Kind is the first kind that requires wire version 2; a v1 frame
 // claiming such a kind is rejected.
 const firstV2Kind = KReleaseAck
+
+// firstV3Kind is the first kind that requires wire version 3.
+const firstV3Kind = KJoinReq
 
 var kindNames = [...]string{
 	KHello: "hello", KPageReq: "page-req", KPageReply: "page-reply",
@@ -98,6 +133,9 @@ var kindNames = [...]string{
 	KLockReq: "lock-req", KLockGrant: "lock-grant", KLockRelease: "lock-release",
 	KBarArrive: "bar-arrive", KBarDepart: "bar-depart",
 	KReleaseAck: "release-ack", KHeartbeat: "heartbeat", KAbort: "abort",
+	KJoinReq: "join-req", KJoinGrant: "join-grant",
+	KSnapReq: "snap-req", KSnapChunk: "snap-chunk", KSnapPush: "snap-push",
+	KResume: "resume", KCkptDone: "ckpt-done",
 }
 
 func (k Kind) String() string {
@@ -143,10 +181,23 @@ type Msg struct {
 	// saturating at 255). Version 2 only: a v1 frame decodes as Attempt 0.
 	Attempt uint8
 
+	// Epoch is the cluster recovery epoch the sender belonged to when it
+	// sent the frame. Every rollback bumps the epoch, so a delayed frame
+	// from a node's previous incarnation — whose tokens restart at 1 and
+	// would otherwise collide — is fenced off at the receiver. Version 3
+	// only: an older frame decodes as Epoch 0.
+	Epoch uint32
+
+	// Incarnation numbers a node's restarts (0 for the original engine);
+	// the manager authenticates join/resume requests against it.
+	Incarnation uint32
+
 	Lock    int32
 	Barrier int32
 	Episode int64
 	Page    int32
+	Chunk   int32 // snapshot chunk index (KSnapReq/KSnapChunk/KSnapPush)
+	NChunks int32 // total chunks in the snapshot being streamed
 	Err     string // abort reason (KAbort)
 
 	VT      []int32 // vector time (requester VT, grant VT, page version)
@@ -166,6 +217,14 @@ type fieldSet struct {
 	// version 2, so it is encoded always but decoded only from v2 frames.
 	attempt bool
 	errstr  bool
+	// episode3 marks kinds that gained the Episode field in version 3
+	// (the sender-episode stamp on flushes): encoded always, decoded only
+	// from v3 frames. Kinds that carried Episode since v1 use episode.
+	episode3 bool
+	// incarn and chunk are v3-only field groups on v3-only kinds, so they
+	// need no version gate of their own.
+	incarn bool
+	chunk  bool // Chunk + NChunks pair
 }
 
 var fields = map[Kind]fieldSet{
@@ -174,7 +233,7 @@ var fields = map[Kind]fieldSet{
 	KPageReply:    {pg: true, vt: true, data: true},
 	KDiffReq:      {pg: true, vt: true, attempt: true},
 	KDiffReply:    {pg: true, vt: true, data: true, diffs: true},
-	KWriteNotices: {diffs: true, ival: true, attempt: true},
+	KWriteNotices: {diffs: true, ival: true, attempt: true, episode3: true},
 	KAck:          {},
 	KLockReq:      {lock: true, vt: true, attempt: true},
 	KLockGrant:    {lock: true, vt: true, notices: true, diffs: true},
@@ -184,6 +243,13 @@ var fields = map[Kind]fieldSet{
 	KReleaseAck:   {lock: true},
 	KHeartbeat:    {},
 	KAbort:        {errstr: true},
+	KJoinReq:      {incarn: true, episode: true, attempt: true},
+	KJoinGrant:    {incarn: true, episode: true, vt: true, chunk: true},
+	KSnapReq:      {episode: true, chunk: true, attempt: true},
+	KSnapChunk:    {episode: true, pg: true, chunk: true, vt: true, data: true},
+	KSnapPush:     {episode: true, pg: true, chunk: true, vt: true, data: true, attempt: true},
+	KResume:       {incarn: true, episode: true, attempt: true},
+	KCkptDone:     {episode: true, attempt: true},
 }
 
 // Encode serializes m into a fresh buffer.
@@ -197,8 +263,19 @@ func Encode(m *Msg) []byte {
 	w.u8(uint8(m.Kind))
 	w.i32(m.From)
 	w.i64(m.Token)
+	w.u32(m.Epoch)
 	if fs.attempt {
 		w.u8(m.Attempt)
+	}
+	if fs.incarn {
+		w.u32(m.Incarnation)
+	}
+	if fs.chunk {
+		w.i32(m.Chunk)
+		w.i32(m.NChunks)
+	}
+	if fs.episode3 {
+		w.i64(m.Episode)
 	}
 	if fs.errstr {
 		w.bytes([]byte(m.Err))
@@ -269,11 +346,27 @@ func Decode(b []byte) (*Msg, error) {
 	if r.err == nil && v < 2 && k >= firstV2Kind {
 		return nil, fmt.Errorf("wire: kind %v requires version 2, frame is version %d", k, v)
 	}
+	if r.err == nil && v < 3 && k >= firstV3Kind {
+		return nil, fmt.Errorf("wire: kind %v requires version 3, frame is version %d", k, v)
+	}
 	m := &Msg{Kind: k}
 	m.From = r.i32()
 	m.Token = r.i64()
+	if v >= 3 {
+		m.Epoch = r.u32()
+	}
 	if fs.attempt && v >= 2 {
 		m.Attempt = r.u8()
+	}
+	if fs.incarn {
+		m.Incarnation = r.u32()
+	}
+	if fs.chunk {
+		m.Chunk = r.i32()
+		m.NChunks = r.i32()
+	}
+	if fs.episode3 && v >= 3 {
+		m.Episode = r.i64()
 	}
 	if fs.errstr {
 		if e := r.bytes(); len(e) > 0 {

@@ -30,7 +30,7 @@ func sampleMsgs() []*Msg {
 		{Kind: KDiffReq, From: 2, Token: 7, Page: 5, VT: []int32{0, 0, 2, 0}},
 		{Kind: KDiffReply, From: 0, Token: 7, Page: 5, VT: []int32{1, 2, 3, 4}, Diffs: diffs},
 		{Kind: KDiffReply, From: 0, Token: 8, Page: 5, VT: []int32{1, 2, 3, 4}, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
-		{Kind: KWriteNotices, From: 1, Token: 9, Diffs: diffs, Interval: ival},
+		{Kind: KWriteNotices, From: 1, Token: 9, Epoch: 1, Episode: 6, Diffs: diffs, Interval: ival},
 		{Kind: KAck, From: 0, Token: 9},
 		{Kind: KLockReq, From: 3, Token: 10, Lock: 12, VT: []int32{0, 1, 2, 3}, Attempt: 2},
 		{Kind: KLockGrant, From: 0, Token: 10, Lock: 12, VT: []int32{5, 5, 5, 5}, Notices: notices, Diffs: diffs},
@@ -39,8 +39,15 @@ func sampleMsgs() []*Msg {
 		{Kind: KBarArrive, From: 2, Token: 13, Barrier: 1, VT: []int32{1, 1, 1, 1}, Interval: ival},
 		{Kind: KBarDepart, From: 0, Token: 13, Barrier: 1, Episode: 4, VT: []int32{2, 2, 2, 2}, Notices: notices},
 		{Kind: KReleaseAck, From: 0, Token: 11, Lock: 12},
-		{Kind: KHeartbeat, From: 2},
+		{Kind: KHeartbeat, From: 2, Epoch: 3},
 		{Kind: KAbort, From: 0, Err: "manager: node 3 silent for 2s (pending: barrier 1)"},
+		{Kind: KJoinReq, From: 3, Token: 1, Epoch: 2, Incarnation: 1, Episode: -1, Attempt: 1},
+		{Kind: KJoinGrant, From: 0, Token: 1, Epoch: 2, Incarnation: 1, Episode: 4, VT: []int32{4, 4, 4, 4}, NChunks: 3},
+		{Kind: KSnapReq, From: 3, Token: 2, Epoch: 2, Episode: 4, Chunk: 1},
+		{Kind: KSnapChunk, From: 0, Token: 2, Epoch: 2, Episode: 4, Page: 7, Chunk: 1, NChunks: 3, VT: []int32{2, 0, 1, 4}, Data: bytes.Repeat([]byte{0x5a}, 256)},
+		{Kind: KSnapPush, From: 1, Token: 5, Epoch: 1, Episode: 4, Page: 9, Chunk: 0, NChunks: 2, VT: []int32{1, 3, 0, 0}, Data: []byte{9, 8, 7}, Attempt: 2},
+		{Kind: KResume, From: 3, Token: 3, Epoch: 2, Incarnation: 1, Episode: 4},
+		{Kind: KCkptDone, From: 1, Token: 6, Epoch: 1, Episode: 4},
 	}
 }
 
@@ -116,13 +123,37 @@ func TestDecodeMalformed(t *testing.T) {
 }
 
 // encodeV1 builds a version-1 frame for kinds that existed in v1: the
-// same layout as Encode minus the Attempt byte version 2 added.
+// same layout as Encode minus the Attempt byte version 2 added and the
+// Epoch word (plus, for flushes, the Episode stamp) version 3 added.
+// All of those sit contiguously after the (version, kind, from, token)
+// prefix, so one cut suffices.
 func encodeV1(m *Msg) []byte {
 	b := Encode(m)
 	b[0] = 1
-	if fields[m.Kind].attempt {
-		// Attempt is the byte right after (version, kind, from, token).
-		b = append(b[:14], b[15:]...)
+	fs := fields[m.Kind]
+	cut := 4 // Epoch
+	if fs.attempt {
+		cut++
+	}
+	if fs.episode3 {
+		cut += 8
+	}
+	return append(b[:14], b[14+cut:]...)
+}
+
+// encodeV2 builds a version-2 frame for kinds that existed in v2: the v3
+// layout minus the Epoch word and the v3 Episode stamp (Attempt stays).
+func encodeV2(m *Msg) []byte {
+	b := Encode(m)
+	b[0] = 2
+	fs := fields[m.Kind]
+	b = append(b[:14], b[18:]...) // Epoch
+	if fs.episode3 {
+		off := 14
+		if fs.attempt {
+			off++
+		}
+		b = append(b[:off], b[off+8:]...)
 	}
 	return b
 }
@@ -147,8 +178,42 @@ func TestDecodeV1Compat(t *testing.T) {
 		}
 		want := *m
 		want.Attempt = 0 // v1 frames have no Attempt field
+		want.Epoch = 0   // nor an Epoch
+		if fields[m.Kind].episode3 {
+			want.Episode = 0
+		}
 		if !reflect.DeepEqual(&want, got) {
 			t.Errorf("%v: v1 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
+		}
+	}
+}
+
+// TestDecodeV2Compat checks the v3 versioning contract: a v2 frame of a
+// v2-or-older kind still decodes (with Epoch zero and, for flushes, no
+// Episode stamp), while the v3-only recovery kinds are rejected when
+// stamped as v2.
+func TestDecodeV2Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Kind >= firstV3Kind {
+			b := Encode(m)
+			b[0] = 2
+			if _, err := Decode(b); err == nil {
+				t.Errorf("%v: v3-only kind accepted in a v2 frame", m.Kind)
+			}
+			continue
+		}
+		got, err := Decode(encodeV2(m))
+		if err != nil {
+			t.Errorf("%v: v2 frame rejected: %v", m.Kind, err)
+			continue
+		}
+		want := *m
+		want.Epoch = 0 // v2 frames have no Epoch field
+		if fields[m.Kind].episode3 {
+			want.Episode = 0
+		}
+		if !reflect.DeepEqual(&want, got) {
+			t.Errorf("%v: v2 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
 		}
 	}
 }
