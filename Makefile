@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke live chaos recover bench-live verify
+.PHONY: build vet lint test race check-smoke live chaos recover scale-smoke bench-live bench-scale verify
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,14 @@ recover:
 		-recover -crash 2:25:5ms -chaos-seed 7 -drop 0.01 -dup 0.02 \
 		-retry 10ms -hb-interval 50ms -check -timeout 60s -deadline 120s
 
+# scale-smoke: the decentralized synchronization plane's scaling gate —
+# all four apps × {LI, LH} on 8- and 16-node in-proc clusters under
+# -race, result regions checked against a 1-node reference, plus one
+# 8-node dsmd run over real TCP loopback sockets.
+scale-smoke:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestAppsAtScale' ./internal/live/
+	$(GO) run ./cmd/dsmd -app jacobi -nodes 8 -transport tcp -scale test -check -timeout 60s
+
 # bench-live regenerates BENCH_live.json: one JSON object per line, one
 # line per app × protocol on a 4-node in-proc cluster at bench scale.
 bench-live:
@@ -71,4 +79,19 @@ bench-live:
 	done
 	@wc -l BENCH_live.json
 
-verify: build vet lint race check-smoke live chaos recover
+# bench-scale regenerates BENCH_scale.json: the scaling sweep — every
+# app × protocol at 8 and 16 in-proc nodes at bench scale, one JSON
+# object per line, for reading message balance and sync-wait trends
+# against the 4-node numbers in BENCH_live.json.
+bench-scale:
+	@rm -f BENCH_scale.json
+	@for nodes in 8 16; do \
+		for app in jacobi tsp water cholesky; do \
+			for prot in LH LI; do \
+				$(GO) run ./cmd/dsmd -app $$app -protocol $$prot -nodes $$nodes -scale bench -json >> BENCH_scale.json || exit 1; \
+			done; \
+		done; \
+	done
+	@wc -l BENCH_scale.json
+
+verify: build vet lint race check-smoke live chaos recover scale-smoke

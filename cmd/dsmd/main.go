@@ -439,6 +439,13 @@ func printReport(appName, trans string, st *live.Stats, faults *chaos.Counters) 
 	fmt.Printf("  locks %d (wait %.1f ms), barriers %d (wait %.1f ms)\n",
 		st.Total.LockAcquires, float64(st.Total.LockWaitNs)/1e6,
 		st.Total.BarrierEpisodes, float64(st.Total.BarrierWaitNs)/1e6)
+	fmt.Printf("  lock plane: %d local reacquires, %d home forwards, %d handoffs, %d log-segment fetches\n",
+		st.Total.LockLocalAcquires, st.Total.LockForwards,
+		st.Total.LockHandoffs, st.Total.LogSegFetches)
+	if st.MaxMsgNode >= 0 {
+		fmt.Printf("  balance: busiest node %d sent %.1f%% of all messages\n",
+			st.MaxMsgNode, 100*st.MaxMsgFrac)
+	}
 	fmt.Printf("  retries %d, dup reqs %d, dup replies %d, heartbeats %d sent / %d recv\n",
 		st.Total.RPCRetries, st.Total.DupRequests, st.Total.DupReplies,
 		st.Total.HeartbeatsSent, st.Total.HeartbeatsRecv)

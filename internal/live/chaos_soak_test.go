@@ -158,10 +158,15 @@ func TestChaosSoakTCP(t *testing.T) {
 }
 
 // TestPartitionAbortsFast is the failure-detection claim: with one node
-// partitioned away from the manager forever, the run must not ride out
-// the 30s RPC timeout — the manager's heartbeat monitor must convert
-// the silence into a structured cluster-wide abort naming the suspect
-// node and its pending operation.
+// partitioned away from node 0 forever — and node 0 is both the failure
+// detector and the partitioned peer's barrier-tree parent, so the run
+// genuinely cannot progress — the run must not ride out the 30s RPC
+// timeout. The heartbeat monitor must convert the silence into a
+// structured cluster-wide abort naming the suspect node and its pending
+// operation. (A partition that does not cut the synchronization tree,
+// e.g. 0<->3 on four nodes, no longer necessarily stalls the run at all
+// with the sync plane distributed; TestPartitionOffTreeCompletes covers
+// that side.)
 func TestPartitionAbortsFast(t *testing.T) {
 	app, err := harness.NewApp("jacobi", harness.ScaleTest)
 	if err != nil {
@@ -169,7 +174,7 @@ func TestPartitionAbortsFast(t *testing.T) {
 	}
 	inner := transport.NewInprocNetwork(4)
 	wrapped := chaos.WrapAll(inner, chaos.Config{
-		Partitions: []chaos.Partition{{A: 0, B: 3}}, // Dur 0: forever
+		Partitions: []chaos.Partition{{A: 0, B: 1}}, // Dur 0: forever
 	})
 	cfg := chaosConfig(4, core.LH, chaos.Transports(wrapped))
 	cfg.RPCTimeout = 30 * time.Second
@@ -203,8 +208,8 @@ func TestPartitionAbortsFast(t *testing.T) {
 	if !errors.As(runErr, &pd) {
 		t.Fatalf("want *node.PeerDownError, got %T: %v", runErr, runErr)
 	}
-	if pd.Node != 3 {
-		t.Errorf("suspect node = %d, want 3 (the partitioned peer)", pd.Node)
+	if pd.Node != 1 {
+		t.Errorf("suspect node = %d, want 1 (the partitioned peer)", pd.Node)
 	}
 	if pd.Pending == "" {
 		t.Error("abort names no pending operation")
@@ -217,4 +222,77 @@ func TestPartitionAbortsFast(t *testing.T) {
 		t.Errorf("abort took %v — heartbeat detection (timeout %v) did not fire", elapsed, cfg.HeartbeatTimeout)
 	}
 	t.Logf("aborted in %v: %v", elapsed, runErr)
+}
+
+// TestPartitionOffTreeCompletes is the decentralization dividend: a
+// permanent partition between two nodes that share no synchronization
+// edge (0 and 3 are neither tree parent/child nor home/user of each
+// other's pages in a band-partitioned workload) no longer stalls the
+// run at all — under the old centralized manager every node needed node
+// 0 for every lock and barrier, so this exact schedule used to deadlock
+// until failure detection killed the cluster. The results must still
+// match the fault-free 1-node reference.
+func TestPartitionOffTreeCompletes(t *testing.T) {
+	inner := transport.NewInprocNetwork(4)
+	fcfg := chaos.Config{
+		Partitions: []chaos.Partition{{A: 0, B: 3}}, // Dur 0: forever
+	}
+	got, _, _ := runAppChaos(t, "jacobi", core.LH, 4, inner, fcfg)
+	compareToReference(t, "jacobi", core.LH, got)
+}
+
+// TestLockHomeHolderPartition aims transient partitions at the
+// distributed lock plane's hard case: the home (node 1 for lock 1) cut
+// off from requesters and from the probable owner it must forward to.
+// While a window is open, a request forwarded to an unreachable owner
+// is lost and the requester-retry -> home-re-forward -> owner-re-grant
+// chain must ride it out after the heal; through it all the lock must
+// stay mutually exclusive, which the exact final count proves.
+func TestLockHomeHolderPartition(t *testing.T) {
+	for _, prot := range []core.Protocol{core.LI, core.LH} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			t.Parallel()
+			const iters = 3000
+			inner := transport.NewInprocNetwork(4)
+			wrapped := chaos.WrapAll(inner, chaos.Config{
+				Seed: 7,
+				Partitions: []chaos.Partition{
+					{A: 1, B: 2, From: 0, Dur: 150 * time.Millisecond},
+					{A: 1, B: 0, From: 200 * time.Millisecond, Dur: 150 * time.Millisecond},
+					{A: 1, B: 3, From: 400 * time.Millisecond, Dur: 150 * time.Millisecond},
+				},
+			})
+			c, err := New(chaosConfig(4, prot, chaos.Transports(wrapped)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := c.Alloc(8)
+			c.NewLock() // lock 0 (homed at 0), unused
+			lk := c.NewLock()
+			if lk != 1 {
+				t.Fatalf("lock id = %d, want 1 (homed at node 1)", lk)
+			}
+			c.InitU64(a, 0)
+			stats, err := c.Run(func(w core.Worker) {
+				for i := 0; i < iters; i++ {
+					w.Lock(lk)
+					w.WriteU64(a, w.ReadU64(a)+1)
+					w.Unlock(lk)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.PeekU64(a); got != 4*iters {
+				t.Fatalf("counter = %d, want %d — lock plane lost mutual exclusion or updates", got, 4*iters)
+			}
+			if stats.Total.LockHandoffs == 0 {
+				t.Error("contended run recorded no lock handoffs")
+			}
+			if stats.Total.RPCRetries == 0 {
+				t.Error("partition windows forced no retransmissions")
+			}
+		})
+	}
 }

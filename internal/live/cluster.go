@@ -67,6 +67,13 @@ type Stats struct {
 	PerNode   []node.Stats `json:"per_node"`
 	Total     node.Stats   `json:"total"`
 
+	// Traffic balance: the largest per-node share of the cluster's sent
+	// messages and which node holds it. A centralized coordinator shows
+	// up here as one node owning most of the traffic; the distributed
+	// sync plane should keep this near 1/Nodes.
+	MaxMsgFrac float64 `json:"max_msg_frac"`
+	MaxMsgNode int     `json:"max_msg_node"`
+
 	// Recovery outcome (RunSupervised only). Total folds in the counters
 	// of killed engine incarnations, so it can exceed the sum of PerNode.
 	Restarts   int64 `json:"restarts,omitempty"`
@@ -366,6 +373,7 @@ func (c *Cluster) Run(worker func(core.Worker)) (*Stats, error) {
 		addStats(&st.Total, &s)
 	}
 	st.Total.Node = -1
+	st.computeBalance()
 	return st, nil
 }
 
@@ -388,7 +396,23 @@ func (c *Cluster) StatsSnapshot() *Stats {
 		addStats(&st.Total, &s)
 	}
 	st.Total.Node = -1
+	st.computeBalance()
 	return st
+}
+
+// computeBalance fills MaxMsgFrac/MaxMsgNode from the per-node message
+// counters.
+func (st *Stats) computeBalance() {
+	st.MaxMsgFrac, st.MaxMsgNode = 0, -1
+	if st.Total.MsgsSent == 0 {
+		return
+	}
+	for i := range st.PerNode {
+		f := float64(st.PerNode[i].MsgsSent) / float64(st.Total.MsgsSent)
+		if f > st.MaxMsgFrac {
+			st.MaxMsgFrac, st.MaxMsgNode = f, st.PerNode[i].Node
+		}
+	}
 }
 
 // pickErr selects the error to surface from a failed run. The manager's
@@ -433,6 +457,10 @@ func addStats(dst, src *node.Stats) {
 	dst.Invalidations += src.Invalidations
 	dst.LockAcquires += src.LockAcquires
 	dst.BarrierEpisodes += src.BarrierEpisodes
+	dst.LockLocalAcquires += src.LockLocalAcquires
+	dst.LockForwards += src.LockForwards
+	dst.LockHandoffs += src.LockHandoffs
+	dst.LogSegFetches += src.LogSegFetches
 	dst.RPCRetries += src.RPCRetries
 	dst.DupRequests += src.DupRequests
 	dst.DupReplies += src.DupReplies

@@ -11,12 +11,12 @@ import (
 	"lrcdsm/internal/vc"
 )
 
-// manager is the centralized synchronization service colocated with
-// node 0. It serializes lock grants, collects barrier arrivals, and
-// keeps the global interval log: every closed interval is reported
-// exactly once (on the lock release or barrier arrival that ends it), so
-// the manager can compute, for any grant, the write notices between the
-// acquirer's vector time and the grant's vector time.
+// manager is the recovery coordinator and failure detector colocated
+// with node 0. Locks, barriers and the interval log are distributed
+// across the cluster (see sync.go); what remains centralized is the
+// membership-flavored machinery that genuinely needs a single point of
+// authority: checkpoint confirmation tracking, snapshot replication,
+// the crash/rejoin handshake, and liveness sweeps.
 //
 // Requests are de-duplicated per client before any state changes: a
 // node's worker issues manager RPCs strictly sequentially with strictly
@@ -32,20 +32,8 @@ type manager struct {
 	n  *Node
 	nn int
 
-	locks  []mlock
-	lockVT []vc.VC // vector time of each lock's last release
-	bars   []mbar
-
-	episode int64
-
 	// clients[w] is the request de-duplication state of node w.
 	clients []mclient
-
-	// log[w] holds writer w's intervals in index order (index i at
-	// position i-1). Per-writer indices are contiguous because a node
-	// ticks its clock only when closing a non-empty interval, and
-	// reports it with the same message.
-	log [][]ivalRec
 
 	// Recovery state (only used when the node's RecoverConfig is set).
 	// recovering[w] marks a peer mid-recovery: liveness skips it and a
@@ -77,26 +65,6 @@ type pushAsm struct {
 	buf     []byte
 }
 
-type ivalRec struct {
-	pages []int32
-}
-
-type mlock struct {
-	held    bool
-	holder  int32
-	waiters []waiter
-}
-
-type waiter struct {
-	from  int32
-	token int64
-	vt    []int32
-}
-
-type mbar struct {
-	arrivals []waiter
-}
-
 // replyCacheCap bounds each client's cached-reply window. A worker has
 // at most one manager RPC outstanding, so one slot would suffice for
 // liveness; the window absorbs deep retransmission storms re-asking for
@@ -106,8 +74,8 @@ const replyCacheCap = 32
 
 // mclient is one node's request de-duplication state: the newest token
 // seen from it and a bounded cache of recent replies, keyed by token
-// (a pending request — e.g. queued on a held lock — has no entry yet).
-// The oldest token is evicted once the cache exceeds replyCacheCap.
+// (a pending request has no entry yet). The oldest token is evicted
+// once the cache exceeds replyCacheCap.
 type mclient struct {
 	lastTok int64
 	replies map[int64]*wire.Msg
@@ -132,11 +100,7 @@ func newManager(n *Node) *manager {
 	return &manager{
 		n:             n,
 		nn:            n.nn,
-		locks:         make([]mlock, n.cfg.NLocks),
-		lockVT:        make([]vc.VC, n.cfg.NLocks),
-		bars:          make([]mbar, n.cfg.NBars),
 		clients:       make([]mclient, n.nn),
-		log:           make([][]ivalRec, n.nn),
 		recovering:    make([]bool, n.nn),
 		incarnations:  make([]uint32, n.nn),
 		ckptConfirmed: make([]int64, n.nn),
@@ -150,12 +114,6 @@ func (g *manager) handle(m *wire.Msg) {
 		return
 	}
 	switch m.Kind {
-	case wire.KLockReq:
-		g.lockReq(m)
-	case wire.KLockRelease:
-		g.lockRelease(m)
-	case wire.KBarArrive:
-		g.barArrive(m)
 	case wire.KJoinReq:
 		g.joinReq(m)
 	case wire.KSnapReq:
@@ -195,150 +153,7 @@ func (g *manager) reply(to int32, m *wire.Msg) {
 	g.n.send(int(to), m)
 }
 
-// recordInterval appends a reported interval to the global log, checking
-// the per-writer contiguity invariant the notice computation relies on.
-// An interval at or below the log's head is a retransmission the client
-// table already answered once — recorded exactly once, skipped here as
-// defense in depth.
-func (g *manager) recordInterval(iv *wire.Interval) {
-	if iv == nil {
-		return
-	}
-	w := int(iv.Writer)
-	want := int32(len(g.log[w]) + 1)
-	if iv.Index < want {
-		return
-	}
-	if iv.Index > want {
-		g.n.fail(fmt.Errorf("manager: writer %d reported interval %d, want %d", w, iv.Index, want))
-		return
-	}
-	g.log[w] = append(g.log[w], ivalRec{pages: iv.Pages})
-}
-
-// noticesBetween returns the write notices of every interval covered by
-// to but not by from: exactly what an acquirer joining `to` is missing.
-func (g *manager) noticesBetween(from, to []int32) []wire.Notice {
-	var out []wire.Notice
-	for w := 0; w < g.nn; w++ {
-		var lo, hi int32
-		if w < len(from) {
-			lo = from[w]
-		}
-		if w < len(to) {
-			hi = to[w]
-		}
-		for idx := lo + 1; idx <= hi; idx++ {
-			out = append(out, wire.Notice{Writer: int32(w), Index: idx, Pages: g.log[w][idx-1].pages})
-		}
-	}
-	return out
-}
-
-func (g *manager) lockReq(m *wire.Msg) {
-	lk := &g.locks[m.Lock]
-	if lk.held {
-		lk.waiters = append(lk.waiters, waiter{from: m.From, token: m.Token, vt: m.VT})
-		return
-	}
-	lk.held = true
-	lk.holder = m.From
-	g.grant(int(m.Lock), m.From, m.Token, m.VT)
-}
-
-func (g *manager) lockRelease(m *wire.Msg) {
-	g.recordInterval(m.Interval)
-	lk := &g.locks[m.Lock]
-	if !lk.held || lk.holder != m.From {
-		g.n.fail(fmt.Errorf("manager: release of lock %d by %d, held=%v holder=%d", m.Lock, m.From, lk.held, lk.holder))
-		return
-	}
-	g.lockVT[m.Lock] = vc.VC(m.VT).Clone()
-	lk.held = false
-	g.reply(m.From, &wire.Msg{Kind: wire.KReleaseAck, Token: m.Token, Lock: m.Lock})
-	if len(lk.waiters) == 0 {
-		return
-	}
-	w := lk.waiters[0]
-	lk.waiters = lk.waiters[1:]
-	lk.held = true
-	lk.holder = w.from
-	g.grant(int(m.Lock), w.from, w.token, w.vt)
-}
-
-// grant hands a lock to an acquirer: the grant carries the lock's
-// release-time vector time and the write notices between the acquirer's
-// time and it.
-func (g *manager) grant(lock int, to int32, token int64, reqVT []int32) {
-	gvt := g.lockVT[lock]
-	if gvt == nil {
-		gvt = vc.New(g.nn)
-	}
-	g.reply(to, &wire.Msg{
-		Kind:    wire.KLockGrant,
-		Token:   token,
-		Lock:    int32(lock),
-		VT:      gvt.Clone(),
-		Notices: g.noticesBetween(reqVT, gvt),
-	})
-}
-
-func (g *manager) barArrive(m *wire.Msg) {
-	g.recordInterval(m.Interval)
-	b := &g.bars[m.Barrier]
-	b.arrivals = append(b.arrivals, waiter{from: m.From, token: m.Token, vt: m.VT})
-	if len(b.arrivals) < g.nn {
-		return
-	}
-	g.episode++
-	merged := vc.New(g.nn)
-	for _, a := range b.arrivals {
-		merged.Join(a.vt)
-	}
-	// A flagged episode captures the manager's half of the checkpoint
-	// before any departure: by the time a node can snapshot (after its
-	// depart) or confirm, the manager snapshot it pairs with exists.
-	if rc := g.n.cfg.Recover; rc != nil && rc.Every > 0 && g.episode%rc.Every == 0 {
-		g.captureManager(merged)
-	}
-	for _, a := range b.arrivals {
-		g.reply(a.from, &wire.Msg{
-			Kind:    wire.KBarDepart,
-			Token:   a.token,
-			Barrier: m.Barrier,
-			Episode: g.episode,
-			VT:      merged.Clone(),
-			Notices: g.noticesBetween(a.vt, merged),
-		})
-	}
-	b.arrivals = nil
-}
-
 // ---- checkpoint and rejoin ----
-
-// captureManager snapshots the manager's synchronization state at the
-// just-completed (flagged) episode into the store.
-func (g *manager) captureManager(merged vc.VC) {
-	snap := &ckpt.ManagerSnapshot{
-		Episode: g.episode,
-		VT:      merged.Clone(),
-		LockVT:  make([][]int32, len(g.lockVT)),
-		Log:     make([][]ckpt.LogRec, g.nn),
-	}
-	for i, lv := range g.lockVT {
-		if lv != nil {
-			snap.LockVT[i] = lv.Clone()
-		}
-	}
-	for w := range g.log {
-		for _, r := range g.log[w] {
-			snap.Log[w] = append(snap.Log[w], ckpt.LogRec{Pages: append([]int32(nil), r.pages...)})
-		}
-	}
-	if err := g.n.cfg.Recover.Store.PutManager(snap); err != nil {
-		g.abort(fmt.Errorf("manager: storing checkpoint %d: %w", g.episode, err))
-	}
-}
 
 // ckptDone records a node's confirmation that it durably stored its
 // snapshot for an episode.
@@ -448,10 +263,11 @@ func (g *manager) resume(m *wire.Msg) {
 }
 
 // resetTo rolls the manager back to checkpoint episode k (0 = pristine):
-// locks free, barriers empty, the interval log and lock vector times
-// restored from the manager snapshot, client de-duplication cleared for
-// the new epoch, and victim marked recovering. Runs on the dispatcher
-// via Node.Control.
+// the resume point handed to joiners is read from the manager snapshot,
+// client de-duplication is cleared for the new epoch, and victim is
+// marked recovering. The distributed synchronization state is reset on
+// each node by ResetToCheckpoint, not here. Runs on the dispatcher via
+// Node.Control.
 func (g *manager) resetTo(k int64, victim int) error {
 	var ms *ckpt.ManagerSnapshot
 	if k > 0 {
@@ -460,29 +276,8 @@ func (g *manager) resetTo(k int64, victim int) error {
 			return fmt.Errorf("manager: checkpoint %d: %w", k, err)
 		}
 	}
-	for i := range g.locks {
-		g.locks[i] = mlock{}
-	}
-	for i := range g.lockVT {
-		g.lockVT[i] = nil
-		if ms != nil && i < len(ms.LockVT) && ms.LockVT[i] != nil {
-			g.lockVT[i] = vc.VC(ms.LockVT[i]).Clone()
-		}
-	}
-	for i := range g.bars {
-		g.bars[i] = mbar{}
-	}
-	g.episode = k
 	for i := range g.clients {
 		g.clients[i] = mclient{}
-	}
-	g.log = make([][]ivalRec, g.nn)
-	if ms != nil {
-		for w := range ms.Log {
-			for _, r := range ms.Log[w] {
-				g.log[w] = append(g.log[w], ivalRec{pages: append([]int32(nil), r.Pages...)})
-			}
-		}
 	}
 	g.resumeEpisode = k
 	g.resumeVT = nil
@@ -550,37 +345,34 @@ func (g *manager) checkLiveness() {
 	}
 }
 
-// pendingFor describes a node's synchronization state as the manager
-// sees it, for the failure verdict.
+// pendingFor describes a node's synchronization state as far as node 0
+// can see it, for the failure verdict. With the sync plane distributed,
+// node 0 knows the probable owners of the locks homed here and the
+// arrival state of the root barrier aggregation — a partial but useful
+// picture (a silent peer that owns a home-0 lock or whose subtree the
+// root still awaits is exactly the interesting case).
 func (g *manager) pendingFor(w int) string {
+	n := g.n
 	var parts []string
-	for id := range g.locks {
-		lk := &g.locks[id]
-		if lk.held && int(lk.holder) == w {
-			parts = append(parts, fmt.Sprintf("holds lock %d", id))
-		}
-		for _, wt := range lk.waiters {
-			if int(wt.from) == w {
-				parts = append(parts, fmt.Sprintf("waiting for lock %d", id))
-			}
+	n.mu.Lock()
+	for id := range n.sy.locks {
+		lk := &n.sy.locks[id]
+		if n.lockHome(id) == n.id && int(lk.owner) == w {
+			parts = append(parts, fmt.Sprintf("probably owns lock %d", id))
 		}
 	}
-	for id := range g.bars {
-		n := len(g.bars[id].arrivals)
-		if n == 0 {
-			continue
+	if b := &n.sy.bar; b.arrived != nil && w != n.id {
+		// The root sees w through the child-of-root subtree containing it.
+		anc := w
+		for anc > 2 {
+			anc = (anc - 1) / 2
 		}
-		arrived := false
-		for _, a := range g.bars[id].arrivals {
-			if int(a.from) == w {
-				arrived = true
-				break
-			}
-		}
-		if !arrived {
-			parts = append(parts, fmt.Sprintf("barrier %d awaits it (%d/%d arrived)", id, n, g.nn))
+		if _, ok := b.arrived[int32(anc)]; !ok {
+			parts = append(parts, fmt.Sprintf("barrier %d episode %d awaits its subtree (%d/%d arrivals at root)",
+				b.barrier, b.episode, len(b.arrived), 1+len(n.barChildren())))
 		}
 	}
+	n.mu.Unlock()
 	if len(parts) == 0 {
 		return "no pending synchronization"
 	}
@@ -588,15 +380,5 @@ func (g *manager) pendingFor(w int) string {
 }
 
 // abort fails this node with err and broadcasts it so every peer
-// unblocks immediately instead of waiting out its own timeout. The
-// broadcast is best-effort — a peer the abort cannot reach (the dead or
-// partitioned one) is torn down by the cluster anyway.
-func (g *manager) abort(err error) {
-	msg := &wire.Msg{Kind: wire.KAbort, Err: err.Error()}
-	for p := 0; p < g.nn; p++ {
-		if p != g.n.id {
-			g.n.send(p, msg)
-		}
-	}
-	g.n.fail(err)
-}
+// unblocks immediately instead of waiting out its own timeout.
+func (g *manager) abort(err error) { g.n.abortCluster(err) }

@@ -13,11 +13,14 @@
 // fault can always be satisfied with a full copy from the home (LI) and
 // an update pull can always be satisfied from the home's diff log (LH).
 //
-// Synchronization uses a centralized manager colocated with node 0: it
-// serializes lock grant order, collects barrier arrivals, and keeps the
-// global interval log from which it computes the write notices each
-// grant or departure must carry (the notices between the acquirer's
-// vector time and the grant's vector time).
+// Synchronization is decentralized (see sync.go): locks are home-based
+// with TreadMarks-style ownership forwarding so grants travel directly
+// from last holder to next requester, barriers combine up a fan-in tree
+// rooted at node 0 and release down it, and the write notices a grant
+// or release carries come from per-writer interval logs — each node
+// keeps its own log authoritatively and peers replicate segments on
+// demand. Node 0 retains only the recovery manager (join/checkpoint
+// coordination) and the liveness monitor.
 //
 // Each node runs three goroutine roles: the worker (application code,
 // calling the core.Worker operations), a pump draining the transport
@@ -136,6 +139,10 @@ type Node struct {
 	vt    vc.VC
 	pages []lpage
 	mod   []page.ID
+	// sy is this node's share of the distributed synchronization plane
+	// (locks homed here or owned here, barrier-tree aggregation,
+	// per-writer interval knowledge). Guarded by mu.
+	sy *syncState
 
 	// Capture-gate state (under mu; see recover.go). While gateEpisode is
 	// non-zero, incoming flushes stamped with that episode or later are
@@ -230,6 +237,7 @@ func New(tr transport.Transport, cfg Config) *Node {
 		intrCh:  make(chan struct{}),
 		ctl:     make(chan func()),
 		done:    make(chan struct{}),
+		sy:      newSyncState(cfg.NLocks, tr.N()),
 	}
 	if rc := cfg.Recover; rc != nil {
 		n.epoch.Store(rc.Epoch)
@@ -435,70 +443,8 @@ func (n *Node) ReadI64(a core.Addr) int64 { return int64(n.ReadU64(a)) }
 // WriteI64 implements core.Worker.
 func (n *Node) WriteI64(a core.Addr, v int64) { n.WriteU64(a, uint64(v)) }
 
-// Lock implements core.Worker: it asks the manager for the lock and
-// applies the granted vector time and write notices.
-func (n *Node) Lock(id int) {
-	if n.replaying {
-		return // replay re-derives private state only; locks are moot
-	}
-	t0 := time.Now()
-	reply := n.rpc(0, &wire.Msg{Kind: wire.KLockReq, Lock: int32(id), VT: n.vtSnapshot()})
-	n.applyNotices(reply.VT, reply.Notices)
-	atomic.AddInt64(&n.stats.LockAcquires, 1)
-	atomic.AddInt64(&n.stats.LockWaitNs, time.Since(t0).Nanoseconds())
-}
-
-// Unlock implements core.Worker: it closes the write interval, flushes
-// its diffs home, and returns the lock (with the closed interval's write
-// notices) to the manager. The release is an acknowledged RPC — not
-// fire-and-forget — so a dropped frame is retransmitted and the manager
-// provably holds the interval before the worker proceeds.
-func (n *Node) Unlock(id int) {
-	if n.replaying {
-		return
-	}
-	iv := n.closeInterval()
-	n.rpc(0, &wire.Msg{Kind: wire.KLockRelease, Lock: int32(id), VT: n.vtSnapshot(), Interval: iv})
-}
-
-// Barrier implements core.Worker: it closes the write interval, arrives
-// at the manager, and departs with the merged vector time and the write
-// notices of every other arriver.
-func (n *Node) Barrier(id int) {
-	if n.replaying {
-		n.replayBarrier()
-		return
-	}
-	// A flagged episode closes a checkpoint cut at this barrier. The
-	// capture gate goes up before the arrival is sent: every flush this
-	// node receives from a peer that already departed the episode (its
-	// stamp >= gateEpisode) is buffered until the capture is done, so the
-	// snapshot sees exactly the pre-barrier state. Flushes stamped below
-	// the gate belong to intervals that happened-before the barrier and
-	// apply normally — causality guarantees they were all acknowledged
-	// before this node's own departure.
-	episodeNext := n.barsDone + 1
-	flagged := false
-	if rc := n.cfg.Recover; rc != nil && rc.Every > 0 && episodeNext%rc.Every == 0 {
-		flagged = true
-		n.mu.Lock()
-		n.gateEpisode = episodeNext
-		n.mu.Unlock()
-	}
-	iv := n.closeInterval()
-	t0 := time.Now()
-	reply := n.rpc(0, &wire.Msg{Kind: wire.KBarArrive, Barrier: int32(id), VT: n.vtSnapshot(), Interval: iv})
-	n.applyNotices(reply.VT, reply.Notices)
-	atomic.AddInt64(&n.stats.BarrierEpisodes, 1)
-	atomic.AddInt64(&n.stats.BarrierWaitNs, time.Since(t0).Nanoseconds())
-	if n.obs != nil {
-		n.obs.BarrierDeparted(n.id, reply.Episode)
-	}
-	n.barsDone++
-	if flagged {
-		n.captureCheckpoint(reply.Episode)
-	}
-}
+// Lock, Unlock and Barrier (core.Worker) live in sync.go with the rest
+// of the distributed synchronization plane.
 
 // FinalFlush closes the last write interval after the worker returns, so
 // the homes hold the final memory image. The interval is not reported to
@@ -518,12 +464,6 @@ func (n *Node) HomePage(pg page.ID) []byte {
 	out := make([]byte, len(src))
 	copy(out, src)
 	return out
-}
-
-func (n *Node) vtSnapshot() []int32 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.vt.Clone()
 }
 
 // ---- fault handling ----
@@ -604,6 +544,10 @@ func (n *Node) closeInterval() *wire.Interval {
 	}
 	n.mod = n.mod[:0]
 	iv := &wire.Interval{Writer: int32(n.id), Index: idx, VT: n.vt.Clone(), Pages: pages}
+	// The closed interval extends this node's authoritative per-writer
+	// log: the source every lock grant, barrier release, and on-demand
+	// segment fetch draws its write notices from.
+	n.recordOwnIntervalLocked(idx, pages)
 	n.mu.Unlock()
 
 	atomic.AddInt64(&n.stats.Intervals, 1)
@@ -679,15 +623,19 @@ func (n *Node) homeRecordLocked(ps *lpage, wd wire.Diff, applyData bool) {
 
 // ---- acquire-side notice processing ----
 
-// applyNotices joins the granted vector time and processes its write
-// notices: under LI noticed pages are invalidated; under LH cached
-// copies are refreshed by pulling the missing diffs from the home
-// (uncached pages just stay invalid). Pages homed here are already
-// current — their diffs arrived before the grant could happen.
+// applyNotices back-fills any notice gaps from the writers' logs,
+// records the learned intervals, joins the granted vector time, and
+// processes the write notices: under LI noticed pages are invalidated;
+// under LH cached copies are refreshed by pulling the missing diffs
+// from the home (uncached pages just stay invalid). Pages homed here
+// are already current — their diffs arrived before the grant could
+// happen.
 func (n *Node) applyNotices(grantVT []int32, notices []wire.Notice) {
+	notices = n.fillNotices(grantVT, notices)
 	var pulls []page.ID
 	pulled := make(map[page.ID]bool)
 	n.mu.Lock()
+	n.recordKnowledgeLocked(notices)
 	n.vt.Join(grantVT)
 	for _, nt := range notices {
 		w := int(nt.Writer)
@@ -767,7 +715,7 @@ func (n *Node) pullDiffs(pg page.ID) {
 func isReply(k wire.Kind) bool {
 	switch k {
 	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart, wire.KReleaseAck,
-		wire.KJoinGrant, wire.KSnapChunk:
+		wire.KJoinGrant, wire.KSnapChunk, wire.KLogSegResp:
 		return true
 	}
 	return false
@@ -1007,8 +955,17 @@ func (n *Node) handle(m *wire.Msg) {
 		n.handleWriteNotices(m)
 	case wire.KAbort:
 		n.fail(&RemoteAbortError{From: int(m.From), Reason: m.Err})
-	case wire.KLockReq, wire.KLockRelease, wire.KBarArrive,
-		wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone:
+	case wire.KLockReq:
+		n.handleLockReq(m)
+	case wire.KLockForward:
+		n.handleLockForward(m)
+	case wire.KBarArrive:
+		n.handleBarArrive(m)
+	case wire.KBarRelease:
+		n.handleBarRelease(m)
+	case wire.KLogSegReq:
+		n.handleLogSegReq(m)
+	case wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone:
 		if n.mgr == nil {
 			n.fail(fmt.Errorf("node %d: manager message %v at non-manager", n.id, m.Kind))
 			return

@@ -226,8 +226,10 @@ func (n *Node) captureCheckpoint(episode int64) {
 // ResetToCheckpoint rolls this node's shared state back to snap (nil
 // means the initial image, episode 0): homed pages take the snapshot
 // contents and version accounting, every cached copy is invalidated,
-// open write intervals are discarded, and the vector time becomes the
-// snapshot's. Call only with the worker stopped.
+// open write intervals are discarded, the vector time becomes the
+// snapshot's, and this node's share of the distributed synchronization
+// plane restarts at the checkpoint cut (see syncState.reset). Call only
+// with the worker stopped.
 func (n *Node) ResetToCheckpoint(snap *ckpt.NodeSnapshot) {
 	imgs := make(map[page.ID]*ckpt.PageImage)
 	if snap != nil {
@@ -277,6 +279,11 @@ func (n *Node) ResetToCheckpoint(snap *ckpt.NodeSnapshot) {
 	n.mod = n.mod[:0]
 	n.gateEpisode = 0
 	n.gated = nil
+	var episode int64
+	if snap != nil {
+		episode = snap.Episode
+	}
+	n.sy.reset(episode, n.vt, n.id)
 	n.mu.Unlock()
 
 	n.pmu.Lock()

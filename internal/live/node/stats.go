@@ -45,6 +45,16 @@ type Stats struct {
 	LockAcquires    int64 `json:"lock_acquires"`
 	BarrierEpisodes int64 `json:"barrier_episodes"`
 
+	// Distributed-lock plane counters: acquires served entirely locally
+	// (this node still owned the lock), requests a home forwarded to the
+	// probable owner, grants handed out (first grants and owner-to-owner
+	// handoffs), and interval-log segments fetched from a writer because
+	// a grant's notices had a pruned gap.
+	LockLocalAcquires int64 `json:"lock_local_acquires"`
+	LockForwards      int64 `json:"lock_forwards"`
+	LockHandoffs      int64 `json:"lock_handoffs"`
+	LogSegFetches     int64 `json:"log_seg_fetches"`
+
 	// Robustness counters: the retransmission and failure-detection
 	// machinery's activity. All zero on a healthy network.
 	RPCRetries     int64 `json:"rpc_retries"`     // requests retransmitted after a silent backoff window
@@ -84,6 +94,8 @@ func (s *Stats) Snapshot() Stats {
 		{&out.DiffsApplied, &s.DiffsApplied}, {&out.DiffBytes, &s.DiffBytes},
 		{&out.Intervals, &s.Intervals}, {&out.Invalidations, &s.Invalidations},
 		{&out.LockAcquires, &s.LockAcquires}, {&out.BarrierEpisodes, &s.BarrierEpisodes},
+		{&out.LockLocalAcquires, &s.LockLocalAcquires}, {&out.LockForwards, &s.LockForwards},
+		{&out.LockHandoffs, &s.LockHandoffs}, {&out.LogSegFetches, &s.LogSegFetches},
 		{&out.RPCRetries, &s.RPCRetries}, {&out.DupRequests, &s.DupRequests},
 		{&out.DupReplies, &s.DupReplies},
 		{&out.HeartbeatsSent, &s.HeartbeatsSent}, {&out.HeartbeatsRecv, &s.HeartbeatsRecv},

@@ -1,0 +1,726 @@
+package node
+
+// sync.go is the node's slice of the decentralized synchronization
+// plane that replaced the centralized manager's lock, barrier and
+// interval-log duties.
+//
+// Locks are home-based with ownership forwarding (the TreadMarks
+// scheme): every lock has a static home node (lockHome) that tracks a
+// probable owner. An acquire goes to the home, which either grants
+// directly (a never-owned lock has an empty history, so a zero vector
+// time is exact) or forwards the request to the probable owner and
+// repoints the pointer at the requester — collapsing the chain so each
+// node sees at most one pending successor per lock. The owner hands the
+// lock straight to the successor with the release-time vector time and
+// the write notices the successor is missing, computed from its own
+// per-writer knowledge. Re-acquiring a lock this node still owns, and
+// releasing with no successor queued, are local operations with zero
+// messages.
+//
+// Barriers combine up a binary fan-in tree rooted at node 0: each
+// worker delivers its arrival (with its own new interval notices) to
+// its local dispatcher, dispatchers aggregate their subtree and forward
+// one combined arrival to the parent, and the root fans the release —
+// merged vector time plus the episode's full notice set — back down.
+// Node 0's per-episode message degree drops from N-1 to its tree
+// degree.
+//
+// Interval knowledge is per-writer: each node appends its own closed
+// intervals to an authoritative local log (never pruned within an
+// epoch) and records what it learns from grants and releases in capped
+// learned logs. A granter whose learned log has pruned an interval the
+// grant needs simply omits it; the acquirer detects the gap against the
+// grant vector time and back-fills it from the writer's own log with a
+// KLogSegReq — on-demand segment replication instead of a global log.
+//
+// Idempotence: a worker's RPC tokens are strictly increasing and a
+// worker blocked on a lock or barrier sends nothing newer, so every
+// node de-duplicates by (origin, token) — the home against requesters
+// (re-sending the cached grant or re-forwarding), the owner against
+// forwarded requests (re-sending the cached handoff grant), and the
+// barrier aggregation against repeated arrivals (re-forwarding the
+// aggregate up, or re-serving the release after it). Retransmission is
+// driven entirely by the blocked requester's retry schedule.
+//
+// All of this state is guarded by Node.mu: the worker's fast paths, the
+// dispatcher's handlers and the supervisor's checkpoint reset touch it
+// from different goroutines.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	ckpt "lrcdsm/internal/live/recover"
+	"lrcdsm/internal/live/wire"
+	"lrcdsm/internal/vc"
+)
+
+// learnedKnowCap bounds each learned per-writer knowledge log. A node's
+// own log is authoritative and never pruned within an epoch; learned
+// logs only save the granter a segment fetch, so pruning them is safe.
+const learnedKnowCap = 1024
+
+// lockHome maps a lock to its static home node.
+func (n *Node) lockHome(id int) int { return id % n.nn }
+
+// barParent is this node's parent in the barrier tree (root: node 0).
+func (n *Node) barParent() int { return (n.id - 1) / 2 }
+
+// barChildren lists this node's children in the barrier tree.
+func (n *Node) barChildren() []int {
+	var out []int
+	for _, c := range []int{2*n.id + 1, 2*n.id + 2} {
+		if c < n.nn {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// syncState is one node's share of the distributed synchronization
+// plane. Guarded by Node.mu.
+type syncState struct {
+	locks   []dlock
+	know    []knowLog
+	clients []lclient
+
+	// Barrier tree state: the episode currently aggregating, the last
+	// released episode, and the retained release for re-serving
+	// duplicate arrivals that surface after it.
+	bar         barAgg
+	relEpisode  int64
+	lastRelease *wire.Msg
+	// lastBarIdx is this node's own interval index at its last barrier
+	// departure: the base of the own-notice set the next arrival carries.
+	lastBarIdx int32
+}
+
+// dlock is one lock's local state. The home fields are meaningful on
+// the lock's home node, the owner fields wherever the lock currently
+// lives; on a lock homed at its owner both sets are in play.
+type dlock struct {
+	// owner is the home's probable-owner pointer (-1 = never granted).
+	owner int32
+	// owned marks this node as the lock's current owner; held marks the
+	// worker inside the critical section. An owned, unheld lock with no
+	// successor is re-acquirable and releasable with zero messages.
+	owned bool
+	held  bool
+	// relVT is this node's vector time at its last release of the lock —
+	// the grant time a handoff carries.
+	relVT []int32
+	// succ is the forwarded successor to hand the lock to at release.
+	// The home's chain collapsing guarantees at most one.
+	succ *fwdReq
+}
+
+type fwdReq struct {
+	from  int32
+	token int64
+	vt    []int32
+}
+
+// lclient extends the per-peer de-duplication window with the home's
+// forward cache: a retransmitted request whose forward (not reply) was
+// the action gets the forward re-sent to the same probable owner.
+type lclient struct {
+	mclient
+	fwdTok int64
+	fwdTo  int32
+	fwd    *wire.Msg
+}
+
+// knowLog is one writer's interval knowledge: recs[i] holds the pages
+// of interval base+1+i. The contiguous prefix (0, base] has been pruned
+// (learned logs only); coverage always reaches at least this node's
+// vector time entry for the writer.
+type knowLog struct {
+	base int32
+	recs [][]int32
+}
+
+func (k *knowLog) covered() int32           { return k.base + int32(len(k.recs)) }
+func (k *knowLog) pages(idx int32) []int32  { return k.recs[idx-k.base-1] }
+
+// barAgg accumulates one barrier episode's arrivals from this node's
+// worker and tree children.
+type barAgg struct {
+	episode int64
+	barrier int32
+	arrived map[int32]int64 // arriver -> token (meaningful for self)
+	vt      vc.VC
+	notices []wire.Notice
+	agg     *wire.Msg // the aggregate sent up (non-root), for re-sends
+}
+
+func newSyncState(nlocks, nn int) *syncState {
+	sy := &syncState{
+		locks:   make([]dlock, nlocks),
+		know:    make([]knowLog, nn),
+		clients: make([]lclient, nn),
+	}
+	for i := range sy.locks {
+		sy.locks[i].owner = -1
+	}
+	return sy
+}
+
+// reset rolls the sync plane back to a checkpoint cut: locks restart
+// unowned at their homes (every release before the checkpoint barrier
+// happened-before its merged vector time, so a zero-time first grant
+// loses nothing), barrier aggregation restarts at the checkpoint
+// episode, and per-writer knowledge restarts at the snapshot vector
+// time. Caller holds Node.mu.
+func (sy *syncState) reset(episode int64, vt vc.VC, self int) {
+	for i := range sy.locks {
+		sy.locks[i] = dlock{owner: -1}
+	}
+	for w := range sy.know {
+		sy.know[w] = knowLog{base: vt.Get(w)}
+	}
+	for i := range sy.clients {
+		sy.clients[i] = lclient{}
+	}
+	sy.bar = barAgg{}
+	sy.relEpisode = episode
+	sy.lastRelease = nil
+	sy.lastBarIdx = vt.Get(self)
+}
+
+// ---- worker side: locks ----
+
+// Lock implements core.Worker. Re-acquiring a lock this node still owns
+// with no successor queued is purely local; otherwise the request goes
+// to the lock's home, which grants directly (never-owned) or forwards
+// to the probable owner, whose grant arrives with the release-time
+// vector time and the write notices this node is missing.
+func (n *Node) Lock(id int) {
+	if n.replaying {
+		return // replay re-derives private state only; locks are moot
+	}
+	t0 := time.Now()
+	n.mu.Lock()
+	lk := &n.sy.locks[id]
+	if lk.owned && lk.succ == nil {
+		lk.held = true
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.LockAcquires, 1)
+		atomic.AddInt64(&n.stats.LockLocalAcquires, 1)
+		atomic.AddInt64(&n.stats.LockWaitNs, time.Since(t0).Nanoseconds())
+		return
+	}
+	reqVT := n.vt.Clone()
+	n.mu.Unlock()
+	reply := n.rpc(n.lockHome(id), &wire.Msg{Kind: wire.KLockReq, Lock: int32(id), VT: reqVT})
+	n.applyNotices(reply.VT, reply.Notices)
+	n.mu.Lock()
+	lk.owned = true
+	lk.held = true
+	lk.relVT = nil
+	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.LockAcquires, 1)
+	atomic.AddInt64(&n.stats.LockWaitNs, time.Since(t0).Nanoseconds())
+}
+
+// Unlock implements core.Worker: it closes the write interval (flushing
+// its diffs home and blocking on the acks — the release is complete
+// before the lock can move) and, if a successor was forwarded here,
+// hands the lock straight to it. With no successor the lock stays
+// owned in place and the release costs zero messages.
+func (n *Node) Unlock(id int) {
+	if n.replaying {
+		return
+	}
+	n.closeInterval()
+	n.mu.Lock()
+	lk := &n.sy.locks[id]
+	lk.held = false
+	lk.relVT = n.vt.Clone()
+	var g *wire.Msg
+	var to int32
+	if s := lk.succ; s != nil {
+		lk.succ = nil
+		lk.owned = false
+		g, to = n.buildGrantLocked(id, s), s.from
+	}
+	n.mu.Unlock()
+	if g != nil {
+		atomic.AddInt64(&n.stats.LockHandoffs, 1)
+		n.send(int(to), g)
+	}
+}
+
+// buildGrantLocked builds (and caches, for retransmitted requests) the
+// grant handing lock id to successor s: the last release's vector time
+// and the notices between the successor's time and it, from local
+// knowledge. Caller holds Node.mu.
+func (n *Node) buildGrantLocked(id int, s *fwdReq) *wire.Msg {
+	lk := &n.sy.locks[id]
+	g := &wire.Msg{
+		Kind:    wire.KLockGrant,
+		Token:   s.token,
+		Lock:    int32(id),
+		VT:      append([]int32(nil), lk.relVT...),
+		Notices: n.noticesBetweenLocked(s.vt, lk.relVT),
+	}
+	n.sy.clients[s.from].cache(g)
+	return g
+}
+
+// ---- dispatcher side: locks ----
+
+// handleLockReq serves an acquire at the lock's home: grant directly if
+// the lock was never owned, accept in place if the home itself is the
+// probable owner, else forward to the owner and repoint at the
+// requester.
+func (n *Node) handleLockReq(m *wire.Msg) {
+	n.mu.Lock()
+	c := &n.sy.clients[m.From]
+	if m.Token <= c.lastTok {
+		var out *wire.Msg
+		to := int(m.From)
+		if r, ok := c.replies[m.Token]; ok {
+			out = r
+		} else if c.fwd != nil && c.fwdTok == m.Token {
+			out, to = c.fwd, int(c.fwdTo)
+		}
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.DupRequests, 1)
+		if out != nil {
+			n.send(to, out)
+		}
+		return
+	}
+	c.lastTok = m.Token
+	lk := &n.sy.locks[m.Lock]
+	prev := lk.owner
+	lk.owner = m.From
+	if prev < 0 {
+		// Never owned: the lock's history is empty, so a zero vector time
+		// and no notices are exact.
+		g := &wire.Msg{Kind: wire.KLockGrant, Token: m.Token, Lock: m.Lock, VT: make([]int32, n.nn)}
+		c.cache(g)
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.LockHandoffs, 1)
+		n.send(int(m.From), g)
+		return
+	}
+	s := &fwdReq{from: m.From, token: m.Token, vt: m.VT}
+	if int(prev) == n.id {
+		out, to := n.acceptForwardLocked(int(m.Lock), s)
+		n.mu.Unlock()
+		if out != nil {
+			atomic.AddInt64(&n.stats.LockHandoffs, 1)
+			n.send(to, out)
+		}
+		return
+	}
+	fwd := &wire.Msg{Kind: wire.KLockForward, Token: m.Token, Lock: m.Lock, ReqFrom: m.From, VT: m.VT}
+	c.fwdTok, c.fwdTo, c.fwd = m.Token, prev, fwd
+	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.LockForwards, 1)
+	n.send(int(prev), fwd)
+}
+
+// handleLockForward serves a forwarded acquire at the probable owner.
+func (n *Node) handleLockForward(m *wire.Msg) {
+	n.mu.Lock()
+	c := &n.sy.clients[m.ReqFrom]
+	if m.Token <= c.lastTok {
+		r := c.replies[m.Token]
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.DupRequests, 1)
+		if r != nil {
+			n.send(int(m.ReqFrom), r)
+		}
+		return
+	}
+	c.lastTok = m.Token
+	out, to := n.acceptForwardLocked(int(m.Lock), &fwdReq{from: m.ReqFrom, token: m.Token, vt: m.VT})
+	n.mu.Unlock()
+	if out != nil {
+		atomic.AddInt64(&n.stats.LockHandoffs, 1)
+		n.send(to, out)
+	}
+}
+
+// acceptForwardLocked takes a (de-duplicated) forwarded request at the
+// probable owner: a released-in-place lock is granted immediately;
+// otherwise — the worker holds it, or this node's own grant is still in
+// flight — the successor is queued for handoff at the next release.
+// Caller holds Node.mu; the returned message is sent after unlocking.
+func (n *Node) acceptForwardLocked(id int, s *fwdReq) (*wire.Msg, int) {
+	lk := &n.sy.locks[id]
+	if lk.owned && !lk.held && lk.succ == nil {
+		lk.owned = false
+		return n.buildGrantLocked(id, s), int(s.from)
+	}
+	if lk.succ != nil {
+		n.fail(fmt.Errorf("node %d: second successor %d for lock %d (have %d) — home chain collapse violated",
+			n.id, s.from, id, lk.succ.from))
+		return nil, 0
+	}
+	lk.succ = s
+	return nil, 0
+}
+
+// ---- worker side: barriers ----
+
+// Barrier implements core.Worker: the worker closes its write interval
+// and delivers its arrival — with notices for its own intervals since
+// the last episode — to its local dispatcher, which aggregates the
+// subtree up the barrier tree. The departure arrives with the merged
+// vector time and the episode's full notice set.
+func (n *Node) Barrier(id int) {
+	if n.replaying {
+		n.replayBarrier()
+		return
+	}
+	// A flagged episode closes a checkpoint cut at this barrier. The
+	// capture gate goes up before the arrival is sent: every flush this
+	// node receives from a peer that already departed the episode (its
+	// stamp >= gateEpisode) is buffered until the capture is done, so the
+	// snapshot sees exactly the pre-barrier state. Flushes stamped below
+	// the gate belong to intervals that happened-before the barrier and
+	// apply normally — causality guarantees they were all acknowledged
+	// before this node's own departure.
+	episodeNext := n.barsDone + 1
+	flagged := false
+	if rc := n.cfg.Recover; rc != nil && rc.Every > 0 && episodeNext%rc.Every == 0 {
+		flagged = true
+		n.mu.Lock()
+		n.gateEpisode = episodeNext
+		n.mu.Unlock()
+	}
+	n.closeInterval()
+	n.mu.Lock()
+	k := &n.sy.know[n.id]
+	var own []wire.Notice
+	for idx := n.sy.lastBarIdx + 1; idx <= k.covered(); idx++ {
+		own = append(own, wire.Notice{Writer: int32(n.id), Index: idx, Pages: k.pages(idx)})
+	}
+	vtSnap := n.vt.Clone()
+	n.mu.Unlock()
+	t0 := time.Now()
+	reply := n.rpc(n.id, &wire.Msg{
+		Kind: wire.KBarArrive, Barrier: int32(id), Episode: episodeNext,
+		VT: vtSnap, Notices: own,
+	})
+	n.applyNotices(reply.VT, reply.Notices)
+	n.mu.Lock()
+	n.sy.lastBarIdx = n.vt.Get(n.id)
+	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.BarrierEpisodes, 1)
+	atomic.AddInt64(&n.stats.BarrierWaitNs, time.Since(t0).Nanoseconds())
+	if n.obs != nil {
+		n.obs.BarrierDeparted(n.id, reply.Episode)
+	}
+	n.barsDone++
+	if flagged {
+		n.captureCheckpoint(reply.Episode)
+	}
+}
+
+// ---- dispatcher side: barriers ----
+
+// handleBarArrive aggregates one arrival (the local worker's, or a
+// child subtree's) into the pending episode. A complete subtree is
+// forwarded up; at the root a complete episode is released down.
+func (n *Node) handleBarArrive(m *wire.Msg) {
+	n.mu.Lock()
+	sy := n.sy
+	if m.Episode <= sy.relEpisode {
+		// Already released: a lost release or a straggling retransmission.
+		// Re-serve the newest release (an older one is of no use — the
+		// arriver must have departed it to arrive again).
+		rel := sy.lastRelease
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.DupRequests, 1)
+		if rel == nil {
+			return
+		}
+		if int(m.From) == n.id {
+			n.send(n.id, departFrom(rel, m.Token))
+		} else {
+			cp := *rel
+			n.send(int(m.From), &cp)
+		}
+		return
+	}
+	b := &sy.bar
+	if b.arrived == nil {
+		*b = barAgg{episode: m.Episode, barrier: m.Barrier, arrived: map[int32]int64{}, vt: vc.New(n.nn)}
+	}
+	if b.episode != m.Episode || b.barrier != m.Barrier {
+		n.mu.Unlock()
+		n.fail(fmt.Errorf("node %d: arrival for barrier %d episode %d while aggregating barrier %d episode %d",
+			n.id, m.Barrier, m.Episode, b.barrier, b.episode))
+		return
+	}
+	if _, dup := b.arrived[m.From]; dup {
+		// A retransmission while the episode is still pending. On an inner
+		// node the aggregate (or the original arrival's loss) may be what
+		// is stuck — push the subtree's state up again.
+		agg := b.agg
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.DupRequests, 1)
+		if agg != nil {
+			n.send(n.barParent(), agg)
+		}
+		return
+	}
+	b.arrived[m.From] = m.Token
+	b.vt.Join(m.VT)
+	b.notices = append(b.notices, m.Notices...)
+	if len(b.arrived) < 1+len(n.barChildren()) {
+		n.mu.Unlock()
+		return
+	}
+	if n.id != 0 {
+		agg := &wire.Msg{
+			Kind: wire.KBarArrive, Barrier: b.barrier, Episode: b.episode,
+			VT: b.vt.Clone(), Notices: b.notices,
+		}
+		b.agg = agg
+		n.mu.Unlock()
+		n.send(n.barParent(), agg)
+		return
+	}
+	// Root: the episode is complete across the cluster.
+	episode := b.episode
+	barrier := b.barrier
+	merged := b.vt.Clone()
+	notices := b.notices
+	selfTok := b.arrived[int32(n.id)]
+	rel := &wire.Msg{Kind: wire.KBarRelease, Barrier: barrier, Episode: episode, VT: merged, Notices: notices}
+	sy.relEpisode = episode
+	sy.lastRelease = rel
+	sy.bar = barAgg{}
+	n.mu.Unlock()
+	// A flagged episode stores the root's half of the checkpoint — the
+	// episode number and merged vector time — before any release escapes:
+	// by the time a node can snapshot (after its depart) or confirm, the
+	// manager snapshot it pairs with exists.
+	if rc := n.cfg.Recover; rc != nil && rc.Every > 0 && episode%rc.Every == 0 {
+		snap := &ckpt.ManagerSnapshot{Episode: episode, VT: append([]int32(nil), merged...)}
+		if err := rc.Store.PutManager(snap); err != nil {
+			n.abortCluster(fmt.Errorf("node %d: storing manager checkpoint %d: %w", n.id, episode, err))
+			return
+		}
+	}
+	for _, c := range n.barChildren() {
+		cp := *rel
+		n.send(c, &cp)
+	}
+	n.send(n.id, departFrom(rel, selfTok))
+}
+
+// handleBarRelease fans a completed episode down: remember it for
+// re-serving, release the local worker, and forward to the children.
+func (n *Node) handleBarRelease(m *wire.Msg) {
+	n.mu.Lock()
+	sy := n.sy
+	if m.Episode <= sy.relEpisode {
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.DupRequests, 1)
+		return
+	}
+	selfTok, ok := sy.bar.arrived[int32(n.id)]
+	if !ok {
+		n.mu.Unlock()
+		n.fail(fmt.Errorf("node %d: release for barrier %d episode %d without a local arrival",
+			n.id, m.Barrier, m.Episode))
+		return
+	}
+	sy.relEpisode = m.Episode
+	sy.lastRelease = m
+	sy.bar = barAgg{}
+	n.mu.Unlock()
+	for _, c := range n.barChildren() {
+		cp := *m
+		n.send(c, &cp)
+	}
+	n.send(n.id, departFrom(m, selfTok))
+}
+
+// departFrom synthesizes the local worker's departure reply from a
+// release message.
+func departFrom(rel *wire.Msg, token int64) *wire.Msg {
+	return &wire.Msg{
+		Kind: wire.KBarDepart, Token: token, Barrier: rel.Barrier, Episode: rel.Episode,
+		VT: append([]int32(nil), rel.VT...), Notices: rel.Notices,
+	}
+}
+
+// ---- per-writer interval knowledge ----
+
+// recordOwnIntervalLocked appends a just-closed interval to this node's
+// authoritative log. Caller holds Node.mu; idx is the fresh tick.
+func (n *Node) recordOwnIntervalLocked(idx int32, pages []int32) {
+	k := &n.sy.know[n.id]
+	if idx != k.covered()+1 {
+		n.fail(fmt.Errorf("node %d: own interval %d, log covers %d", n.id, idx, k.covered()))
+		return
+	}
+	k.recs = append(k.recs, pages)
+}
+
+// recordKnowledgeLocked folds notices learned from a grant or release
+// into the per-writer logs, pruning learned logs past learnedKnowCap.
+// Caller holds Node.mu.
+func (n *Node) recordKnowledgeLocked(notices []wire.Notice) {
+	if len(notices) == 0 {
+		return
+	}
+	perW := make(map[int32][]wire.Notice)
+	for _, nt := range notices {
+		if int(nt.Writer) == n.id {
+			continue // own log is authoritative
+		}
+		perW[nt.Writer] = append(perW[nt.Writer], nt)
+	}
+	for w, nts := range perW {
+		sort.Slice(nts, func(i, j int) bool { return nts[i].Index < nts[j].Index })
+		k := &n.sy.know[w]
+		for _, nt := range nts {
+			cov := k.covered()
+			if nt.Index <= cov {
+				continue
+			}
+			if nt.Index > cov+1 {
+				n.fail(fmt.Errorf("node %d: notice gap for writer %d: have %d, got %d", n.id, w, cov, nt.Index))
+				return
+			}
+			k.recs = append(k.recs, nt.Pages)
+		}
+		if len(k.recs) > learnedKnowCap {
+			drop := len(k.recs) - learnedKnowCap
+			k.base += int32(drop)
+			k.recs = append(k.recs[:0], k.recs[drop:]...)
+		}
+	}
+}
+
+// noticesBetweenLocked returns the write notices of every interval
+// covered by to but not by from, from local knowledge. Intervals the
+// learned logs have pruned are omitted — the acquirer back-fills them
+// from the writers' own logs. Caller holds Node.mu.
+func (n *Node) noticesBetweenLocked(from, to []int32) []wire.Notice {
+	var out []wire.Notice
+	for w := 0; w < n.nn; w++ {
+		var lo, hi int32
+		if w < len(from) {
+			lo = from[w]
+		}
+		if w < len(to) {
+			hi = to[w]
+		}
+		k := &n.sy.know[w]
+		for idx := lo + 1; idx <= hi; idx++ {
+			if idx <= k.base {
+				continue
+			}
+			if idx > k.covered() {
+				n.fail(fmt.Errorf("node %d: knowledge of writer %d ends at %d, grant needs %d",
+					n.id, w, k.covered(), idx))
+				return out
+			}
+			out = append(out, wire.Notice{Writer: int32(w), Index: idx, Pages: k.pages(idx)})
+		}
+	}
+	return out
+}
+
+// fillNotices back-fills the gaps between this node's vector time and
+// the grant time that the provided notices do not cover (the granter's
+// learned log had pruned them), fetching each missing run from the
+// writer's own authoritative log.
+func (n *Node) fillNotices(grantVT []int32, notices []wire.Notice) []wire.Notice {
+	n.mu.Lock()
+	myvt := n.vt.Clone()
+	n.mu.Unlock()
+	var have map[int32]map[int32]bool
+	for _, nt := range notices {
+		if have == nil {
+			have = make(map[int32]map[int32]bool)
+		}
+		s := have[nt.Writer]
+		if s == nil {
+			s = make(map[int32]bool)
+			have[nt.Writer] = s
+		}
+		s[nt.Index] = true
+	}
+	type segRun struct {
+		w      int
+		lo, hi int32 // (lo, hi]
+	}
+	var runs []segRun
+	for w := 0; w < n.nn; w++ {
+		if w == n.id {
+			continue
+		}
+		var lo, hi int32
+		if w < len(myvt) {
+			lo = myvt[w]
+		}
+		if w < len(grantVT) {
+			hi = grantVT[w]
+		}
+		s := have[int32(w)]
+		start := int32(0)
+		for idx := lo + 1; idx <= hi+1; idx++ {
+			missing := idx <= hi && !s[idx]
+			if missing && start == 0 {
+				start = idx
+			} else if !missing && start != 0 {
+				runs = append(runs, segRun{w, start - 1, idx - 1})
+				start = 0
+			}
+		}
+	}
+	for _, r := range runs {
+		atomic.AddInt64(&n.stats.LogSegFetches, 1)
+		reply := n.rpc(r.w, &wire.Msg{Kind: wire.KLogSegReq, Lo: r.lo, Hi: r.hi})
+		notices = append(notices, reply.Notices...)
+	}
+	return notices
+}
+
+// handleLogSegReq serves a segment (Lo, Hi] of this node's own interval
+// log. The request is read-only, so it is served statelessly: a
+// retransmission just gets a fresh identical reply.
+func (n *Node) handleLogSegReq(m *wire.Msg) {
+	n.mu.Lock()
+	k := &n.sy.know[n.id]
+	var out []wire.Notice
+	for idx := m.Lo + 1; idx <= m.Hi; idx++ {
+		if idx <= k.base || idx > k.covered() {
+			n.mu.Unlock()
+			n.fail(fmt.Errorf("node %d: segment (%d,%d] outside own log (%d,%d]",
+				n.id, m.Lo, m.Hi, k.base, k.covered()))
+			return
+		}
+		out = append(out, wire.Notice{Writer: int32(n.id), Index: idx, Pages: k.pages(idx)})
+	}
+	n.mu.Unlock()
+	n.send(int(m.From), &wire.Msg{Kind: wire.KLogSegResp, Token: m.Token, Lo: m.Lo, Hi: m.Hi, Notices: out})
+}
+
+// ---- cluster abort ----
+
+// abortCluster fails this node with err and broadcasts it so every peer
+// unblocks immediately instead of waiting out its own timeout. The
+// broadcast is best-effort — a peer the abort cannot reach (the dead or
+// partitioned one) is torn down by the cluster anyway.
+func (n *Node) abortCluster(err error) {
+	msg := &wire.Msg{Kind: wire.KAbort, Err: err.Error()}
+	for p := 0; p < n.nn; p++ {
+		if p != n.id {
+			n.send(p, msg)
+		}
+	}
+	n.fail(err)
+}

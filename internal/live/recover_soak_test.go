@@ -214,6 +214,38 @@ func TestRecoveryDirStore(t *testing.T) {
 	compareToReference(t, "jacobi", core.LI, got)
 }
 
+// TestRecoveryLockHomeCrash kills node 1 — the home of tsp's min-cost
+// lock (lock 1 homes at 1 % 4) — twice, mid-handoff traffic, so the
+// rollback must rebuild a lock home whose owner pointer and grant
+// caches died with it. The recovered run must still match the
+// fault-free 1-node reference byte for byte.
+func TestRecoveryLockHomeCrash(t *testing.T) {
+	for _, prot := range []core.Protocol{core.LI, core.LH} {
+		prot := prot
+		t.Run(prot.String(), func(t *testing.T) {
+			t.Parallel()
+			fcfg := chaos.Config{Seed: 8, Crashes: []chaos.Crash{
+				{Node: 1, AtOp: 1, Local: true, RestartAfter: 5 * time.Millisecond},
+				{Node: 1, AtOp: 6, Local: true, RestartAfter: 5 * time.Millisecond},
+			}}
+			opts := RecoverOptions{
+				MaxRestarts:     4,
+				CheckpointEvery: 1,
+				Replicate:       true,
+				Seed:            8,
+			}
+			got, stats, nw := runAppSupervised(t, "tsp", prot, 4, transport.NewInprocNet(4), fcfg, opts)
+			if nw.Counters().Crashes == 0 {
+				t.Fatal("crash schedule fired no kills")
+			}
+			if stats.Restarts == 0 {
+				t.Error("kills fired but the supervisor recorded no restarts")
+			}
+			compareToReference(t, "tsp", prot, got)
+		})
+	}
+}
+
 // TestPartitionHealSupervised runs a supervised cluster through a
 // transient partition window that heals on its own: retransmission must
 // ride it out without the supervisor burning a restart.

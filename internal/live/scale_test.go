@@ -1,0 +1,35 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+)
+
+// TestAppsAtScale runs all four paper workloads on 8- and 16-node
+// in-process clusters under both protocols and compares the declared
+// result regions against a 1-node reference of the same engine. These
+// sizes exist because of the decentralized synchronization plane: with
+// the old node-0 manager every lock and barrier serialized through one
+// dispatcher and 16-node runs were not worth having. The tree barrier
+// (depth 4 at 16 nodes) and home-distributed locks are what this test
+// holds to the same byte-exactness bar as the 4-node runs.
+func TestAppsAtScale(t *testing.T) {
+	for _, nodes := range []int{8, 16} {
+		for _, name := range harness.AppNames {
+			for _, prot := range []core.Protocol{core.LI, core.LH} {
+				nodes, name, prot := nodes, name, prot
+				t.Run(fmt.Sprintf("%dn/%s/%v", nodes, name, prot), func(t *testing.T) {
+					t.Parallel()
+					got, stats := runApp(t, name, prot, nodes, nil)
+					if stats.Total.BarrierEpisodes == 0 && stats.Total.LockAcquires == 0 {
+						t.Errorf("%d-node run synchronized nothing", nodes)
+					}
+					compareToReference(t, name, prot, got)
+				})
+			}
+		}
+	}
+}

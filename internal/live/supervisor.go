@@ -184,6 +184,7 @@ wait:
 		addStats(&st.Total, &s)
 	}
 	st.Total.Node = -1
+	st.computeBalance()
 	return st, nil
 }
 
@@ -521,5 +522,6 @@ finished:
 	}
 	addStats(&st.Total, &killedTotal)
 	st.Total.Node = -1
+	st.computeBalance()
 	return st, nil
 }

@@ -23,12 +23,16 @@ import (
 // Version 3 added the recovery layer: a cluster Epoch fence on every
 // kind, the join/snapshot/resume kinds a restarted node uses to rejoin,
 // and a sender-episode stamp on KWriteNotices so homes can gate
-// post-checkpoint flushes during capture. Decode still accepts
-// MinVersion frames — an old frame simply has none of the newer fields
-// and cannot carry the newer kinds — so a rolling upgrade never wedges
-// on the codec.
+// post-checkpoint flushes during capture. Version 4 added the
+// decentralized synchronization plane: lock-request forwarding from a
+// lock's home to its probable owner, tree-barrier aggregation (an
+// episode stamp and aggregated notices on KBarArrive, plus the
+// KBarRelease fan-out kind), and on-demand per-writer interval-log
+// segment replication. Decode still accepts MinVersion frames — an old
+// frame simply has none of the newer fields and cannot carry the newer
+// kinds — so a rolling upgrade never wedges on the codec.
 const (
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -116,6 +120,23 @@ const (
 	// episode across nodes.
 	KCkptDone
 
+	// Version 4 kinds (the decentralized synchronization plane).
+	// firstV4Kind below must stay in sync with the first of them.
+
+	// KLockForward relays a lock request from the lock's home to its
+	// probable owner: Token and VT are the original requester's, ReqFrom
+	// names the requester so the owner can grant to it directly.
+	KLockForward
+	// KBarRelease fans a completed barrier episode down the barrier tree
+	// with the merged vector time and the episode's aggregated notices.
+	KBarRelease
+	// KLogSegReq asks a writer for its own interval log entries in the
+	// index range (Lo, Hi] — the on-demand segment replication a grant
+	// receiver uses when piggybacked notices skip pruned history.
+	KLogSegReq
+	// KLogSegResp returns the requested interval-log segment as notices.
+	KLogSegResp
+
 	kindEnd
 )
 
@@ -125,6 +146,9 @@ const firstV2Kind = KReleaseAck
 
 // firstV3Kind is the first kind that requires wire version 3.
 const firstV3Kind = KJoinReq
+
+// firstV4Kind is the first kind that requires wire version 4.
+const firstV4Kind = KLockForward
 
 var kindNames = [...]string{
 	KHello: "hello", KPageReq: "page-req", KPageReply: "page-reply",
@@ -136,6 +160,8 @@ var kindNames = [...]string{
 	KJoinReq: "join-req", KJoinGrant: "join-grant",
 	KSnapReq: "snap-req", KSnapChunk: "snap-chunk", KSnapPush: "snap-push",
 	KResume: "resume", KCkptDone: "ckpt-done",
+	KLockForward: "lock-forward", KBarRelease: "bar-release",
+	KLogSegReq: "log-seg-req", KLogSegResp: "log-seg-resp",
 }
 
 func (k Kind) String() string {
@@ -198,6 +224,8 @@ type Msg struct {
 	Page    int32
 	Chunk   int32 // snapshot chunk index (KSnapReq/KSnapChunk/KSnapPush)
 	NChunks int32 // total chunks in the snapshot being streamed
+	ReqFrom int32 // original requester of a forwarded lock request
+	Lo, Hi  int32 // interval-log segment range (Lo, Hi] (KLogSeg*)
 	Err     string // abort reason (KAbort)
 
 	VT      []int32 // vector time (requester VT, grant VT, page version)
@@ -225,6 +253,14 @@ type fieldSet struct {
 	// need no version gate of their own.
 	incarn bool
 	chunk  bool // Chunk + NChunks pair
+	// episode4 and notices4 mark fields version 4 added to a pre-v4 kind
+	// (the tree barrier's episode stamp and aggregated notices on
+	// KBarArrive): encoded always, decoded only from v4 frames.
+	episode4 bool
+	notices4 bool
+	// reqfrom and seg are v4-only field groups on v4-only kinds.
+	reqfrom bool
+	seg     bool // Lo + Hi pair
 }
 
 var fields = map[Kind]fieldSet{
@@ -238,7 +274,7 @@ var fields = map[Kind]fieldSet{
 	KLockReq:      {lock: true, vt: true, attempt: true},
 	KLockGrant:    {lock: true, vt: true, notices: true, diffs: true},
 	KLockRelease:  {lock: true, vt: true, ival: true, attempt: true},
-	KBarArrive:    {barrier: true, vt: true, ival: true, attempt: true},
+	KBarArrive:    {barrier: true, vt: true, ival: true, attempt: true, episode4: true, notices4: true},
 	KBarDepart:    {barrier: true, episode: true, vt: true, notices: true},
 	KReleaseAck:   {lock: true},
 	KHeartbeat:    {},
@@ -250,6 +286,10 @@ var fields = map[Kind]fieldSet{
 	KSnapPush:     {episode: true, pg: true, chunk: true, vt: true, data: true, attempt: true},
 	KResume:       {incarn: true, episode: true, attempt: true},
 	KCkptDone:     {episode: true, attempt: true},
+	KLockForward:  {lock: true, reqfrom: true, vt: true},
+	KBarRelease:   {barrier: true, episode: true, vt: true, notices: true},
+	KLogSegReq:    {seg: true, attempt: true},
+	KLogSegResp:   {seg: true, notices: true},
 }
 
 // Encode serializes m into a fresh buffer.
@@ -283,10 +323,17 @@ func Encode(m *Msg) []byte {
 	if fs.lock {
 		w.i32(m.Lock)
 	}
+	if fs.reqfrom {
+		w.i32(m.ReqFrom)
+	}
+	if fs.seg {
+		w.i32(m.Lo)
+		w.i32(m.Hi)
+	}
 	if fs.barrier {
 		w.i32(m.Barrier)
 	}
-	if fs.episode {
+	if fs.episode || fs.episode4 {
 		w.i64(m.Episode)
 	}
 	if fs.pg {
@@ -304,7 +351,7 @@ func Encode(m *Msg) []byte {
 			w.diff(&m.Diffs[i])
 		}
 	}
-	if fs.notices {
+	if fs.notices || fs.notices4 {
 		w.u32(uint32(len(m.Notices)))
 		for i := range m.Notices {
 			n := &m.Notices[i]
@@ -349,6 +396,9 @@ func Decode(b []byte) (*Msg, error) {
 	if r.err == nil && v < 3 && k >= firstV3Kind {
 		return nil, fmt.Errorf("wire: kind %v requires version 3, frame is version %d", k, v)
 	}
+	if r.err == nil && v < 4 && k >= firstV4Kind {
+		return nil, fmt.Errorf("wire: kind %v requires version 4, frame is version %d", k, v)
+	}
 	m := &Msg{Kind: k}
 	m.From = r.i32()
 	m.Token = r.i64()
@@ -376,10 +426,17 @@ func Decode(b []byte) (*Msg, error) {
 	if fs.lock {
 		m.Lock = r.i32()
 	}
+	if fs.reqfrom {
+		m.ReqFrom = r.i32()
+	}
+	if fs.seg {
+		m.Lo = r.i32()
+		m.Hi = r.i32()
+	}
 	if fs.barrier {
 		m.Barrier = r.i32()
 	}
-	if fs.episode {
+	if fs.episode || (fs.episode4 && v >= 4) {
 		m.Episode = r.i64()
 	}
 	if fs.pg {
@@ -397,7 +454,7 @@ func Decode(b []byte) (*Msg, error) {
 			m.Diffs = append(m.Diffs, r.diff())
 		}
 	}
-	if fs.notices {
+	if fs.notices || (fs.notices4 && v >= 4) {
 		n := r.count(12)
 		for i := 0; i < n && r.err == nil; i++ {
 			var nt Notice

@@ -36,7 +36,7 @@ func sampleMsgs() []*Msg {
 		{Kind: KLockGrant, From: 0, Token: 10, Lock: 12, VT: []int32{5, 5, 5, 5}, Notices: notices, Diffs: diffs},
 		{Kind: KLockRelease, From: 3, Token: 11, Lock: 12, VT: []int32{6, 5, 5, 5}, Interval: ival},
 		{Kind: KLockRelease, From: 3, Token: 12, Lock: 0, VT: []int32{6, 5, 5, 5}}, // no interval
-		{Kind: KBarArrive, From: 2, Token: 13, Barrier: 1, VT: []int32{1, 1, 1, 1}, Interval: ival},
+		{Kind: KBarArrive, From: 2, Token: 13, Barrier: 1, Episode: 7, VT: []int32{1, 1, 1, 1}, Notices: notices, Interval: ival},
 		{Kind: KBarDepart, From: 0, Token: 13, Barrier: 1, Episode: 4, VT: []int32{2, 2, 2, 2}, Notices: notices},
 		{Kind: KReleaseAck, From: 0, Token: 11, Lock: 12},
 		{Kind: KHeartbeat, From: 2, Epoch: 3},
@@ -48,6 +48,10 @@ func sampleMsgs() []*Msg {
 		{Kind: KSnapPush, From: 1, Token: 5, Epoch: 1, Episode: 4, Page: 9, Chunk: 0, NChunks: 2, VT: []int32{1, 3, 0, 0}, Data: []byte{9, 8, 7}, Attempt: 2},
 		{Kind: KResume, From: 3, Token: 3, Epoch: 2, Incarnation: 1, Episode: 4},
 		{Kind: KCkptDone, From: 1, Token: 6, Epoch: 1, Episode: 4},
+		{Kind: KLockForward, From: 0, Token: 21, Epoch: 2, Lock: 12, ReqFrom: 3, VT: []int32{0, 1, 2, 3}},
+		{Kind: KBarRelease, From: 0, Token: 0, Epoch: 1, Barrier: 1, Episode: 9, VT: []int32{3, 3, 3, 3}, Notices: notices},
+		{Kind: KLogSegReq, From: 2, Token: 30, Epoch: 1, Lo: 4, Hi: 9, Attempt: 1},
+		{Kind: KLogSegResp, From: 1, Token: 30, Epoch: 1, Lo: 4, Hi: 9, Notices: notices},
 	}
 }
 
@@ -122,13 +126,48 @@ func TestDecodeMalformed(t *testing.T) {
 	}
 }
 
+// cutV4 removes the v4-gated fields (the episode stamp and aggregated
+// notices version 4 added to KBarArrive) from a full encoding of m,
+// yielding the v3 layout of that kind. Offsets are computed from the
+// kind's field set; only simple pre-v4 kinds carry these flags.
+func cutV4(m *Msg, b []byte) []byte {
+	fs := fields[m.Kind]
+	if !fs.episode4 && !fs.notices4 {
+		return b
+	}
+	off := 18 // version, kind, from, token, epoch
+	if fs.attempt {
+		off++
+	}
+	if fs.lock {
+		off += 4
+	}
+	if fs.barrier {
+		off += 4
+	}
+	if fs.episode4 {
+		b = append(b[:off], b[off+8:]...)
+	}
+	if fs.notices4 {
+		if fs.vt {
+			off += 4 + 4*len(m.VT)
+		}
+		sz := 4
+		for _, n := range m.Notices {
+			sz += 12 + 4*len(n.Pages)
+		}
+		b = append(b[:off], b[off+sz:]...)
+	}
+	return b
+}
+
 // encodeV1 builds a version-1 frame for kinds that existed in v1: the
-// same layout as Encode minus the Attempt byte version 2 added and the
-// Epoch word (plus, for flushes, the Episode stamp) version 3 added.
-// All of those sit contiguously after the (version, kind, from, token)
-// prefix, so one cut suffices.
+// same layout as Encode minus the v4-gated fields, the Attempt byte
+// version 2 added, and the Epoch word (plus, for flushes, the Episode
+// stamp) version 3 added. The v1-v3 cuts sit contiguously after the
+// (version, kind, from, token) prefix, so one cut suffices.
 func encodeV1(m *Msg) []byte {
-	b := Encode(m)
+	b := cutV4(m, Encode(m))
 	b[0] = 1
 	fs := fields[m.Kind]
 	cut := 4 // Epoch
@@ -144,7 +183,7 @@ func encodeV1(m *Msg) []byte {
 // encodeV2 builds a version-2 frame for kinds that existed in v2: the v3
 // layout minus the Epoch word and the v3 Episode stamp (Attempt stays).
 func encodeV2(m *Msg) []byte {
-	b := Encode(m)
+	b := cutV4(m, Encode(m))
 	b[0] = 2
 	fs := fields[m.Kind]
 	b = append(b[:14], b[18:]...) // Epoch
@@ -155,6 +194,14 @@ func encodeV2(m *Msg) []byte {
 		}
 		b = append(b[:off], b[off+8:]...)
 	}
+	return b
+}
+
+// encodeV3 builds a version-3 frame for kinds that existed in v3: the
+// full layout minus the v4-gated fields.
+func encodeV3(m *Msg) []byte {
+	b := cutV4(m, Encode(m))
+	b[0] = 3
 	return b
 }
 
@@ -179,8 +226,11 @@ func TestDecodeV1Compat(t *testing.T) {
 		want := *m
 		want.Attempt = 0 // v1 frames have no Attempt field
 		want.Epoch = 0   // nor an Epoch
-		if fields[m.Kind].episode3 {
+		if fields[m.Kind].episode3 || fields[m.Kind].episode4 {
 			want.Episode = 0
+		}
+		if fields[m.Kind].notices4 {
+			want.Notices = nil
 		}
 		if !reflect.DeepEqual(&want, got) {
 			t.Errorf("%v: v1 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
@@ -209,11 +259,46 @@ func TestDecodeV2Compat(t *testing.T) {
 		}
 		want := *m
 		want.Epoch = 0 // v2 frames have no Epoch field
-		if fields[m.Kind].episode3 {
+		if fields[m.Kind].episode3 || fields[m.Kind].episode4 {
 			want.Episode = 0
+		}
+		if fields[m.Kind].notices4 {
+			want.Notices = nil
 		}
 		if !reflect.DeepEqual(&want, got) {
 			t.Errorf("%v: v2 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
+		}
+	}
+}
+
+// TestDecodeV3Compat checks the v4 versioning contract: a v3 frame of a
+// v3-or-older kind still decodes (without the v4 barrier episode stamp
+// or aggregated notices), while the v4-only synchronization kinds are
+// rejected when stamped as v3.
+func TestDecodeV3Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Kind >= firstV4Kind {
+			b := Encode(m)
+			b[0] = 3
+			if _, err := Decode(b); err == nil {
+				t.Errorf("%v: v4-only kind accepted in a v3 frame", m.Kind)
+			}
+			continue
+		}
+		got, err := Decode(encodeV3(m))
+		if err != nil {
+			t.Errorf("%v: v3 frame rejected: %v", m.Kind, err)
+			continue
+		}
+		want := *m
+		if fields[m.Kind].episode4 {
+			want.Episode = 0
+		}
+		if fields[m.Kind].notices4 {
+			want.Notices = nil
+		}
+		if !reflect.DeepEqual(&want, got) {
+			t.Errorf("%v: v3 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
 		}
 	}
 }
