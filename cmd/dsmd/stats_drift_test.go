@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lrcdsm/internal/live"
+	"lrcdsm/internal/live/node"
+)
+
+// TestJSONReportCarriesEveryStatsCounter guards the -json schema
+// against counter drift: every field of node.Stats must carry a unique
+// json tag and surface in the report's stats.total object, so a new
+// counter (PR 6's lock_forwards was the near miss) cannot silently
+// vanish from observability.
+func TestJSONReportCarriesEveryStatsCounter(t *testing.T) {
+	var total node.Stats
+	rv := reflect.ValueOf(&total).Elem()
+	typ := rv.Type()
+	tags := make(map[string]string, typ.NumField()) // json tag -> field name
+	for i := 0; i < typ.NumField(); i++ {
+		tag := strings.Split(typ.Field(i).Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			t.Errorf("Stats field %s has no json tag; it would vanish from dsmd -json", typ.Field(i).Name)
+			continue
+		}
+		if prev, dup := tags[tag]; dup {
+			t.Errorf("Stats fields %s and %s share json tag %q", prev, typ.Field(i).Name, tag)
+		}
+		tags[tag] = typ.Field(i).Name
+		rv.Field(i).SetInt(int64(i + 1))
+	}
+
+	rep := runReport{App: "probe", Scale: "test", Transport: "inproc",
+		Stats: &live.Stats{PerNode: []node.Stats{total}, Total: total}}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Stats struct {
+			Total map[string]any `json:"total"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		tag := strings.Split(typ.Field(i).Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		v, ok := got.Stats.Total[tag]
+		if !ok {
+			t.Errorf("counter %s (json %q) missing from stats.total in dsmd -json output", typ.Field(i).Name, tag)
+			continue
+		}
+		if f, ok := v.(float64); !ok || int64(f) != int64(i+1) {
+			t.Errorf("counter %s (json %q) = %v in report, want %d", typ.Field(i).Name, tag, v, i+1)
+		}
+	}
+}

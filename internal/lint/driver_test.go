@@ -57,4 +57,40 @@ func TestAnalyzersForScoping(t *testing.T) {
 	if lint.InDeterminismScope("lrcdsm/internal/simulator") {
 		t.Errorf("prefix match must respect path boundaries")
 	}
+
+	// The live-runtime concurrency analyzers apply under internal/live
+	// and nowhere else: the simulator is single-threaded by construction,
+	// so a "mutex held across a send" cannot happen there, and flagging
+	// it would only breed suppressions.
+	for _, pkg := range []string{
+		"lrcdsm/internal/live",
+		"lrcdsm/internal/live/node",
+		"lrcdsm/internal/live/transport",
+		"lrcdsm/internal/live/wire",
+	} {
+		got := names(pkg)
+		if !got["lockheld"] || !got["vtalias"] {
+			t.Errorf("%s: live concurrency analyzers should apply, got %v", pkg, got)
+		}
+		if !lint.InLiveScope(pkg) {
+			t.Errorf("%s should be in live scope", pkg)
+		}
+	}
+	for _, pkg := range []string{"lrcdsm/internal/core", "lrcdsm/cmd/dsmd", "lrcdsm/internal/livery"} {
+		got := names(pkg)
+		if got["lockheld"] || got["vtalias"] {
+			t.Errorf("%s: live concurrency analyzers should not apply, got %v", pkg, got)
+		}
+	}
+
+	// wiredrift audits exactly the wire codec package: its checks are
+	// structural over that package's tables and meaningless anywhere else.
+	if got := names("lrcdsm/internal/live/wire"); !got["wiredrift"] {
+		t.Errorf("internal/live/wire: wiredrift should apply, got %v", got)
+	}
+	for _, pkg := range []string{"lrcdsm/internal/live/node", "lrcdsm/internal/core"} {
+		if got := names(pkg); got["wiredrift"] {
+			t.Errorf("%s: wiredrift should apply only to the wire package, got %v", pkg, got)
+		}
+	}
 }

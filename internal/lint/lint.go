@@ -1,18 +1,21 @@
 // Package lint is the dsmlint analyzer suite: project-specific static
-// checks that guard the two properties the simulator's results depend on —
-// bit-for-bit deterministic execution (mapiter, simclock) and sound reuse
-// of pooled buffers on the hot path (poolsafe).
+// checks that guard the properties the repo's results depend on —
+// bit-for-bit deterministic simulation (mapiter, simclock), sound reuse
+// of pooled buffers on the hot path (poolsafe), and the live runtime's
+// concurrency and protocol invariants (lockheld, vtalias, wiredrift).
 //
 // A finding can be suppressed with an annotation on the same line or the
 // line above:
 //
 //	//dsmlint:ignore <analyzer> <reason>
 //
-// The reason is mandatory by convention: every suppression in the tree
-// should say why the flagged pattern is safe.
+// The reason is mandatory: the driver reports any annotation that names
+// no known analyzer or gives no reason (see SuppressionDiagnostics), so
+// every suppression in the tree says why the flagged pattern is safe.
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"sort"
 	"strings"
@@ -22,7 +25,7 @@ import (
 )
 
 // All is the full dsmlint suite.
-var All = []*analysis.Analyzer{MapIter, SimClock, PoolSafe}
+var All = []*analysis.Analyzer{MapIter, SimClock, PoolSafe, LockHeld, VTAlias, WireDrift}
 
 // DeterminismPkgs are the import paths (and their subpackages) whose code
 // runs inside — or drives — the deterministic simulation. The determinism
@@ -44,9 +47,36 @@ var determinismScoped = map[string]bool{
 	SimClock.Name: true,
 }
 
+// LivePkgs are the import paths (and their subpackages) that make up the
+// live runtime: real goroutines over real transports. The concurrency
+// analyzers (lockheld, vtalias) apply only here — the simulator is
+// single-threaded by construction, so holding a mutex across a channel
+// operation or aliasing a decoded frame cannot occur there.
+var LivePkgs = []string{
+	"lrcdsm/internal/live",
+}
+
+// liveScoped names the analyzers restricted to LivePkgs.
+var liveScoped = map[string]bool{
+	LockHeld.Name: true,
+	VTAlias.Name:  true,
+}
+
+// WireCodecPkg is the one package whose codec tables wiredrift audits.
+const WireCodecPkg = "lrcdsm/internal/live/wire"
+
 // InDeterminismScope reports whether pkgPath falls under DeterminismPkgs.
 func InDeterminismScope(pkgPath string) bool {
-	for _, p := range DeterminismPkgs {
+	return underAny(pkgPath, DeterminismPkgs)
+}
+
+// InLiveScope reports whether pkgPath falls under LivePkgs.
+func InLiveScope(pkgPath string) bool {
+	return underAny(pkgPath, LivePkgs)
+}
+
+func underAny(pkgPath string, roots []string) bool {
+	for _, p := range roots {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
 			return true
 		}
@@ -59,6 +89,12 @@ func AnalyzersFor(pkgPath string) []*analysis.Analyzer {
 	var as []*analysis.Analyzer
 	for _, a := range All {
 		if determinismScoped[a.Name] && !InDeterminismScope(pkgPath) {
+			continue
+		}
+		if liveScoped[a.Name] && !InLiveScope(pkgPath) {
+			continue
+		}
+		if a.Name == WireDrift.Name && pkgPath != WireCodecPkg {
 			continue
 		}
 		as = append(as, a)
@@ -97,8 +133,10 @@ func RunAnalyzer(a *analysis.Analyzer, pkg *loader.Package) ([]analysis.Diagnost
 // by a //dsmlint:ignore annotation on that line.
 type ignoreIndex map[string]map[int]map[string]bool
 
-func buildIgnoreIndex(pkg *loader.Package) ignoreIndex {
-	idx := ignoreIndex{}
+// eachIgnoreAnnotation calls fn for every //dsmlint:ignore comment in the
+// package with the annotation's position and its whitespace-split fields
+// (analyzer name first, reason words after).
+func eachIgnoreAnnotation(pkg *loader.Package, fn func(pos token.Pos, fields []string)) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -107,26 +145,65 @@ func buildIgnoreIndex(pkg *loader.Package) ignoreIndex {
 				if !strings.HasPrefix(text, "dsmlint:ignore") {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, "dsmlint:ignore"))
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
-				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					idx[pos.Filename] = byLine
-				}
-				names := byLine[pos.Line]
-				if names == nil {
-					names = map[string]bool{}
-					byLine[pos.Line] = names
-				}
-				names[fields[0]] = true
+				fn(c.Pos(), strings.Fields(strings.TrimPrefix(text, "dsmlint:ignore")))
 			}
 		}
 	}
+}
+
+func buildIgnoreIndex(pkg *loader.Package) ignoreIndex {
+	idx := ignoreIndex{}
+	eachIgnoreAnnotation(pkg, func(cpos token.Pos, fields []string) {
+		if len(fields) == 0 {
+			return
+		}
+		pos := pkg.Fset.Position(cpos)
+		byLine := idx[pos.Filename]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			idx[pos.Filename] = byLine
+		}
+		names := byLine[pos.Line]
+		if names == nil {
+			names = map[string]bool{}
+			byLine[pos.Line] = names
+		}
+		names[fields[0]] = true
+	})
 	return idx
+}
+
+// SuppressionDiagnostics enforces the suppression contract over one
+// package: every //dsmlint:ignore annotation must name a known analyzer
+// and give a reason. Malformed annotations are reported as diagnostics
+// from the pseudo-analyzer "ignore" — they cannot themselves be
+// suppressed, because a bare annotation silently disabling a check is
+// exactly the drift this guards against.
+func SuppressionDiagnostics(pkg *loader.Package) []analysis.Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	var diags []analysis.Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, analysis.Diagnostic{
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+			Analyzer: "ignore",
+		})
+	}
+	eachIgnoreAnnotation(pkg, func(pos token.Pos, fields []string) {
+		switch {
+		case len(fields) == 0:
+			report(pos, "dsmlint:ignore names no analyzer: use //dsmlint:ignore <analyzer> <reason>")
+		case !known[fields[0]]:
+			report(pos, "dsmlint:ignore names unknown analyzer %q", fields[0])
+		case len(fields) < 2:
+			report(pos, "dsmlint:ignore %s gives no reason: every suppression must say why the pattern is safe", fields[0])
+		}
+	})
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
 }
 
 // ignored reports whether an annotation for analyzer name covers pos:

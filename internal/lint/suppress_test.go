@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lrcdsm/internal/lint"
+	"lrcdsm/internal/lint/loader"
+)
+
+// TestSuppressionContract verifies the driver rejects //dsmlint:ignore
+// annotations that name no analyzer, an unknown analyzer, or give no
+// reason — and accepts a well-formed one silently.
+func TestSuppressionContract(t *testing.T) {
+	moduleDir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(moduleDir, filepath.Join("testdata", "src", "ignorebare"), "ignorebare")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := lint.SuppressionDiagnostics(pkg)
+	if len(diags) != 3 {
+		for _, d := range diags {
+			t.Logf("got: %s: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+	wants := []string{
+		"names no analyzer",
+		"gives no reason",
+		"unknown analyzer \"nosuchanalyzer\"",
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+		if diags[i].Analyzer != "ignore" {
+			t.Errorf("diagnostic %d analyzer = %q, want \"ignore\"", i, diags[i].Analyzer)
+		}
+	}
+}

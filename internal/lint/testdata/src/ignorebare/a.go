@@ -1,0 +1,27 @@
+// Fixture for the suppression contract: //dsmlint:ignore annotations
+// must name a known analyzer and give a reason. The driver reports the
+// three malformed shapes below; the well-formed annotation at the end
+// is silent.
+package ignorebare
+
+var sink []byte
+
+//dsmlint:ignore
+func bareAnnotation() {
+	sink = nil
+}
+
+//dsmlint:ignore poolsafe
+func reasonlessAnnotation() {
+	sink = nil
+}
+
+//dsmlint:ignore nosuchanalyzer the analyzer name is made up
+func unknownAnalyzer() {
+	sink = nil
+}
+
+//dsmlint:ignore poolsafe ownership of the buffer transfers to the caller
+func wellFormed() {
+	sink = nil
+}

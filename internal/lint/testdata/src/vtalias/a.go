@@ -1,0 +1,74 @@
+// Fixture for the vtalias analyzer: vector timestamps, notice slices
+// and whole messages from decoded frames stored into long-lived state
+// without a clone are flagged; explicit clones, locally constructed
+// messages, and pass-through calls are not.
+package vtalias
+
+import "lrcdsm/internal/live/wire"
+
+// state stands in for a node's long-lived synchronization state.
+type state struct {
+	lastVT  []int32
+	notices []wire.Notice
+	cache   map[int64]*wire.Msg
+	log     [][]int32
+}
+
+func (s *state) badStoreVT(m *wire.Msg) {
+	s.lastVT = m.VT // want "m.VT aliases a decoded wire frame"
+}
+
+func (s *state) badAppendNotices(m *wire.Msg) {
+	s.notices = append(s.notices, m.Notices...) // want "clone it before storing into s.notices"
+}
+
+func (s *state) badCacheMsg(m *wire.Msg) {
+	s.cache[m.Token] = m // want "m aliases a decoded wire frame"
+}
+
+func (s *state) badLiteralEmbed(m *wire.Msg) *wire.Msg {
+	return &wire.Msg{Kind: m.Kind, VT: m.VT} // want "clone it before storing into a wire.Msg literal"
+}
+
+func (s *state) badLocalAliasThenStore(m *wire.Msg) {
+	vt := m.VT
+	s.lastVT = vt // want "vt aliases a decoded wire frame"
+}
+
+func (s *state) badRangeNoticePages(m *wire.Msg) {
+	for _, nt := range m.Notices {
+		s.log = append(s.log, nt.Pages) // want "clone it before storing into s.log"
+	}
+}
+
+func (s *state) goodCloneVT(m *wire.Msg) {
+	s.lastVT = append([]int32(nil), m.VT...)
+}
+
+func (s *state) goodCloneNotices(m *wire.Msg) {
+	for _, nt := range m.Notices {
+		cp := wire.Notice{Writer: nt.Writer, Index: nt.Index, Pages: append([]int32(nil), nt.Pages...)}
+		s.notices = append(s.notices, cp)
+	}
+}
+
+func (s *state) goodLocalConstruct(nn int) *wire.Msg {
+	g := &wire.Msg{Kind: wire.KLockGrant, VT: make([]int32, nn)}
+	s.cache[1] = g
+	return g
+}
+
+func (s *state) goodPassThrough(m *wire.Msg, send func(*wire.Msg) error) error {
+	return send(m)
+}
+
+func (s *state) goodReassignedLocal(m *wire.Msg) {
+	vt := m.VT
+	vt = make([]int32, len(vt))
+	s.lastVT = vt
+}
+
+func (s *state) goodAnnotatedRetention(m *wire.Msg) {
+	//dsmlint:ignore vtalias this cache is read-only after the store and re-encoded verbatim for retransmissions
+	s.cache[m.Token] = m
+}

@@ -1,0 +1,53 @@
+// Fixture for the wiredrift analyzer: a fully wired codec. Every kind
+// has a fields entry and a name, every version past the first has a
+// band marker, the markers partition the enum in order, and Decode
+// gates each band — no diagnostics expected.
+package wiredriftok
+
+import "errors"
+
+type Kind uint8
+
+type fieldSet struct{ pg, vt bool }
+
+const Version = 3
+
+const (
+	KHello Kind = 1
+	KData  Kind = 2
+	KAck   Kind = 3
+
+	kindEnd Kind = 4
+
+	firstV2Kind Kind = KData
+	firstV3Kind Kind = KAck
+)
+
+var fields = map[Kind]fieldSet{
+	KHello: {},
+	KData:  {pg: true},
+	KAck:   {vt: true},
+}
+
+var kindNames = [kindEnd]string{
+	KHello: "hello", KData: "data", KAck: "ack",
+}
+
+var errTooNew = errors.New("wiredriftok: kind too new for version")
+
+func Decode(b []byte) (Kind, error) {
+	if len(b) < 2 {
+		return 0, errors.New("wiredriftok: short frame")
+	}
+	k, v := Kind(b[0]), int(b[1])
+	if v < 2 && k >= firstV2Kind {
+		return 0, errTooNew
+	}
+	if v < 3 && k >= firstV3Kind {
+		return 0, errTooNew
+	}
+	if _, ok := fields[k]; !ok {
+		return 0, errors.New("wiredriftok: unknown kind")
+	}
+	return k, nil
+}

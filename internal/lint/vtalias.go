@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lrcdsm/internal/lint/analysis"
+)
+
+// VTAlias flags vector timestamps, write-notice slices, and whole
+// messages that arrive from a decoded wire frame and are stored into
+// long-lived state without a clone. A decoded *wire.Msg is shared
+// between goroutines in two ways the type system cannot see: self-sends
+// deliver a shallow copy whose slices alias the sender's message, and a
+// frame retained past its handler (cached replies, gated flushes,
+// barrier aggregation) outlives the dispatcher turn that owned it.
+// Storing `m.VT` or `nt.Pages` into node state therefore creates
+// cross-goroutine aliasing that the race detector only catches when a
+// schedule happens to expose a concurrent write.
+//
+// Taint starts at values of the wire package's message types (wire.Msg,
+// wire.Notice, wire.Interval, wire.Diff): function parameters of those
+// types (or slices of them), results of calls returning them (an RPC
+// reply is a decoded frame), and range variables over tainted slices.
+// Field selections and slicing propagate taint; assignment to a local
+// propagates it poolsafe-style through straight-line code. Locally
+// constructed composite literals are clean — a message this function
+// built is owned by it.
+//
+// A diagnostic fires when a tainted value is stored where it outlives
+// the function: assigned through a selector or index (node state,
+// struct fields), appended into such a location, or placed in a
+// composite-literal field. Passing a tainted value to a call is clean —
+// callees that store their arguments are analyzed (and flagged)
+// themselves. Cloning idioms launder taint: `append([]T(nil), x...)` of
+// a scalar-element slice copies the elements, and any other call result
+// is treated as owned by the caller. Sites where the aliasing is
+// intentional and single-threaded carry //dsmlint:ignore vtalias with a
+// written reason.
+var VTAlias = &analysis.Analyzer{
+	Name: "vtalias",
+	Doc:  "flags wire-frame slices and messages stored into long-lived state without cloning",
+	Run:  runVTAlias,
+}
+
+func runVTAlias(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			vs := &vtScan{pass: pass, tainted: map[string]token.Pos{}}
+			vs.seedParams(fn.Type)
+			vs.block(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+type vtScan struct {
+	pass *analysis.Pass
+	// tainted maps expression keys (idents, selector chains) known to
+	// alias wire-frame memory to the position that tainted them.
+	tainted map[string]token.Pos
+}
+
+// isWireStruct reports whether t is (a pointer to) a named type declared
+// in a package whose import path ends in "wire" — the live codec's
+// message vocabulary.
+func isWireStruct(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "wire" || len(path) > 5 && path[len(path)-5:] == "/wire"
+}
+
+// isWireSlice reports a slice/array of wire structs ([]wire.Notice).
+func isWireSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && isWireStruct(sl.Elem())
+}
+
+// aliasable reports whether a value of type t can alias other memory
+// (so storing it shares state) — slices, maps, pointers, channels, and
+// structs containing any of those. Basic scalars and strings are not.
+func aliasable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasable(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// seedParams taints the function's wire-typed parameters.
+func (v *vtScan) seedParams(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := v.pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isWireStruct(obj.Type()) || isWireSlice(obj.Type()) {
+				v.tainted[name.Name] = name.Pos()
+			}
+		}
+	}
+}
+
+func (v *vtScan) block(stmts []ast.Stmt) {
+	for _, stmt := range stmts {
+		v.stmt(stmt)
+	}
+}
+
+func (v *vtScan) stmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			v.scanLiteralSinks(rhs)
+		}
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			key := exprKey(lhs)
+			if key != "" {
+				delete(v.tainted, key)
+			}
+			if rhs == nil {
+				continue
+			}
+			pos, taint := v.taintOf(rhs)
+			if !taint {
+				continue
+			}
+			switch lhs.(type) {
+			case *ast.Ident:
+				if key != "" && key != "_" {
+					v.tainted[key] = pos
+				}
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				v.pass.Reportf(rhs.Pos(),
+					"%s aliases a decoded wire frame; clone it before storing into %s",
+					types.ExprString(rhs), types.ExprString(lhs))
+			}
+		}
+	case *ast.ExprStmt:
+		v.scanLiteralSinks(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			v.scanLiteralSinks(r)
+		}
+	case *ast.DeferStmt:
+		v.scanLiteralSinks(s.Call)
+	case *ast.GoStmt:
+		v.scanLiteralSinks(s.Call)
+	case *ast.SendStmt:
+		v.scanLiteralSinks(s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			v.stmt(s.Init)
+		}
+		v.branch(s.Body.List)
+		if s.Else != nil {
+			v.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			v.stmt(s.Init)
+		}
+		v.branch(s.Body.List)
+	case *ast.RangeStmt:
+		// Ranging over a tainted slice of wire structs taints the value
+		// variable (each element's inner slices alias the frame).
+		saved := v.snapshot()
+		if _, taint := v.taintOf(s.X); taint {
+			if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+				v.tainted[id.Name] = id.Pos()
+			}
+		}
+		v.block(s.Body.List)
+		v.tainted = saved
+	case *ast.BlockStmt:
+		v.branch(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			v.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				v.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				v.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				v.branch(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		v.stmt(s.Stmt)
+	}
+}
+
+func (v *vtScan) snapshot() map[string]token.Pos {
+	c := make(map[string]token.Pos, len(v.tainted))
+	for k, p := range v.tainted {
+		c[k] = p
+	}
+	return c
+}
+
+// branch analyzes a nested block with a private copy of the taint set.
+func (v *vtScan) branch(stmts []ast.Stmt) {
+	saved := v.snapshot()
+	v.block(stmts)
+	v.tainted = saved
+}
+
+// scanLiteralSinks reports tainted values placed into composite-literal
+// fields anywhere inside n — building a struct around an aliased slice
+// stores it just as surely as a field assignment does. Function-literal
+// bodies are their own scope and are skipped.
+func (v *vtScan) scanLiteralSinks(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		lit, ok := node.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		// A wire-struct literal is a fresh message this function owns;
+		// embedding tainted slices in it re-publishes frame memory all
+		// the same (cached replies, retained releases), so it is a sink
+		// too — but only for keyed struct fields, where the store is
+		// explicit.
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if _, taint := v.taintOf(kv.Value); taint {
+				v.pass.Reportf(kv.Value.Pos(),
+					"%s aliases a decoded wire frame; clone it before storing into a %s literal",
+					types.ExprString(kv.Value), types.ExprString(lit.Type))
+			}
+		}
+		return true
+	})
+}
+
+// taintOf reports whether e aliases wire-frame memory, and the position
+// of the original taint source.
+func (v *vtScan) taintOf(e ast.Expr) (token.Pos, bool) {
+	// A value whose type cannot alias anything is never tainted.
+	if tv, ok := v.pass.TypesInfo.Types[e]; ok && tv.Type != nil && !aliasable(tv.Type) {
+		return token.NoPos, false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if pos, ok := v.tainted[x.Name]; ok {
+			return pos, true
+		}
+	case *ast.SelectorExpr:
+		// Field read off a tainted base, or off any wire-struct value
+		// that is itself tainted (m.Interval.VT chains through).
+		if pos, ok := v.tainted[exprKey(x)]; ok {
+			return pos, true
+		}
+		if pos, taint := v.taintOf(x.X); taint {
+			return pos, true
+		}
+	case *ast.ParenExpr:
+		return v.taintOf(x.X)
+	case *ast.StarExpr:
+		return v.taintOf(x.X)
+	case *ast.UnaryExpr:
+		return v.taintOf(x.X)
+	case *ast.SliceExpr:
+		return v.taintOf(x.X)
+	case *ast.IndexExpr:
+		return v.taintOf(x.X)
+	case *ast.TypeAssertExpr:
+		return v.taintOf(x.X)
+	case *ast.CallExpr:
+		return v.taintOfCall(x)
+	}
+	return token.NoPos, false
+}
+
+// wireSourceFuncs name the calls that produce frames from the network,
+// matched by name like lockheld's blocking set: an RPC reply and a
+// decoded frame alias transport memory, while a constructor that merely
+// returns a wire type builds a message this function owns.
+var wireSourceFuncs = map[string]bool{"rpc": true, "Decode": true, "Recv": true}
+
+// taintOfCall handles the two call forms that matter: append (which
+// propagates or launders taint depending on element type) and the
+// frame-producing calls in wireSourceFuncs. Every other call result is
+// owned by the caller.
+func (v *vtScan) taintOfCall(call *ast.CallExpr) (token.Pos, bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if len(call.Args) == 0 {
+			return token.NoPos, false
+		}
+		if call.Ellipsis != token.NoPos && len(call.Args) == 2 {
+			// append(dst, src...) copies src's elements: for scalar
+			// elements ([]int32, []byte) that is a real clone; for wire
+			// structs the copies still alias their inner slices.
+			pos, taint := v.taintOf(call.Args[1])
+			if !taint {
+				return token.NoPos, false
+			}
+			if tv, ok := v.pass.TypesInfo.Types[call.Args[1]]; ok && tv.Type != nil {
+				if sl, ok := tv.Type.Underlying().(*types.Slice); ok && !aliasable(sl.Elem()) {
+					return token.NoPos, false // element copy of scalars: clean
+				}
+			}
+			return pos, true
+		}
+		// append(dst, elem, ...): storing a tainted element aliases it.
+		for _, a := range call.Args[1:] {
+			if pos, taint := v.taintOf(a); taint {
+				return pos, true
+			}
+		}
+		// A tainted destination slice keeps its taint through append.
+		return v.taintOf(call.Args[0])
+	}
+	var callee string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	}
+	if wireSourceFuncs[callee] {
+		if tv, ok := v.pass.TypesInfo.Types[call]; ok && tv.Type != nil {
+			if isWireStruct(tv.Type) || isWireSlice(tv.Type) {
+				return call.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lrcdsm/internal/lint"
+	"lrcdsm/internal/lint/linttest"
+)
+
+func TestVTAlias(t *testing.T) {
+	linttest.Run(t, "testdata", lint.VTAlias, "vtalias")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lrcdsm/internal/lint"
+	"lrcdsm/internal/lint/linttest"
+)
+
+func TestWireDrift(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WireDrift, "wiredrift", "wiredriftok")
+}

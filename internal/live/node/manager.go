@@ -93,6 +93,7 @@ func (c *mclient) cache(m *wire.Msg) {
 			c.order = c.order[1:]
 		}
 	}
+	//dsmlint:ignore vtalias cached replies are immutable after construction: they are only re-encoded for retransmission, never written
 	c.replies[m.Token] = m
 }
 

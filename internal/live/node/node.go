@@ -602,6 +602,7 @@ func (n *Node) homeRecordLocked(ps *lpage, wd wire.Diff, applyData bool) {
 			wd.D.Apply(ps.twin)
 		}
 	}
+	//dsmlint:ignore vtalias Decode allocates fresh payload buffers per frame and the frame is not retained elsewhere, so the home log's entries are sole owners
 	ps.log = append(ps.log, wd)
 	if len(ps.log) > homeLogCap {
 		drop := len(ps.log) - homeLogCap
@@ -1051,6 +1052,7 @@ func (n *Node) handleWriteNotices(m *wire.Msg) {
 	// checkpoint captures the pre-barrier state. The capture drains the
 	// buffer (re-applications are version-checked no-ops).
 	if n.gateEpisode > 0 && m.Episode >= n.gateEpisode {
+		//dsmlint:ignore vtalias the gated frame is buffered whole and untouched until the capture drains it; the dispatcher owns decoded frames outright
 		n.gated = append(n.gated, m)
 		n.mu.Unlock()
 		return

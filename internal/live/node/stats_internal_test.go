@@ -1,0 +1,31 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCopiesEveryCounter guards Snapshot's hand-maintained copy
+// list against drift: a counter added to Stats but not to the list
+// would silently read zero in every report. Every field gets a distinct
+// nonzero value; the snapshot must carry all of them.
+func TestSnapshotCopiesEveryCounter(t *testing.T) {
+	var s Stats
+	rv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		switch f := rv.Field(i); f.Kind() {
+		case reflect.Int64, reflect.Int:
+			f.SetInt(int64(i + 1))
+		default:
+			t.Fatalf("Stats field %s has kind %s; extend this test for it", rv.Type().Field(i).Name, f.Kind())
+		}
+	}
+	snap := s.Snapshot()
+	sv := reflect.ValueOf(snap)
+	for i := 0; i < rv.NumField(); i++ {
+		if got, want := sv.Field(i).Int(), rv.Field(i).Int(); got != want {
+			t.Errorf("Snapshot drops %s: got %d, want %d (add it to the copy list)",
+				rv.Type().Field(i).Name, got, want)
+		}
+	}
+}

@@ -307,7 +307,11 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 		n.send(int(m.From), g)
 		return
 	}
-	s := &fwdReq{from: m.From, token: m.Token, vt: m.VT}
+	// The queued successor can outlive this handler by a whole critical
+	// section; give it its own copy of the requester's vector time rather
+	// than retaining the decoded frame's slice (which, over the in-process
+	// transport, the sender's copy of the message still shares).
+	s := &fwdReq{from: m.From, token: m.Token, vt: append([]int32(nil), m.VT...)}
 	if int(prev) == n.id {
 		out, to := n.acceptForwardLocked(int(m.Lock), s)
 		n.mu.Unlock()
@@ -317,6 +321,7 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 		}
 		return
 	}
+	//dsmlint:ignore vtalias the forward is encoded before the handler returns and only re-encoded on retransmit; nothing mutates the carried VT
 	fwd := &wire.Msg{Kind: wire.KLockForward, Token: m.Token, Lock: m.Lock, ReqFrom: m.From, VT: m.VT}
 	c.fwdTok, c.fwdTo, c.fwd = m.Token, prev, fwd
 	n.mu.Unlock()
@@ -338,7 +343,9 @@ func (n *Node) handleLockForward(m *wire.Msg) {
 		return
 	}
 	c.lastTok = m.Token
-	out, to := n.acceptForwardLocked(int(m.Lock), &fwdReq{from: m.ReqFrom, token: m.Token, vt: m.VT})
+	// As in handleLockReq: the successor may be queued past this handler's
+	// lifetime, so it owns a copy of the requester's vector time.
+	out, to := n.acceptForwardLocked(int(m.Lock), &fwdReq{from: m.ReqFrom, token: m.Token, vt: append([]int32(nil), m.VT...)})
 	n.mu.Unlock()
 	if out != nil {
 		atomic.AddInt64(&n.stats.LockHandoffs, 1)
@@ -473,6 +480,7 @@ func (n *Node) handleBarArrive(m *wire.Msg) {
 	}
 	b.arrived[m.From] = m.Token
 	b.vt.Join(m.VT)
+	//dsmlint:ignore vtalias arrivals are decoded fresh per frame and the aggregate is read-only once built; recordKnowledgeLocked clones what it keeps
 	b.notices = append(b.notices, m.Notices...)
 	if len(b.arrived) < 1+len(n.barChildren()) {
 		n.mu.Unlock()
@@ -535,6 +543,7 @@ func (n *Node) handleBarRelease(m *wire.Msg) {
 		return
 	}
 	sy.relEpisode = m.Episode
+	//dsmlint:ignore vtalias the release frame is kept only for re-serving duplicate arrivals, re-encoded verbatim and never written
 	sy.lastRelease = m
 	sy.bar = barAgg{}
 	n.mu.Unlock()
@@ -550,6 +559,7 @@ func (n *Node) handleBarRelease(m *wire.Msg) {
 func departFrom(rel *wire.Msg, token int64) *wire.Msg {
 	return &wire.Msg{
 		Kind: wire.KBarDepart, Token: token, Barrier: rel.Barrier, Episode: rel.Episode,
+		//dsmlint:ignore vtalias the depart is consumed synchronously by the local worker, which clones via recordKnowledgeLocked before retaining
 		VT: append([]int32(nil), rel.VT...), Notices: rel.Notices,
 	}
 }
@@ -579,7 +589,11 @@ func (n *Node) recordKnowledgeLocked(notices []wire.Notice) {
 		if int(nt.Writer) == n.id {
 			continue // own log is authoritative
 		}
-		perW[nt.Writer] = append(perW[nt.Writer], nt)
+		// The page lists survive in sy.know long after the frame that
+		// carried them; clone here — the one chokepoint every learned
+		// notice passes through — so the logs own their memory.
+		cp := wire.Notice{Writer: nt.Writer, Index: nt.Index, Pages: append([]int32(nil), nt.Pages...)}
+		perW[nt.Writer] = append(perW[nt.Writer], cp)
 	}
 	for w, nts := range perW {
 		sort.Slice(nts, func(i, j int) bool { return nts[i].Index < nts[j].Index })

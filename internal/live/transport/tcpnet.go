@@ -50,25 +50,33 @@ func (nw *TCPNet) Transports() []Transport {
 // settles), and returns a fresh incarnation with a bumped boot id.
 func (nw *TCPNet) Rejoin(i int) (Transport, error) {
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
 	if i < 0 || i >= len(nw.nodes) {
+		nw.mu.Unlock()
 		return nil, fmt.Errorf("transport: tcp rejoin of invalid node %d", i)
 	}
 	nw.nodes[i].Close()
 	nw.boots[i]++
+	addr := nw.addrs[i] // addrs is immutable after construction
+	boot := nw.boots[i]
+	nw.mu.Unlock()
+	// Rebind with the lock released: the retry loop can sleep for up to a
+	// second while the old listener's close settles, and holding mu that
+	// long would stall Transports and Close for the whole cluster.
 	var ln net.Listener
 	var err error
 	for attempt := 0; attempt < 100; attempt++ {
-		if ln, err = net.Listen("tcp", nw.addrs[i]); err == nil {
+		if ln, err = net.Listen("tcp", addr); err == nil {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("transport: rebind %s for node %d: %w", nw.addrs[i], i, err)
+		return nil, fmt.Errorf("transport: rebind %s for node %d: %w", addr, i, err)
 	}
-	t := newTCPNode(i, nw.addrs, ln, nw.opts, nw.boots[i])
+	t := newTCPNode(i, nw.addrs, ln, nw.opts, boot)
+	nw.mu.Lock()
 	nw.nodes[i] = t
+	nw.mu.Unlock()
 	return t, nil
 }
 

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRejoinRetriesWithoutBlockingNetwork is the regression test for
+// the lockheld finding in TCPNet.Rejoin: the rebind retry loop (up to
+// ~1s of time.Sleep while the old listener's close settles) must run
+// with nw.mu released, so Transports and Close stay responsive for the
+// rest of the cluster while one node rejoins.
+func TestRejoinRetriesWithoutBlockingNetwork(t *testing.T) {
+	nw, err := NewTCPLoopbackNet(2, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	// Close node 1's transport and squat on its address so Rejoin's
+	// rebind keeps failing and the retry loop actually spins.
+	addr := nw.Transports()[1].(*TCP).Addr()
+	nw.Transports()[1].Close()
+	squatter, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := nw.Rejoin(1)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // Rejoin is inside its retry loop now
+
+	start := time.Now()
+	nw.Transports()
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("Transports blocked %v while Rejoin was retrying its rebind", elapsed)
+	}
+
+	squatter.Close() // release the address; the rejoin must now succeed
+	if err := <-done; err != nil {
+		t.Fatalf("Rejoin after address freed: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFuzzSeedCompleteness asserts every message kind has a FuzzDecode
+// corpus seed and a truncated variant, so a new kind cannot ship
+// unfuzzed: adding a Kind constant fails this test until the corpus
+// covers it. Seeds are named seed-<kindname>[-<n>] with the truncated
+// variant ending in "-truncated".
+func TestFuzzSeedCompleteness(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	for k := Kind(1); k < kindEnd; k++ {
+		kn := k.String()
+		if strings.HasPrefix(kn, "kind(") {
+			t.Errorf("kind %d has no name; kindNames is incomplete", k)
+			continue
+		}
+		var seed, truncated bool
+		for _, name := range names {
+			if name == "seed-"+kn || strings.HasPrefix(name, "seed-"+kn+"-") {
+				if strings.HasSuffix(name, "-truncated") {
+					truncated = true
+				} else {
+					seed = true
+				}
+			}
+		}
+		if !seed {
+			t.Errorf("kind %s has no fuzz corpus seed (want %s/seed-%s*)", kn, dir, kn)
+		}
+		if !truncated {
+			t.Errorf("kind %s has no truncated corpus seed (want %s/seed-%s-*-truncated)", kn, dir, kn)
+		}
+	}
+}
