@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke live chaos recover scale-smoke bench-live bench-scale verify
+.PHONY: build vet lint test race check-smoke live chaos recover scale-smoke serve serve-smoke bench-live bench-scale bench-serve verify
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,35 @@ scale-smoke:
 	$(GO) test -race -count=1 -timeout 300s -run 'TestAppsAtScale' ./internal/live/
 	$(GO) run ./cmd/dsmd -app jacobi -nodes 8 -transport tcp -scale test -check -timeout 60s
 
+# serve: the key-value serving gate — the full serve/loadgen/hist test
+# tree (dispatcher, TCP frontend, durable group commit, the chaos soak
+# that kills a serving node mid-load) under -race, then one dsmserve run
+# over real TCP loopback DSM sockets checked against a 1-node reference.
+serve:
+	$(GO) test -race -count=1 -timeout 300s ./internal/serve/...
+	$(GO) run ./cmd/dsmserve -nodes 2 -transport tcp -keys 4096 -clients 8 -ops 4000 -check -timeout 60s
+
+# serve-smoke: the quick serving gate for `make verify` — a small mix on
+# a 2-node cluster under -race, in-proc and through the TCP frontend,
+# both matching the 1-node reference.
+serve-smoke:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'TestServeInprocVsReference|TestServeFrontendTCP' ./internal/serve/
+
+# bench-serve regenerates BENCH_serve.json: the serving benchmark —
+# throughput and latency quantiles for the uniform update mix and the
+# zipfian read-heavy mix at 1, 2, 4 and 8 serving nodes, one JSON
+# object per line.
+bench-serve:
+	@rm -f BENCH_serve.json
+	@for nodes in 1 2 4 8; do \
+		$(GO) run ./cmd/dsmserve -nodes $$nodes -mix update-uniform -read-frac 0.5 -dist uniform \
+			-clients 32 -ops 200000 -keys 32768 -seed 1 -json >> BENCH_serve.json || exit 1; \
+		$(GO) run ./cmd/dsmserve -nodes $$nodes -mix read-heavy-zipf -read-frac 0.95 -dist zipfian -theta 0.99 \
+			-clients 32 -ops 200000 -keys 32768 -seed 1 -json >> BENCH_serve.json || exit 1; \
+	done
+	@wc -l BENCH_serve.json
+
 # bench-live regenerates BENCH_live.json: one JSON object per line, one
 # line per app × protocol on a 4-node in-proc cluster at bench scale.
 bench-live:
@@ -94,4 +123,4 @@ bench-scale:
 	done
 	@wc -l BENCH_scale.json
 
-verify: build vet lint race check-smoke live chaos recover scale-smoke
+verify: build vet lint race check-smoke live chaos recover scale-smoke serve-smoke

@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		scaleName = flag.String("scale", "bench", "problem scale: paper, bench, test")
-		only      = flag.String("only", "", "comma-separated subset: fig6,fig7-9,fig10-12,fig13-15,fig16-18,t2,t3,t4,t5,stats")
+		only      = flag.String("only", "", "comma-separated subset: fig6,fig7-9,fig10-12,fig13-15,fig16-18,t2,t3,t4,t5,stats,taskqueue")
 		parallel  = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
 		checkRun  = flag.Bool("check", false, "run every sweep cell under the runtime invariant checker")
 	)
@@ -80,6 +80,13 @@ func main() {
 		}},
 		{"stats", func() error {
 			t, err := harness.SyncStats(r, scale)
+			return show(t, err)
+		}},
+		{"taskqueue", func() error {
+			if err := showSet(harness.TaskQueueFigures(r, scale)); err != nil {
+				return err
+			}
+			t, err := harness.TaskQueueGrain(r, scale)
 			return show(t, err)
 		}},
 	}

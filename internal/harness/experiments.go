@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"lrcdsm/internal/apps/taskqueue"
 	"lrcdsm/internal/core"
 	"lrcdsm/internal/network"
 )
@@ -376,6 +377,84 @@ func ReacquireExperiment(procs, rounds int) (*Table, error) {
 			fmt.Sprintf("%.1f", st.DataKB()),
 			fmt.Sprintf("%d", st.Cycles),
 		})
+	}
+	return t, nil
+}
+
+// TaskQueueFigures runs the promoted task-queue workload through the
+// standard protocol × processor sweep on ATM — the same three plots the
+// paper's four workloads get, for the queue's all-synchronization
+// sharing pattern.
+func TaskQueueFigures(r *Runner, scale Scale) (*FigureSet, error) {
+	return AppFigures(r, "taskqueue", scale, DefaultProcs,
+		network.ATMNet(100, core.DefaultClockMHz), "Task queue on ATM")
+}
+
+// TaskQueueGrain sweeps the task granularity at a fixed processor count
+// (the examples/taskqueue demonstration, now regenerable): coarse tasks
+// scale, fine tasks drown in lock-acquisition latency, and the lazy
+// protocols hold their advantage longest. Rows are grains, one speedup
+// column per protocol.
+func TaskQueueGrain(r *Runner, scale Scale) (*Table, error) {
+	const procs = 8
+	tasks, grains := 200, []int64{1_000, 10_000, 100_000, 1_000_000}
+	switch scale {
+	case ScaleBench:
+		tasks, grains = 120, []int64{1_000, 10_000, 100_000}
+	case ScaleTest:
+		tasks, grains = 24, []int64{200, 2_000}
+	}
+	prots := []core.Protocol{core.LH, core.LI, core.EU}
+	t := &Table{
+		Title:   fmt.Sprintf("Task-queue granularity (%d tasks, %d processors, ATM) — speedup", tasks, procs),
+		Columns: []string{"grain (cycles)"},
+	}
+	for _, prot := range prots {
+		t.Columns = append(t.Columns, prot.String())
+	}
+	run := func(prot core.Protocol, np int, grain int64) (int64, error) {
+		cfg := core.DefaultConfig()
+		cfg.Protocol = prot
+		cfg.Procs = np
+		cfg.Net = network.ATMNet(100, core.DefaultClockMHz)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return 0, err
+		}
+		app := taskqueue.New(taskqueue.Params{Tasks: tasks, Grain: grain})
+		app.Configure(sys)
+		stats, err := sys.Run(func(p *core.Proc) { app.Worker(p) })
+		if err != nil {
+			return 0, err
+		}
+		if err := app.Verify(sys); err != nil {
+			return 0, fmt.Errorf("taskqueue/%v/%dp grain %d: %w", prot, np, grain, err)
+		}
+		return int64(stats.Cycles), nil
+	}
+	cells := make([]float64, len(grains)*len(prots))
+	err := r.RunCells(len(cells), func(i int) error {
+		grain, prot := grains[i/len(prots)], prots[i%len(prots)]
+		base, err := run(prot, 1, grain)
+		if err != nil {
+			return err
+		}
+		par, err := run(prot, procs, grain)
+		if err != nil {
+			return err
+		}
+		cells[i] = float64(base) / float64(par)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi, grain := range grains {
+		row := []string{fmt.Sprintf("%d", grain)}
+		for pi := range prots {
+			row = append(row, fmt.Sprintf("%.2f", cells[gi*len(prots)+pi]))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"lrcdsm/internal/apps/cholesky"
 	"lrcdsm/internal/apps/jacobi"
+	"lrcdsm/internal/apps/taskqueue"
 	"lrcdsm/internal/apps/tsp"
 	"lrcdsm/internal/apps/water"
 	"lrcdsm/internal/check"
@@ -108,6 +109,18 @@ func NewApp(name string, scale Scale) (App, error) {
 			return cholesky.New(cholesky.Params{Grid: 16, FlopCycles: 4, SpinCycles: 500}), nil
 		default:
 			return cholesky.New(cholesky.Small()), nil
+		}
+	case "taskqueue":
+		// Promoted from examples/taskqueue; not in AppNames because it
+		// is this reproduction's own probe, not one of the paper's four
+		// figure workloads.
+		switch scale {
+		case ScalePaper:
+			return taskqueue.New(taskqueue.Default()), nil
+		case ScaleBench:
+			return taskqueue.New(taskqueue.Params{Tasks: 120, Grain: 10_000}), nil
+		default:
+			return taskqueue.New(taskqueue.Small()), nil
 		}
 	}
 	return nil, fmt.Errorf("harness: unknown app %q", name)

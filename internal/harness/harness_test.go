@@ -230,3 +230,42 @@ func TestShapeLazyReacquireAdvantage(t *testing.T) {
 		t.Errorf("eager reacquires should flood: LH=%v EU=%v EI=%v", lh, eu, ei)
 	}
 }
+
+// TestTaskQueueApp covers the promoted task-queue workload (not in
+// AppNames: it is this reproduction's own probe, not a paper figure) —
+// every protocol at 4 processors, plus one checked run whose final
+// memory is compared against a 1-processor reference.
+func TestTaskQueueApp(t *testing.T) {
+	for _, prot := range core.Protocols {
+		spec := DefaultSpec("taskqueue", ScaleTest)
+		spec.Protocol = prot
+		spec.Procs = 4
+		if _, err := Run(spec); err != nil {
+			t.Errorf("taskqueue/%v: %v", prot, err)
+		}
+	}
+	spec := DefaultSpec("taskqueue", ScaleTest)
+	spec.Procs = 4
+	spec.Check = true
+	if _, err := Run(spec); err != nil {
+		t.Errorf("taskqueue checked run: %v", err)
+	}
+}
+
+// TestTaskQueueGrainShape pins the workload's qualitative claim at test
+// scale: coarser tasks always speed up at least as well as finer ones
+// under the lazy hybrid protocol.
+func TestTaskQueueGrainShape(t *testing.T) {
+	tb, err := TaskQueueGrain(NewRunnerN(0), ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 2 {
+		t.Fatalf("grain sweep produced %d rows", len(tb.Rows))
+	}
+	fine := cell(t, tb, tb.Rows[0][0], "LH")
+	coarse := cell(t, tb, tb.Rows[len(tb.Rows)-1][0], "LH")
+	if coarse < fine {
+		t.Errorf("LH speedup fell from %.2f to %.2f as grain coarsened", fine, coarse)
+	}
+}

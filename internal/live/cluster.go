@@ -473,6 +473,9 @@ func addStats(dst, src *node.Stats) {
 	dst.BarrierWaitNs += src.BarrierWaitNs
 	dst.FaultWaitNs += src.FaultWaitNs
 	dst.FlushWaitNs += src.FlushWaitNs
+	dst.ServeGets += src.ServeGets
+	dst.ServePuts += src.ServePuts
+	dst.ServeLockWaitNs += src.ServeLockWaitNs
 }
 
 // PeekU64 implements core.Peeker: before Run it reads the initial image,
@@ -496,3 +499,6 @@ func (c *Cluster) PeekI64(a core.Addr) int64 { return int64(c.PeekU64(a)) }
 
 // Brk returns the top of the shared allocation.
 func (c *Cluster) Brk() core.Addr { return c.brk }
+
+// PageSize returns the cluster's configured page size in bytes.
+func (c *Cluster) PageSize() int { return c.cfg.PageSize }

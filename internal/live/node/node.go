@@ -354,6 +354,49 @@ func (n *Node) Wait() { n.wg.Wait() }
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats { return n.stats.Snapshot() }
 
+// CountServe credits serving-path activity (internal/serve) to this
+// node's counters. Safe from any goroutine.
+func (n *Node) CountServe(gets, puts, lockWaitNs int64) {
+	if gets != 0 {
+		n.stats.add(&n.stats.ServeGets, gets)
+	}
+	if puts != 0 {
+		n.stats.add(&n.stats.ServePuts, puts)
+	}
+	if lockWaitNs != 0 {
+		n.stats.add(&n.stats.ServeLockWaitNs, lockWaitNs)
+	}
+}
+
+// Replaying reports whether the node is re-executing suppressed work
+// toward its replay target after a rollback. Worker-goroutine use only
+// (the field is worker-private, like barsDone).
+func (n *Node) Replaying() bool { return n.replaying }
+
+// LaneWorker returns a view of this node for one additional requester
+// goroutine (a serving executor): lock acquires issue their RPCs on a
+// private token lane, preserving the strictly-increasing,
+// one-outstanding invariant the receivers' per-(origin, lane) duplicate
+// windows rely on. lane must be positive, below 1<<15, and used by one
+// goroutine at a time; lane 0 is the node's own worker goroutine.
+// Goroutines sharing a node must never acquire the same lock
+// concurrently, and their releases must be externally serialized (the
+// release vector time covers every interval the node closed, so an
+// unacknowledged flush from a concurrent release could otherwise be
+// read stale under another release's grant).
+func (n *Node) LaneWorker(lane int) core.Worker {
+	return laneWorker{Node: n, lane: int64(lane)}
+}
+
+// laneWorker overrides the one operation whose request tokens must be
+// laned; everything else delegates to the node.
+type laneWorker struct {
+	*Node
+	lane int64
+}
+
+func (lw laneWorker) Lock(id int) { lw.Node.lockLane(id, lw.lane) }
+
 func (n *Node) fail(err error) {
 	if err != nil {
 		n.errMu.Lock()
@@ -722,11 +765,20 @@ func isReply(k wire.Kind) bool {
 	return false
 }
 
-func (n *Node) newToken() (int64, chan *wire.Msg) {
+// laneShift partitions the token space: the low 48 bits carry the
+// node's strictly-increasing sequence (shared by every goroutine), the
+// high bits a per-goroutine lane id. Receivers' duplicate windows key
+// on (origin, lane), so concurrent requester goroutines — the serving
+// executors — don't interleave tokens inside one monotonic window.
+const laneShift = 48
+
+func (n *Node) newToken() (int64, chan *wire.Msg) { return n.newLaneToken(0) }
+
+func (n *Node) newLaneToken(lane int64) (int64, chan *wire.Msg) {
 	ch := make(chan *wire.Msg, 1)
 	n.pmu.Lock()
 	n.nextTok++
-	tok := n.nextTok
+	tok := lane<<laneShift | n.nextTok
 	n.pending[tok] = ch
 	n.pmu.Unlock()
 	return tok, ch
@@ -738,8 +790,13 @@ func (n *Node) newToken() (int64, chan *wire.Msg) {
 // through its per-client table, homes through per-writer version checks
 // — so a retransmitted request is never executed twice, and a late
 // duplicate reply finds its token already resolved and is dropped.
-func (n *Node) rpc(to int, m *wire.Msg) *wire.Msg {
-	tok, ch := n.newToken()
+func (n *Node) rpc(to int, m *wire.Msg) *wire.Msg { return n.rpcLane(to, m, 0) }
+
+// rpcLane is rpc with the request's token stamped into a lane (see
+// laneShift); the reply carries the token back, so routing and reply
+// de-duplication are lane-oblivious.
+func (n *Node) rpcLane(to int, m *wire.Msg, lane int64) *wire.Msg {
+	tok, ch := n.newLaneToken(lane)
 	m.Token = tok
 	n.trySend(to, m)
 	return n.awaitRetry(to, m, ch)

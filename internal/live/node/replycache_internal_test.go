@@ -51,7 +51,7 @@ func TestReplyCacheBounded(t *testing.T) {
 	cacheState := func(at, peer int) (lastTok int64, replies, order int) {
 		nd := nodes[at]
 		nd.mu.Lock()
-		c := &nd.sy.clients[peer]
+		c := nd.sy.clients[peer].lane(0)
 		lastTok, replies, order = c.lastTok, len(c.replies), len(c.order)
 		nd.mu.Unlock()
 		return

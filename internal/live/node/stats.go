@@ -75,6 +75,13 @@ type Stats struct {
 	BarrierWaitNs int64 `json:"barrier_wait_ns"`
 	FaultWaitNs   int64 `json:"fault_wait_ns"`
 	FlushWaitNs   int64 `json:"flush_wait_ns"`
+
+	// Serving-path counters (internal/serve): get/put operations executed
+	// on this node and the wall-clock time its executors spent waiting on
+	// shard locks. All zero outside dsmserve runs.
+	ServeGets       int64 `json:"serve_gets"`
+	ServePuts       int64 `json:"serve_puts"`
+	ServeLockWaitNs int64 `json:"serve_lock_waits_ns"`
 }
 
 func (s *Stats) add(f *int64, d int64) { atomic.AddInt64(f, d) }
@@ -103,6 +110,8 @@ func (s *Stats) Snapshot() Stats {
 		{&out.StaleFrames, &s.StaleFrames},
 		{&out.LockWaitNs, &s.LockWaitNs}, {&out.BarrierWaitNs, &s.BarrierWaitNs},
 		{&out.FaultWaitNs, &s.FaultWaitNs}, {&out.FlushWaitNs, &s.FlushWaitNs},
+		{&out.ServeGets, &s.ServeGets}, {&out.ServePuts, &s.ServePuts},
+		{&out.ServeLockWaitNs, &s.ServeLockWaitNs},
 	} {
 		*c.dst = atomic.LoadInt64(c.src)
 	}

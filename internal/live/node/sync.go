@@ -84,7 +84,7 @@ func (n *Node) barChildren() []int {
 type syncState struct {
 	locks   []dlock
 	know    []knowLog
-	clients []lclient
+	clients []lclients
 
 	// Barrier tree state: the episode currently aggregating, the last
 	// released episode, and the retained release for re-serving
@@ -132,6 +132,31 @@ type lclient struct {
 	fwd    *wire.Msg
 }
 
+// lclients holds one origin node's de-duplication windows, one per
+// token lane. The window's "token <= lastTok means duplicate" logic
+// needs tokens that are strictly increasing with at most one
+// outstanding — true per requester goroutine, not per node once a
+// serving node runs several executor goroutines. Each executor stamps
+// its lane into the token's high bits (Node.LaneWorker), restoring the
+// invariant lane by lane. Plain workers use lane 0.
+type lclients struct {
+	lanes map[int64]*lclient
+}
+
+// lane returns (creating on demand) the window for tok's lane.
+func (cs *lclients) lane(tok int64) *lclient {
+	l := tok >> laneShift
+	c := cs.lanes[l]
+	if c == nil {
+		if cs.lanes == nil {
+			cs.lanes = make(map[int64]*lclient)
+		}
+		c = &lclient{}
+		cs.lanes[l] = c
+	}
+	return c
+}
+
 // knowLog is one writer's interval knowledge: recs[i] holds the pages
 // of interval base+1+i. The contiguous prefix (0, base] has been pruned
 // (learned logs only); coverage always reaches at least this node's
@@ -159,7 +184,7 @@ func newSyncState(nlocks, nn int) *syncState {
 	sy := &syncState{
 		locks:   make([]dlock, nlocks),
 		know:    make([]knowLog, nn),
-		clients: make([]lclient, nn),
+		clients: make([]lclients, nn),
 	}
 	for i := range sy.locks {
 		sy.locks[i].owner = -1
@@ -181,7 +206,7 @@ func (sy *syncState) reset(episode int64, vt vc.VC, self int) {
 		sy.know[w] = knowLog{base: vt.Get(w)}
 	}
 	for i := range sy.clients {
-		sy.clients[i] = lclient{}
+		sy.clients[i] = lclients{}
 	}
 	sy.bar = barAgg{}
 	sy.relEpisode = episode
@@ -196,7 +221,12 @@ func (sy *syncState) reset(episode int64, vt vc.VC, self int) {
 // to the lock's home, which grants directly (never-owned) or forwards
 // to the probable owner, whose grant arrives with the release-time
 // vector time and the write notices this node is missing.
-func (n *Node) Lock(id int) {
+func (n *Node) Lock(id int) { n.lockLane(id, 0) }
+
+// lockLane is Lock with an explicit token lane — concurrent serving
+// executors acquire on private lanes (see lclients) so their
+// interleaved tokens don't trip the per-origin duplicate windows.
+func (n *Node) lockLane(id int, lane int64) {
 	if n.replaying {
 		return // replay re-derives private state only; locks are moot
 	}
@@ -213,7 +243,7 @@ func (n *Node) Lock(id int) {
 	}
 	reqVT := n.vt.Clone()
 	n.mu.Unlock()
-	reply := n.rpc(n.lockHome(id), &wire.Msg{Kind: wire.KLockReq, Lock: int32(id), VT: reqVT})
+	reply := n.rpcLane(n.lockHome(id), &wire.Msg{Kind: wire.KLockReq, Lock: int32(id), VT: reqVT}, lane)
 	n.applyNotices(reply.VT, reply.Notices)
 	n.mu.Lock()
 	lk.owned = true
@@ -265,7 +295,7 @@ func (n *Node) buildGrantLocked(id int, s *fwdReq) *wire.Msg {
 		VT:      append([]int32(nil), lk.relVT...),
 		Notices: n.noticesBetweenLocked(s.vt, lk.relVT),
 	}
-	n.sy.clients[s.from].cache(g)
+	n.sy.clients[s.from].lane(s.token).cache(g)
 	return g
 }
 
@@ -277,7 +307,7 @@ func (n *Node) buildGrantLocked(id int, s *fwdReq) *wire.Msg {
 // requester.
 func (n *Node) handleLockReq(m *wire.Msg) {
 	n.mu.Lock()
-	c := &n.sy.clients[m.From]
+	c := n.sy.clients[m.From].lane(m.Token)
 	if m.Token <= c.lastTok {
 		var out *wire.Msg
 		to := int(m.From)
@@ -332,7 +362,7 @@ func (n *Node) handleLockReq(m *wire.Msg) {
 // handleLockForward serves a forwarded acquire at the probable owner.
 func (n *Node) handleLockForward(m *wire.Msg) {
 	n.mu.Lock()
-	c := &n.sy.clients[m.ReqFrom]
+	c := n.sy.clients[m.ReqFrom].lane(m.Token)
 	if m.Token <= c.lastTok {
 		r := c.replies[m.Token]
 		n.mu.Unlock()

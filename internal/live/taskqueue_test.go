@@ -1,0 +1,43 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+
+	"lrcdsm/internal/check"
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+)
+
+// TestTaskQueueOnInprocCluster runs the promoted task-queue workload on
+// the live runtime — 4 nodes against a 1-node reference, both
+// protocols. The queue is pure lock traffic (two acquires per task), so
+// this doubles as a stress of the decentralized lock plane under
+// self-scheduling contention.
+func TestTaskQueueOnInprocCluster(t *testing.T) {
+	for _, prot := range []core.Protocol{core.LI, core.LH} {
+		prot := prot
+		t.Run(fmt.Sprintf("%v", prot), func(t *testing.T) {
+			t.Parallel()
+			got, stats := runApp(t, "taskqueue", prot, 4, nil)
+			ref, _ := runApp(t, "taskqueue", prot, 1, nil)
+
+			app, err := harness.NewApp("taskqueue", harness.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, ok := app.(harness.ResultApp)
+			if !ok {
+				t.Fatal("taskqueue does not declare result regions")
+			}
+			if vs := check.CompareRegions(got, ref, ra.ResultRegions()); len(vs) > 0 {
+				for _, v := range vs {
+					t.Errorf("region mismatch: %s", v.String())
+				}
+			}
+			if stats.Total.LockAcquires == 0 {
+				t.Error("task queue ran without lock acquires")
+			}
+		})
+	}
+}

@@ -1,0 +1,208 @@
+// Package hist implements a fixed-bucket log-scale latency histogram in
+// the HdrHistogram style: each power-of-two octave of nanoseconds is
+// split into a fixed number of linear sub-buckets, so relative error is
+// bounded (~12.5% at 8 sub-buckets) while the whole range from 128ns to
+// ~73 minutes fits in a few hundred int64 counters. Recording is a
+// single atomic add, so many goroutines share one histogram without
+// coordination; reading methods (Quantile, Buckets, Summary) take a
+// moment-in-time view and may run concurrently with recording.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// subBits splits every octave into 1<<subBits linear sub-buckets.
+	subBits  = 3
+	subCount = 1 << subBits
+
+	// minExp / maxExp bound the tracked range: values below 2^minExp ns
+	// land in the underflow bucket, values at or above 2^maxExp ns in
+	// the overflow bucket.
+	minExp = 7  // 128 ns
+	maxExp = 42 // ~73 min
+
+	nBuckets = (maxExp-minExp)*subCount + 2 // + underflow + overflow
+)
+
+// Hist is a concurrent fixed-bucket log-scale histogram of nanosecond
+// durations. The zero value is ready to use.
+type Hist struct {
+	counts [nBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// bucketOf maps a duration to its bucket index. Negative durations
+// (clock weirdness) clamp into the underflow bucket.
+func bucketOf(ns int64) int {
+	if ns < 1<<minExp {
+		return 0
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // floor(log2 ns), >= minExp
+	if exp >= maxExp {
+		return nBuckets - 1
+	}
+	sub := int(ns>>(uint(exp)-subBits)) & (subCount - 1)
+	return 1 + (exp-minExp)*subCount + sub
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i == 0:
+		return 0, 1 << minExp
+	case i >= nBuckets-1:
+		return 1 << maxExp, 1 << 62
+	}
+	i--
+	exp := minExp + i/subCount
+	sub := i % subCount
+	width := int64(1) << (uint(exp) - subBits)
+	lo = int64(1)<<uint(exp) + int64(sub)*width
+	return lo, lo + width
+}
+
+// Record adds one observation of ns nanoseconds.
+func (h *Hist) Record(ns int64) {
+	atomic.AddInt64(&h.counts[bucketOf(ns)], 1)
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, ns)
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if ns <= old || atomic.CompareAndSwapInt64(&h.max, old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Mean returns the exact mean of recorded observations (the sum is
+// tracked separately from the buckets), or 0 with no observations.
+func (h *Hist) Mean() float64 {
+	n := atomic.LoadInt64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&h.sum)) / float64(n)
+}
+
+// Max returns the exact maximum recorded observation.
+func (h *Hist) Max() int64 { return atomic.LoadInt64(&h.max) }
+
+// Merge folds other's observations into h.
+func (h *Hist) Merge(other *Hist) {
+	for i := range other.counts {
+		if c := atomic.LoadInt64(&other.counts[i]); c != 0 {
+			atomic.AddInt64(&h.counts[i], c)
+		}
+	}
+	atomic.AddInt64(&h.count, atomic.LoadInt64(&other.count))
+	atomic.AddInt64(&h.sum, atomic.LoadInt64(&other.sum))
+	om := other.Max()
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if om <= old || atomic.CompareAndSwapInt64(&h.max, old, om) {
+			return
+		}
+	}
+}
+
+// Quantile returns the value at quantile q in [0, 1], interpolated
+// linearly within the holding bucket. Returns 0 with no observations.
+func (h *Hist) Quantile(q float64) int64 {
+	total := atomic.LoadInt64(&h.count)
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total-1) // 0-based fractional rank
+	var cum int64
+	for i := 0; i < nBuckets; i++ {
+		c := atomic.LoadInt64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c)-1 >= rank {
+			lo, hi := bucketBounds(i)
+			if mx := h.Max(); hi > mx && mx >= lo {
+				hi = mx + 1 // tighten the top bucket to the observed max
+			}
+			// Interpolate across the bucket's occupied positions.
+			frac := 0.0
+			if c > 1 {
+				frac = (rank - float64(cum)) / float64(c-1)
+			}
+			return lo + int64(frac*float64(hi-1-lo))
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// Bucket is one non-empty histogram bucket for reporting: the value
+// range [LoNs, HiNs) and its count.
+type Bucket struct {
+	LoNs  int64 `json:"lo_ns"`
+	HiNs  int64 `json:"hi_ns"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in value order.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < nBuckets; i++ {
+		c := atomic.LoadInt64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, Bucket{LoNs: lo, HiNs: hi, Count: c})
+	}
+	return out
+}
+
+// Summary is the JSON-facing digest of a histogram: count, mean, tail
+// quantiles, max, and the non-empty buckets.
+type Summary struct {
+	Count  int64    `json:"count"`
+	MeanNs float64  `json:"mean_ns"`
+	P50Ns  int64    `json:"p50_ns"`
+	P90Ns  int64    `json:"p90_ns"`
+	P99Ns  int64    `json:"p99_ns"`
+	P999Ns int64    `json:"p999_ns"`
+	MaxNs  int64    `json:"max_ns"`
+	Bkts   []Bucket `json:"buckets,omitempty"`
+}
+
+// Summarize digests the histogram for reporting.
+func (h *Hist) Summarize() *Summary {
+	return &Summary{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		P999Ns: h.Quantile(0.999),
+		MaxNs:  h.Max(),
+		Bkts:   h.Buckets(),
+	}
+}
+
+// String renders the digest compactly for text reports.
+func (s *Summary) String() string {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return fmt.Sprintf("n=%d mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms max=%.3fms",
+		s.Count, s.MeanNs/1e6, ms(s.P50Ns), ms(s.P90Ns), ms(s.P99Ns), ms(s.P999Ns), ms(s.MaxNs))
+}

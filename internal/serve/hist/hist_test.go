@@ -1,0 +1,164 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucket math: every value must land in a
+// bucket whose [lo, hi) range contains it, octave and sub-bucket edges
+// must start fresh buckets exactly at their boundary value, and the
+// under/overflow buckets must catch the extremes.
+func TestBucketBoundaries(t *testing.T) {
+	for _, ns := range []int64{0, 1, 127, 128, 129, 255, 256, 288, 1000,
+		4095, 4096, 65536, 1e6, 1e9, (1 << 42) - 1, 1 << 42, 1 << 50} {
+		i := bucketOf(ns)
+		lo, hi := bucketBounds(i)
+		if ns < lo || ns >= hi {
+			t.Errorf("value %d landed in bucket %d = [%d, %d)", ns, i, lo, hi)
+		}
+	}
+	// Exact edges: the first tracked value opens bucket 1 at lo=128; an
+	// octave boundary (256) and a sub-bucket boundary within the octave
+	// (256 + one sub-bucket width = 288) must be their buckets' lo.
+	for _, edge := range []int64{128, 256, 288, 4096} {
+		lo, _ := bucketBounds(bucketOf(edge))
+		if lo != edge {
+			t.Errorf("edge value %d: bucket lo = %d, want the edge itself", edge, lo)
+		}
+	}
+	if bucketOf(127) != 0 {
+		t.Errorf("127ns should underflow into bucket 0, got %d", bucketOf(127))
+	}
+	if got := bucketOf(1 << 50); got != nBuckets-1 {
+		t.Errorf("2^50ns should overflow into bucket %d, got %d", nBuckets-1, got)
+	}
+	if bucketOf(-5) != 0 {
+		t.Errorf("negative duration should clamp into bucket 0, got %d", bucketOf(-5))
+	}
+	// Buckets must tile the range with no gaps: each bucket's hi is the
+	// next bucket's lo.
+	for i := 0; i < nBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+// TestQuantileInterpolation checks the quantile estimator against a
+// known uniform ramp: every quantile must be within one bucket's
+// relative error (12.5% at 8 sub-buckets per octave) of the true value,
+// estimates must be monotone in q, and the extremes must be exact.
+func TestQuantileInterpolation(t *testing.T) {
+	var h Hist
+	const n = 1000
+	for i := int64(1); i <= n; i++ {
+		h.Record(i * 1000) // 1µs .. 1ms ramp
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99} {
+		want := q * n * 1000
+		got := float64(h.Quantile(q))
+		if rel := (got - want) / want; rel > 0.13 || rel < -0.13 {
+			t.Errorf("Q(%.2f) = %.0f, want %.0f ± 13%%", q, got, want)
+		}
+	}
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Q(%.3f) = %d < previous %d; quantiles must be monotone", q, v, prev)
+		}
+		prev = v
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Q(1) = %d, want the exact max %d", got, h.Max())
+	}
+	if got, want := h.Mean(), float64(n+1)*1000/2; got != want {
+		t.Errorf("mean = %f, want exact %f (tracked outside the buckets)", got, want)
+	}
+}
+
+// TestQuantileSingleBucket: with all mass in one bucket the interpolated
+// estimate must stay within that bucket's bounds and Q(1) must be exact.
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Hist
+	h.Record(1000)
+	h.Record(1000)
+	lo, hi := bucketBounds(bucketOf(1000))
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v < lo || v >= hi {
+			t.Errorf("Q(%.1f) = %d escaped bucket [%d, %d)", q, v, lo, hi)
+		}
+	}
+	if h.Quantile(1) != 1000 {
+		t.Errorf("Q(1) = %d, want max-tightened 1000", h.Quantile(1))
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram Q(0.5) = %d, want 0", empty.Quantile(0.5))
+	}
+}
+
+// TestMergeAndBuckets: merging two histograms must be equivalent to
+// recording everything into one, and Buckets must cover every count.
+func TestMergeAndBuckets(t *testing.T) {
+	var a, b, both Hist
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i * 500)
+		both.Record(i * 500)
+	}
+	for i := int64(1); i <= 50; i++ {
+		b.Record(i * 90000)
+		both.Record(i * 90000)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatalf("merge digest (%d, %d, %f) != direct (%d, %d, %f)",
+			a.Count(), a.Max(), a.Mean(), both.Count(), both.Max(), both.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("merged Q(%.2f) = %d, direct = %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	var sum int64
+	for _, bk := range a.Buckets() {
+		if bk.Count <= 0 || bk.LoNs >= bk.HiNs {
+			t.Errorf("malformed bucket %+v", bk)
+		}
+		sum += bk.Count
+	}
+	if sum != a.Count() {
+		t.Errorf("bucket counts sum to %d, histogram count is %d", sum, a.Count())
+	}
+	s := a.Summarize()
+	if s.Count != a.Count() || s.P50Ns != a.Quantile(0.5) || s.MaxNs != a.Max() {
+		t.Errorf("summary disagrees with histogram: %+v", s)
+	}
+}
+
+// TestConcurrentRecord drives Record from many goroutines (meaningful
+// under -race) and checks no observation is lost.
+func TestConcurrentRecord(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,300 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+)
+
+// encodeReqs serializes a request sequence to bytes, so determinism
+// tests can assert byte-identical streams rather than DeepEqual.
+func encodeReqs(reqs []Req) []byte {
+	var buf bytes.Buffer
+	for _, rq := range reqs {
+		op := byte(0)
+		if rq.Put {
+			op = 1
+		}
+		buf.WriteByte(op)
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], rq.Key)
+		buf.Write(w[:])
+		binary.LittleEndian.PutUint64(w[:], rq.Val)
+		buf.Write(w[:])
+		binary.LittleEndian.PutUint64(w[:], uint64(rq.At))
+		buf.Write(w[:])
+	}
+	return buf.Bytes()
+}
+
+// recDriver records the requests it receives, per client.
+type recDriver struct {
+	mu   *sync.Mutex
+	seqs map[int][]Req
+	c    int
+}
+
+func (d *recDriver) Do(put bool, key, val uint64) (uint64, error) {
+	d.mu.Lock()
+	d.seqs[d.c] = append(d.seqs[d.c], Req{Put: put, Key: key, Val: val})
+	d.mu.Unlock()
+	return val, nil
+}
+
+// TestDeterminismAcrossWorkers: the same seed + mix must yield
+// byte-identical per-client request sequences no matter how many worker
+// goroutines multiplex the clients, and those are exactly the sequences
+// a run actually issues.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	for _, mix := range []Mix{
+		{Name: "read-heavy-uniform", ReadFrac: 0.95, Dist: "uniform"},
+		{Name: "update-zipf", ReadFrac: 0.5, Dist: "zipfian", Theta: 0.99},
+	} {
+		cfg := Config{Clients: 7, Keys: 1 << 10, Ops: 700, Seed: 42, Mix: mix}
+		want := make(map[int][]byte)
+		for c := 0; c < cfg.Clients; c++ {
+			want[c] = encodeReqs(ClientReqs(cfg, c))
+			if len(want[c]) == 0 {
+				t.Fatalf("%s: client %d generated no requests", mix.Name, c)
+			}
+		}
+		for _, workers := range []int{1, 3, 8} {
+			cfg.Workers = workers
+			mu := &sync.Mutex{}
+			seqs := make(map[int][]Req)
+			res, err := Run(cfg, func(c int) (Driver, error) {
+				return &recDriver{mu: mu, seqs: seqs, c: c}, nil
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mix.Name, workers, err)
+			}
+			if res.Ops != cfg.Ops {
+				t.Fatalf("%s workers=%d: ran %d ops, want %d", mix.Name, workers, res.Ops, cfg.Ops)
+			}
+			for c := 0; c < cfg.Clients; c++ {
+				// Issued sequences have no At; regenerate to compare apples
+				// to apples by re-encoding without schedule offsets.
+				gen := ClientReqs(cfg, c)
+				if len(gen) != len(seqs[c]) {
+					t.Fatalf("%s workers=%d client %d: issued %d ops, generated %d",
+						mix.Name, workers, c, len(seqs[c]), len(gen))
+				}
+				for i, rq := range seqs[c] {
+					if rq.Put != gen[i].Put || rq.Key != gen[i].Key || rq.Val != gen[i].Val {
+						t.Fatalf("%s workers=%d client %d op %d: issued %+v, generated %+v",
+							mix.Name, workers, c, i, rq, gen[i])
+					}
+				}
+				if got := encodeReqs(gen); !bytes.Equal(got, want[c]) {
+					t.Fatalf("%s workers=%d client %d: regenerated sequence differs from reference",
+						mix.Name, workers, c)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfianSkew: with theta=0.99 the most popular ranks must dominate
+// (YCSB-style skew), every draw must stay in range, and a different
+// theta must change the sequence.
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 1024, 200000
+	z := newZipf(n, 0.99)
+	rng := &splitmix64{s: 12345}
+	counts := make([]int64, n)
+	for i := 0; i < draws; i++ {
+		r := z.next(rng)
+		if r >= n {
+			t.Fatalf("draw %d out of range [0, %d)", r, n)
+		}
+		counts[r]++
+	}
+	// Under zipf(0.99, 1024), P(rank 0) = 1/zeta ≈ 13%; the top 16 ranks
+	// carry ≈ 45% of the mass. Allow generous slack.
+	if frac := float64(counts[0]) / draws; frac < 0.08 {
+		t.Errorf("rank 0 got %.1f%% of draws, want the zipf head (>8%%)", frac*100)
+	}
+	var top16 int64
+	for i := 0; i < 16; i++ {
+		top16 += counts[i]
+	}
+	if frac := float64(top16) / draws; frac < 0.30 {
+		t.Errorf("top 16 ranks got %.1f%% of draws, want > 30%%", frac*100)
+	}
+	// Sanity: ranks must be roughly monotone decreasing in popularity
+	// head vs tail.
+	var tail int64
+	for i := n / 2; i < n; i++ {
+		tail += counts[i]
+	}
+	if tail >= top16 {
+		t.Errorf("bottom half (%d draws) outweighs top 16 (%d); not zipfian", tail, top16)
+	}
+}
+
+// TestZipfianZetaCache: repeated generators for the same (n, theta) must
+// agree (the memoized zeta must not drift), and zeta must match a direct
+// summation.
+func TestZipfianZetaCache(t *testing.T) {
+	want := 0.0
+	for i := 1; i <= 512; i++ {
+		want += 1 / math.Pow(float64(i), 0.75)
+	}
+	if got := zeta(512, 0.75); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("zeta(512, 0.75) = %v, want %v", got, want)
+	}
+	if got := zeta(512, 0.75); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cached zeta(512, 0.75) = %v, want %v", got, want)
+	}
+	a, b := newZipf(512, 0.75), newZipf(512, 0.75)
+	ra, rb := &splitmix64{s: 7}, &splitmix64{s: 7}
+	for i := 0; i < 1000; i++ {
+		if x, y := a.next(ra), b.next(rb); x != y {
+			t.Fatalf("draw %d: generators for identical params disagree (%d vs %d)", i, x, y)
+		}
+	}
+}
+
+// TestPartitionRanges: partition mode must tile the key space exactly
+// once across clients, and every generated key must stay in its
+// client's slice.
+func TestPartitionRanges(t *testing.T) {
+	cfg := Config{Clients: 5, Keys: 64, Ops: 500, Seed: 9,
+		Mix: Mix{ReadFrac: 0.5, Dist: "zipfian", Theta: 0.99}, Partition: true}
+	var covered uint64
+	for c := 0; c < cfg.Clients; c++ {
+		lo, span := clientRange(cfg, c)
+		covered += span
+		for _, rq := range ClientReqs(cfg, c) {
+			if rq.Key < lo || rq.Key >= lo+span {
+				t.Fatalf("client %d key %d outside its range [%d, %d)", c, rq.Key, lo, lo+span)
+			}
+		}
+	}
+	if covered != cfg.Keys {
+		t.Fatalf("client ranges cover %d keys, want %d", covered, cfg.Keys)
+	}
+}
+
+// TestOpSplit: cfg.Ops must split across clients with no loss.
+func TestOpSplit(t *testing.T) {
+	cfg := Config{Clients: 7, Keys: 8, Ops: 1000, Seed: 1, Mix: Mix{ReadFrac: 1, Dist: "uniform"}}
+	var total int64
+	for c := 0; c < cfg.Clients; c++ {
+		n := clientOps(cfg, c)
+		total += n
+		if got := len(ClientReqs(cfg, c)); int64(got) != n {
+			t.Fatalf("client %d generated %d reqs, clientOps says %d", c, got, n)
+		}
+	}
+	if total != cfg.Ops {
+		t.Fatalf("ops split to %d, want %d", total, cfg.Ops)
+	}
+}
+
+// memDriver is a trivial in-memory KV store shared by all clients.
+type memDriver struct {
+	mu *sync.Mutex
+	m  map[uint64]uint64
+}
+
+func (d *memDriver) Do(put bool, key, val uint64) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if put {
+		d.m[key] = val
+		return val, nil
+	}
+	return d.m[key], nil
+}
+
+// TestVerifyAgainstMemoryStore: a correct store must pass the
+// read-your-writes verification with zero violations, open loop and
+// closed loop alike.
+func TestVerifyAgainstMemoryStore(t *testing.T) {
+	for _, rate := range []float64{0, 200000} {
+		cfg := Config{Clients: 4, Workers: 2, Keys: 256, Ops: 2000, Seed: 3, Rate: rate,
+			Mix: Mix{Name: "update", ReadFrac: 0.5, Dist: "uniform"}, Partition: true, Verify: true}
+		store := &memDriver{mu: &sync.Mutex{}, m: make(map[uint64]uint64)}
+		res, err := Run(cfg, func(int) (Driver, error) { return store, nil })
+		if err != nil {
+			t.Fatalf("rate=%v: %v", rate, err)
+		}
+		if res.Violations != 0 {
+			t.Fatalf("rate=%v: %d read-your-writes violations against a correct store", rate, res.Violations)
+		}
+		if res.VerifiedKeys == 0 {
+			t.Fatalf("rate=%v: verify sweep checked no keys", rate)
+		}
+		if res.Ops != cfg.Ops || res.Gets+res.Puts != res.Ops {
+			t.Fatalf("rate=%v: ops=%d gets=%d puts=%d, want %d total", rate, res.Ops, res.Gets, res.Puts, cfg.Ops)
+		}
+		if res.Latency == nil || res.Latency.Count != cfg.Ops {
+			t.Fatalf("rate=%v: latency histogram missing or short: %+v", rate, res.Latency)
+		}
+	}
+	// Verify without Partition must be rejected.
+	bad := Config{Clients: 2, Keys: 8, Ops: 10, Verify: true, Mix: Mix{Dist: "uniform"}}
+	if _, err := Run(bad, func(int) (Driver, error) { return &memDriver{mu: &sync.Mutex{}, m: map[uint64]uint64{}}, nil }); err == nil {
+		t.Fatal("Verify without Partition should be rejected")
+	}
+}
+
+// lossyDriver drops every put's effect after the first 100 ops.
+type lossyDriver struct {
+	mu  *sync.Mutex
+	m   map[uint64]uint64
+	ops int
+}
+
+func (d *lossyDriver) Do(put bool, key, val uint64) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ops++
+	if put {
+		if d.ops <= 100 {
+			d.m[key] = val
+		}
+		return val, nil // acknowledged but (beyond 100 ops) silently dropped
+	}
+	return d.m[key], nil
+}
+
+// TestVerifyCatchesLostWrites: a store that acknowledges writes and then
+// loses them must produce violations.
+func TestVerifyCatchesLostWrites(t *testing.T) {
+	cfg := Config{Clients: 2, Keys: 64, Ops: 1000, Seed: 5,
+		Mix: Mix{ReadFrac: 0.3, Dist: "uniform"}, Partition: true, Verify: true}
+	store := &lossyDriver{mu: &sync.Mutex{}, m: make(map[uint64]uint64)}
+	res, err := Run(cfg, func(int) (Driver, error) { return store, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Fatal("lossy store produced zero violations; verification is toothless")
+	}
+}
+
+// TestOpenLoopSchedule: open-loop sequences must carry strictly
+// increasing scheduled times with a mean gap near the configured rate.
+func TestOpenLoopSchedule(t *testing.T) {
+	cfg := Config{Clients: 2, Keys: 16, Ops: 4000, Seed: 11, Rate: 100000,
+		Mix: Mix{ReadFrac: 1, Dist: "uniform"}}
+	for c := 0; c < cfg.Clients; c++ {
+		reqs := ClientReqs(cfg, c)
+		prev := int64(-1)
+		for i, rq := range reqs {
+			if int64(rq.At) <= prev {
+				t.Fatalf("client %d op %d: At %v not increasing", c, i, rq.At)
+			}
+			prev = int64(rq.At)
+		}
+		// Mean inter-arrival should approximate Clients/Rate = 20µs.
+		mean := float64(reqs[len(reqs)-1].At) / float64(len(reqs))
+		if mean < 10e3 || mean > 40e3 {
+			t.Errorf("client %d mean gap %.0fns, want ≈20000ns", c, mean)
+		}
+	}
+}

@@ -1,0 +1,616 @@
+// Package serve layers a sharded get/put key-value API on the live LRC
+// DSM engine: keys hash to slots packed into DSM pages (configurable
+// keys-per-page), contiguous page runs form shards, and each shard is
+// guarded by one lock from the distributed lock plane — so mutual
+// exclusion, write-notice propagation and diff transfer give every
+// operation release-consistent (linearizable per key) semantics with no
+// serving-specific protocol code. Each serving node runs a pool of
+// executor goroutines pulling requests from per-node dispatch queues; a
+// shard is pinned to one executor per node, so a shard's lock is never
+// acquired concurrently from two goroutines of the same node (the lock
+// plane tracks one holder per node), while different nodes contend
+// through the ordinary home/forward/handoff path.
+//
+// Two execution modes:
+//
+//   - Direct (default): operations are acknowledged as soon as the
+//     shard lock is released. This is the throughput/latency
+//     configuration benchmarked by `make bench-serve`.
+//   - Durable: a single executor per node executes operations between
+//     barrier episodes and acknowledges an operation only once the
+//     barrier-aligned checkpoint covering it is stable on every node
+//     (group commit). Under the PR 5 supervisor this makes acknowledged
+//     writes survive node crashes: a rolled-back operation is still
+//     pending, is re-executed after replay, and is acknowledged exactly
+//     once.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/serve/hist"
+)
+
+// Config shapes the key space and the serving pools.
+type Config struct {
+	// Keys is the key-space size; must be a power of two (the slot
+	// scrambler is a bijection over [0, Keys)).
+	Keys uint64
+	// KeysPerPage packs this many slots into each DSM page; the page
+	// size must divide evenly into slots of >= 8 bytes.
+	KeysPerPage int
+	// Shards is the number of shard locks; capped at the page count so a
+	// shard always owns whole pages (two shards never share a page).
+	Shards int
+	// Workers is the executor-goroutine pool size per node (direct mode;
+	// durable mode always runs one executor on the node's worker).
+	Workers int
+	// Batch caps how many queued operations an executor drains and
+	// groups by shard in one sweep.
+	Batch int
+	// QueueDepth is each dispatch queue's buffer.
+	QueueDepth int
+	// Route picks the serving node for an operation: "affinity" sends a
+	// shard to the node owning its first page's home (lock and data home
+	// mostly local), "any" round-robins (exercises forwarding and remote
+	// diff pulls).
+	Route string
+	// Durable enables the group-commit episode loop; see the package
+	// comment. CkptEvery must match the supervisor's CheckpointEvery.
+	Durable   bool
+	CkptEvery int64
+}
+
+func (c Config) withDefaults(pagesz int) (Config, error) {
+	if c.Keys == 0 {
+		c.Keys = 1 << 15
+	}
+	if c.Keys&(c.Keys-1) != 0 {
+		return c, fmt.Errorf("serve: Keys = %d, want a power of two", c.Keys)
+	}
+	if c.KeysPerPage == 0 {
+		c.KeysPerPage = pagesz / 64
+	}
+	if c.KeysPerPage < 1 || pagesz%c.KeysPerPage != 0 || pagesz/c.KeysPerPage < 8 {
+		return c, fmt.Errorf("serve: KeysPerPage = %d does not pack page size %d into >= 8-byte slots",
+			c.KeysPerPage, pagesz)
+	}
+	npages := (c.Keys + uint64(c.KeysPerPage) - 1) / uint64(c.KeysPerPage)
+	if c.Shards == 0 {
+		c.Shards = 64
+	}
+	if uint64(c.Shards) > npages {
+		c.Shards = int(npages)
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Durable {
+		c.Workers = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Route == "" {
+		c.Route = "affinity"
+	}
+	if c.Route != "affinity" && c.Route != "any" {
+		return c, fmt.Errorf("serve: Route = %q, want affinity or any", c.Route)
+	}
+	if c.CkptEvery <= 0 {
+		c.CkptEvery = 1
+	}
+	return c, nil
+}
+
+// Store is the shared-memory layout of the key space: the value array,
+// the shard locks, the barrier (durable mode) and the stop word. Build
+// it with NewStore during cluster configuration, before Run.
+type Store struct {
+	cfg    Config
+	nodes  int
+	pagesz int
+	stride uint64 // bytes per slot
+	kpp    uint64
+	npages uint64
+	base   core.Addr
+	stop   core.Addr // durable-mode shutdown word, its own page
+	lock0  int       // first of cfg.Shards consecutive shard locks
+	bar    int       // durable-mode episode barrier
+}
+
+// NewStore allocates the serving layout in m's shared memory. The page
+// size is taken from m when it exposes one (the live cluster does).
+func NewStore(m core.Mem, cfg Config) (*Store, error) {
+	pagesz := core.DefaultPageSize
+	if ps, ok := m.(interface{ PageSize() int }); ok {
+		pagesz = ps.PageSize()
+	}
+	cfg, err := cfg.withDefaults(pagesz)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		cfg:    cfg,
+		nodes:  m.Procs(),
+		pagesz: pagesz,
+		kpp:    uint64(cfg.KeysPerPage),
+		stride: uint64(pagesz / cfg.KeysPerPage),
+	}
+	st.npages = (cfg.Keys + st.kpp - 1) / st.kpp
+	st.base = m.AllocPage(int(st.npages) * pagesz)
+	st.stop = m.AllocPage(8)
+	st.lock0 = m.NewLocks(cfg.Shards)
+	st.bar = m.NewBarrier()
+	return st, nil
+}
+
+// slotOf scrambles a key into its slot: multiplication by an odd
+// constant is a bijection mod the power-of-two key space, so distinct
+// keys never collide while neighboring keys scatter across pages.
+func (st *Store) slotOf(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) & (st.cfg.Keys - 1)
+}
+
+// pageOf returns the page index (within the value array) holding slot.
+func (st *Store) pageOf(slot uint64) uint64 { return slot / st.kpp }
+
+// addrOf returns the slot's shared-memory address.
+func (st *Store) addrOf(slot uint64) core.Addr {
+	return st.base + core.Addr(st.pageOf(slot)*uint64(st.pagesz)+(slot%st.kpp)*st.stride)
+}
+
+// shardOf block-maps pages onto shards, so a shard owns a contiguous
+// page run and two shards never share a page (no cross-shard false
+// sharing through twins/diffs).
+func (st *Store) shardOf(pg uint64) int {
+	return int(pg * uint64(st.cfg.Shards) / st.npages)
+}
+
+// shardNode is the affinity route for a shard: the home node of its
+// first page. The value array is one allocation, and the cluster
+// block-assigns page homes within an allocation with the same
+// `index*nodes/span` map, so this lands the shard where its lock home
+// and (most of) its page homes already are.
+func (st *Store) shardNode(shard int) int {
+	firstPg := (uint64(shard)*st.npages + uint64(st.cfg.Shards) - 1) / uint64(st.cfg.Shards)
+	return int(firstPg * uint64(st.nodes) / st.npages)
+}
+
+// lockOf returns the DSM lock id guarding shard.
+func (st *Store) lockOf(shard int) int { return st.lock0 + shard }
+
+// KeyAddr returns the shared-memory address holding key's value —
+// for post-run verification against a reference cluster via Peek.
+func (st *Store) KeyAddr(key uint64) core.Addr { return st.addrOf(st.slotOf(key)) }
+
+// Pages returns the value array's page count.
+func (st *Store) Pages() int { return int(st.npages) }
+
+// Resolved returns the configuration after defaulting, so callers can
+// report the shard count, slot density and routing actually in effect.
+func (st *Store) Resolved() Config { return st.cfg }
+
+// op is one queued operation.
+type op struct {
+	put     bool
+	key     uint64
+	val     uint64
+	shard   int
+	episode int64  // durable mode: execution episode, for the ack floor
+	ackVal  uint64 // durable mode: result of the (latest) execution
+	resp    chan opResult
+}
+
+type opResult struct {
+	val uint64
+	err error
+}
+
+// serveCounter is the optional per-node stats hook (implemented by the
+// live node).
+type serveCounter interface {
+	CountServe(gets, puts, lockWaitNs int64)
+}
+
+// replayer is the optional rollback-replay probe (implemented by the
+// live node); during replay the lock plane no-ops and reads are
+// scratch, so the durable loop must not execute client operations.
+type replayer interface{ Replaying() bool }
+
+// laner is the optional per-goroutine token-lane hook (implemented by
+// the live node): each executor goroutine acquires locks through its
+// own lane so the lock plane's per-(origin, lane) duplicate windows
+// keep their one-outstanding, strictly-increasing token invariant.
+type laner interface {
+	LaneWorker(lane int) core.Worker
+}
+
+// Server dispatches operations to per-node executor pools over a
+// configured Store. One Server serves one cluster run; Do may be called
+// from any goroutine and implements the load generator's Driver.
+type Server struct {
+	st     *Store
+	cfg    Config
+	queues [][]chan *op // [node][executor]
+	// relMu serializes lock releases per node: an Unlock publishes a
+	// release VT covering every interval the node closed so far, so a
+	// concurrent executor's in-flight (unacknowledged) home flush could
+	// otherwise be covered by another executor's release and read stale
+	// at the next acquirer. Acquires are not serialized.
+	relMu []sync.Mutex
+	hist  hist.Hist
+	rr    atomic.Uint64 // round-robin cursor for Route == "any"
+
+	stopping atomic.Bool
+	stopCh   chan struct{} // closed by Shutdown: executors drain and exit
+	failedCh chan struct{} // closed on executor failure: Do unblocks with an error
+	failOnce sync.Once
+	stopOnce sync.Once
+
+	errMu    sync.Mutex
+	firstErr error
+	panicVal any
+
+	// pending, per node, holds durable-mode operations executed but not
+	// yet covered by a stable checkpoint. Owned by the node's worker
+	// goroutine; supervisor restarts serialize incarnations.
+	pending [][]*op
+}
+
+// NewServer builds the dispatcher for a store.
+func NewServer(st *Store) *Server {
+	s := &Server{
+		st:       st,
+		cfg:      st.cfg,
+		queues:   make([][]chan *op, st.nodes),
+		relMu:    make([]sync.Mutex, st.nodes),
+		pending:  make([][]*op, st.nodes),
+		stopCh:   make(chan struct{}),
+		failedCh: make(chan struct{}),
+	}
+	for n := range s.queues {
+		s.queues[n] = make([]chan *op, st.cfg.Workers)
+		for e := range s.queues[n] {
+			s.queues[n][e] = make(chan *op, st.cfg.QueueDepth)
+		}
+	}
+	return s
+}
+
+// Store returns the server's shared-memory layout.
+func (s *Server) Store() *Store { return s.st }
+
+// HistSummary digests the server-side latency histogram (enqueue to
+// acknowledgment, as observed at the dispatcher).
+func (s *Server) HistSummary() *hist.Summary { return s.hist.Summarize() }
+
+// executorOf pins a shard to one executor per node.
+func (s *Server) executorOf(shard int) int { return shard % s.cfg.Workers }
+
+// nodeOf routes a shard to its serving node.
+func (s *Server) nodeOf(shard int) int {
+	if s.cfg.Route == "any" {
+		return int(s.rr.Add(1) % uint64(s.st.nodes))
+	}
+	return s.st.shardNode(shard)
+}
+
+// Do executes one get (put=false, val ignored) or put and returns the
+// read value (gets) or the stored value (puts). It blocks until the
+// operation is acknowledged — in durable mode, until its checkpoint is
+// stable cluster-wide.
+func (s *Server) Do(put bool, key, val uint64) (uint64, error) {
+	if s.stopping.Load() {
+		return 0, fmt.Errorf("serve: server is shut down")
+	}
+	slot := s.st.slotOf(key)
+	shard := s.st.shardOf(s.st.pageOf(slot))
+	o := &op{put: put, key: key, val: val, shard: shard, resp: make(chan opResult, 1)}
+	start := time.Now()
+	select {
+	case s.queues[s.nodeOf(shard)][s.executorOf(shard)] <- o:
+	case <-s.failedCh:
+		return 0, s.err()
+	case <-s.stopCh:
+		return 0, fmt.Errorf("serve: server is shut down")
+	}
+	select {
+	case r := <-o.resp:
+		s.hist.Record(time.Since(start).Nanoseconds())
+		return r.val, r.err
+	case <-s.failedCh:
+		return 0, s.err()
+	}
+}
+
+// Shutdown stops the server: new operations are rejected, executors
+// drain their queues and the NodeWorkers return (letting the cluster
+// run complete). Call after the load completes.
+func (s *Server) Shutdown() {
+	s.stopping.Store(true)
+	s.stopOnce.Do(func() { close(s.stopCh) })
+}
+
+func (s *Server) err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.firstErr != nil {
+		return s.firstErr
+	}
+	return fmt.Errorf("serve: server failed")
+}
+
+// fail records an executor failure and unblocks every caller.
+func (s *Server) fail(panicVal any, err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+		s.panicVal = panicVal
+	}
+	s.errMu.Unlock()
+	s.failOnce.Do(func() { close(s.failedCh) })
+}
+
+// NodeWorker is the cluster worker function: run one serving node until
+// Shutdown. Direct mode spawns the executor pool and waits; durable
+// mode runs the group-commit episode loop on the worker goroutine
+// itself (the supervisor re-invokes it per incarnation, and the loop is
+// re-entrant: un-acknowledged operations survive in s.pending and are
+// re-executed after replay).
+func (s *Server) NodeWorker(w core.Worker) {
+	if s.cfg.Durable {
+		s.runDurable(w)
+		return
+	}
+	node := w.ID()
+	var wg sync.WaitGroup
+	for e := 0; e < s.cfg.Workers; e++ {
+		ew := w
+		if ln, ok := w.(laner); ok {
+			ew = ln.LaneWorker(e + 1) // lane 0 is the node's own worker goroutine
+		}
+		wg.Add(1)
+		go func(e int, ew core.Worker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.fail(r, fmt.Errorf("serve: node %d executor %d: %v", node, e, r))
+				}
+			}()
+			s.execLoop(ew, node, e)
+		}(e, ew)
+	}
+	wg.Wait()
+	// An engine panic (abort, peer-down) happened on an executor
+	// goroutine; re-raise it here so the cluster's worker recovery sees
+	// the structured error, not a wedged run.
+	s.errMu.Lock()
+	pv := s.panicVal
+	s.errMu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// execLoop drains one executor queue until shutdown (direct mode).
+func (s *Server) execLoop(w core.Worker, node, e int) {
+	q := s.queues[node][e]
+	for {
+		var batch []*op
+		select {
+		case o := <-q:
+			batch = append(batch, o)
+		case <-s.stopCh:
+			// Drain what's already queued, then exit.
+			for {
+				select {
+				case o := <-q:
+					batch = append(batch, o)
+				default:
+					s.execBatch(w, node, batch)
+					return
+				}
+			}
+		case <-s.failedCh:
+			return
+		}
+		for len(batch) < s.cfg.Batch {
+			select {
+			case o := <-q:
+				batch = append(batch, o)
+			default:
+				goto run
+			}
+		}
+	run:
+		s.execBatch(w, node, batch)
+	}
+}
+
+// execBatch groups a drained batch by shard (stable, preserving arrival
+// order within a shard) and executes each shard's run under one
+// lock/unlock pair.
+func (s *Server) execBatch(w core.Worker, node int, batch []*op) {
+	if len(batch) == 0 {
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].shard < batch[j].shard })
+	var gets, puts, lockWait int64
+	for i := 0; i < len(batch); {
+		j := i
+		for j < len(batch) && batch[j].shard == batch[i].shard {
+			j++
+		}
+		lk := s.st.lockOf(batch[i].shard)
+		t0 := time.Now()
+		w.Lock(lk)
+		lockWait += time.Since(t0).Nanoseconds()
+		for _, o := range batch[i:j] {
+			r := s.execOne(w, o)
+			o.resp <- r
+			if o.put {
+				puts++
+			} else {
+				gets++
+			}
+		}
+		s.relMu[node].Lock()
+		w.Unlock(lk)
+		s.relMu[node].Unlock()
+		i = j
+	}
+	if sc, ok := w.(serveCounter); ok {
+		sc.CountServe(gets, puts, lockWait)
+	}
+}
+
+// execOne performs the shared-memory access for one operation; the
+// caller holds the shard lock.
+func (s *Server) execOne(w core.Worker, o *op) opResult {
+	addr := s.st.addrOf(s.st.slotOf(o.key))
+	if o.put {
+		w.WriteU64(addr, o.val)
+		return opResult{val: o.val}
+	}
+	return opResult{val: w.ReadU64(addr)}
+}
+
+// stableFloor is the highest exec tag (the local barrier count at
+// execution time) whose effects a cluster-wide stable checkpoint is
+// guaranteed to cover after this node departs its bars'th barrier. An
+// op tagged E runs in engine episode E+1 and is first covered by the
+// flagged crossing ceil((E+1)/CkptEvery)*CkptEvery. Each node captures
+// that checkpoint AFTER departing the flagged barrier and confirms it
+// with a blocking ckpt-done RPC before arriving at the next one — so
+// departing crossing `bars` only proves every node confirmed flagged
+// crossings <= bars-1. Acking against the flagged crossing itself (off
+// by one) loses acknowledged writes when a crash rolls back to the
+// previous cut.
+func (s *Server) stableFloor(bars int64) int64 {
+	f := bars - 1
+	f -= f % s.cfg.CkptEvery // newest flagged crossing everyone confirmed
+	return f - 1             // tags E <= f-1 have cover(E) <= f
+}
+
+// runDurable is the group-commit episode loop (durable mode): execute a
+// quantum of operations, cross the barrier (which captures and
+// stabilizes the checkpoint), then acknowledge every operation whose
+// episode the stable checkpoint covers. After a crash the supervisor
+// rolls every node back to the stable episode and re-invokes this
+// worker: the replay loop crosses suppressed barriers until the engine
+// is live again, then every still-pending (never-acknowledged)
+// operation is re-executed — a put rewrites the same value, a get
+// re-reads — and acknowledged exactly once.
+func (s *Server) runDurable(w core.Worker) {
+	node := w.ID()
+	q := s.queues[node][0]
+	var bars int64
+	if rp, ok := w.(replayer); ok {
+		for rp.Replaying() {
+			w.Barrier(s.st.bar)
+			bars++
+		}
+	}
+	redo := s.pending[node] // un-acked survivors from the previous incarnation
+	s.pending[node] = nil
+	for {
+		// Quantum: re-executions first (in original order), then fresh
+		// operations up to the batch cap. Waiting briefly for the first
+		// fresh op keeps idle nodes from spinning barriers; busy nodes
+		// just wait for them at the barrier.
+		batch := redo
+		redo = nil
+		if len(batch) == 0 && !s.stopping.Load() {
+			select {
+			case o := <-q:
+				batch = append(batch, o)
+			case <-time.After(200 * time.Microsecond):
+			case <-s.failedCh:
+				return
+			}
+		}
+		for len(batch) < s.cfg.Batch {
+			select {
+			case o := <-q:
+				batch = append(batch, o)
+			default:
+				goto exec
+			}
+		}
+	exec:
+		// Pend the whole batch before touching the DSM: a rollback
+		// interrupt arrives as a panic out of a node operation, and
+		// anything already dequeued must survive in pending to be
+		// re-executed next incarnation, never lost.
+		for _, o := range batch {
+			o.episode = bars
+		}
+		s.pending[node] = append(s.pending[node], batch...)
+		var gets, puts, lockWait int64
+		for _, o := range batch {
+			lk := s.st.lockOf(o.shard)
+			t0 := time.Now()
+			w.Lock(lk)
+			lockWait += time.Since(t0).Nanoseconds()
+			o.exec(w, s)
+			s.relMu[node].Lock()
+			w.Unlock(lk)
+			s.relMu[node].Unlock()
+			if o.put {
+				puts++
+			} else {
+				gets++
+			}
+		}
+		if sc, ok := w.(serveCounter); ok && gets+puts > 0 {
+			sc.CountServe(gets, puts, lockWait)
+		}
+		if node == 0 && s.stopping.Load() && w.ReadU64(s.st.stop) == 0 {
+			// All clients are done (Shutdown follows the load), so the
+			// queues and pendings are quiescing; raise the cluster-wide
+			// stop flag. The barrier propagates it to every node.
+			w.WriteU64(s.st.stop, 1)
+		}
+		w.Barrier(s.st.bar)
+		bars++
+		// Acknowledge everything the now-stable checkpoint covers.
+		floor := s.stableFloor(bars)
+		keep := s.pending[node][:0]
+		for _, o := range s.pending[node] {
+			if o.episode <= floor {
+				o.resp <- opResult{val: o.ackVal}
+			} else {
+				keep = append(keep, o)
+			}
+		}
+		s.pending[node] = keep
+		if w.ReadU64(s.st.stop) == 1 && len(s.pending[node]) == 0 && len(q) == 0 {
+			// Every node reads the stop word at the same episode, and
+			// Shutdown precedes it, so queues and pendings are empty
+			// cluster-wide: all nodes exit after the same barrier.
+			return
+		}
+	}
+}
+
+// exec performs o's access and records the result for the deferred ack
+// (durable mode re-executes, so the result field is overwritten, and
+// the final execution's value is what gets acknowledged).
+func (o *op) exec(w core.Worker, s *Server) {
+	addr := s.st.addrOf(s.st.slotOf(o.key))
+	if o.put {
+		w.WriteU64(addr, o.val)
+		o.ackVal = o.val
+		return
+	}
+	o.ackVal = w.ReadU64(addr)
+}
