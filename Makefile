@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke live chaos recover scale-smoke serve serve-smoke bench-live bench-scale bench-serve verify
+.PHONY: build vet lint test race check-smoke live chaos recover failover scale-smoke serve serve-smoke bench-live bench-scale bench-serve verify
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,20 @@ recover:
 	$(GO) run ./cmd/dsmd -app jacobi -nodes 4 -transport tcp -scale test \
 		-recover -crash 2:25:5ms -chaos-seed 7 -drop 0.01 -dup 0.02 \
 		-retry 10ms -hb-interval 50ms -check -timeout 60s -deadline 120s
+
+# failover: the replicated control plane's gate — the coordinator-kill
+# soaks (all four apps × {LI, LH} with node 0 — manager, barrier root,
+# bootstrap leader — killed mid-run, in-proc and over TCP loopback; the
+# mid-checkpoint-confirm kill; the durable serving failover with zero
+# acked-write loss) under -race, then one seeded dsmd run that kills
+# node 0 on real sockets with frame faults in the mix, result regions
+# checked against a fault-free 1-node reference.
+failover:
+	$(GO) test -race -count=1 -timeout 600s \
+		-run 'TestFailover|TestServeFailoverSoak' ./internal/live/... ./internal/serve/
+	$(GO) run ./cmd/dsmd -app jacobi -nodes 4 -transport tcp -scale test \
+		-recover -crash 0:30:5ms -chaos-seed 7 -drop 0.01 -dup 0.02 \
+		-retry 10ms -hb-interval 50ms -hb-timeout 2s -check -timeout 60s -deadline 120s
 
 # scale-smoke: the decentralized synchronization plane's scaling gate —
 # all four apps × {LI, LH} on 8- and 16-node in-proc clusters under
@@ -123,4 +137,4 @@ bench-scale:
 	done
 	@wc -l BENCH_scale.json
 
-verify: build vet lint race check-smoke live chaos recover scale-smoke serve-smoke
+verify: build vet lint race check-smoke live chaos recover failover scale-smoke serve-smoke

@@ -1,8 +1,9 @@
 // Fixture for the wiredrift analyzer: a codec whose hand-maintained
 // tables have drifted from the Kind enum. KData never got a fields
-// entry, KAck never got a name, the Version bump to 4 opened no
-// firstV4Kind band, firstV2Kind's version gate is missing from Decode,
-// and firstV3Kind points at a kind below the v2 band.
+// entry, KAck never got a name, the Version bump to 5 opened no
+// firstV5Kind band (the consensus-frame band in the live codec),
+// firstV2Kind's version gate is missing from Decode, and firstV3Kind
+// points at a kind below the v2 band.
 package wiredrift
 
 import "errors"
@@ -11,7 +12,7 @@ type Kind uint8
 
 type fieldSet struct{ pg, vt bool }
 
-const Version = 4 // want "wire version 4 has no firstV4Kind band marker"
+const Version = 5 // want "wire version 5 has no firstV5Kind band marker"
 
 const (
 	KHello Kind = 1
@@ -23,6 +24,7 @@ const (
 
 	firstV2Kind Kind = KLate // want "band marker firstV2Kind is not checked in Decode"
 	firstV3Kind Kind = KData // want "band marker firstV3Kind .2. does not follow firstV2Kind .4."
+	firstV4Kind Kind = KAck
 )
 
 var fields = map[Kind]fieldSet{
@@ -43,6 +45,9 @@ func Decode(b []byte) (Kind, error) {
 	}
 	k, v := Kind(b[0]), int(b[1])
 	if v < 3 && k >= firstV3Kind {
+		return 0, errTooNew
+	}
+	if v < 4 && k >= firstV4Kind {
 		return 0, errTooNew
 	}
 	if _, ok := fields[k]; !ok {

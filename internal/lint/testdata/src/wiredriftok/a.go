@@ -1,7 +1,8 @@
 // Fixture for the wiredrift analyzer: a fully wired codec. Every kind
 // has a fields entry and a name, every version past the first has a
-// band marker, the markers partition the enum in order, and Decode
-// gates each band — no diagnostics expected.
+// band marker — including the v5 consensus band mirroring the live
+// codec's vote/append frames — the markers partition the enum in
+// order, and Decode gates each band. No diagnostics expected.
 package wiredriftok
 
 import "errors"
@@ -10,27 +11,36 @@ type Kind uint8
 
 type fieldSet struct{ pg, vt bool }
 
-const Version = 3
+const Version = 5
 
 const (
-	KHello Kind = 1
-	KData  Kind = 2
-	KAck   Kind = 3
+	KHello  Kind = 1
+	KData   Kind = 2
+	KAck    Kind = 3
+	KJoin   Kind = 4
+	KVote   Kind = 5
+	KAppend Kind = 6
 
-	kindEnd Kind = 4
+	kindEnd Kind = 7
 
 	firstV2Kind Kind = KData
 	firstV3Kind Kind = KAck
+	firstV4Kind Kind = KJoin
+	firstV5Kind Kind = KVote
 )
 
 var fields = map[Kind]fieldSet{
-	KHello: {},
-	KData:  {pg: true},
-	KAck:   {vt: true},
+	KHello:  {},
+	KData:   {pg: true},
+	KAck:    {vt: true},
+	KJoin:   {pg: true, vt: true},
+	KVote:   {vt: true},
+	KAppend: {pg: true},
 }
 
 var kindNames = [kindEnd]string{
 	KHello: "hello", KData: "data", KAck: "ack",
+	KJoin: "join", KVote: "vote", KAppend: "append",
 }
 
 var errTooNew = errors.New("wiredriftok: kind too new for version")
@@ -44,6 +54,12 @@ func Decode(b []byte) (Kind, error) {
 		return 0, errTooNew
 	}
 	if v < 3 && k >= firstV3Kind {
+		return 0, errTooNew
+	}
+	if v < 4 && k >= firstV4Kind {
+		return 0, errTooNew
+	}
+	if v < 5 && k >= firstV5Kind {
 		return 0, errTooNew
 	}
 	if _, ok := fields[k]; !ok {

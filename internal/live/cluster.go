@@ -476,6 +476,10 @@ func addStats(dst, src *node.Stats) {
 	dst.ServeGets += src.ServeGets
 	dst.ServePuts += src.ServePuts
 	dst.ServeLockWaitNs += src.ServeLockWaitNs
+	dst.ConsensusTerms += src.ConsensusTerms
+	dst.ConsensusElections += src.ConsensusElections
+	dst.ConsensusCommits += src.ConsensusCommits
+	dst.LeaderRedirects += src.LeaderRedirects
 }
 
 // PeekU64 implements core.Peeker: before Run it reads the initial image,

@@ -1,0 +1,613 @@
+// Package consensus is the replicated control plane's multi-decree log:
+// a compact Raft-style replica that elects a leader with randomized
+// timeouts, fences every proposal with its term, commits commands on a
+// majority of the full membership, and applies them in log order on
+// every replica. It rides the live runtime's existing transport — the
+// owning node feeds decoded consensus frames in through Deliver and
+// supplies a Send callback for outbound ones — so the quorum shares the
+// cluster's sockets, chaos middleware and epoch fencing.
+//
+// The log is never compacted: manager commands are tiny (a few dozen
+// bytes) and arrive at checkpoint cadence, so even long soaks stay in
+// the kilobytes. Durable state (term, vote, log) lives in a Stable slot
+// the supervisor owns outside the node engine, so a crashed node's
+// fresh incarnation cannot vote twice in a term it already voted in or
+// forget entries it acknowledged.
+package consensus
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrcdsm/internal/live/wire"
+)
+
+// Proposals are rejected rather than queued when the replica cannot
+// commit them; callers redirect to the current leader and retry.
+var (
+	ErrNotLeader = errors.New("consensus: not the leader")
+	ErrDeposed   = errors.New("consensus: lost leadership before commit")
+	ErrStopped   = errors.New("consensus: replica stopped")
+	ErrBusy      = errors.New("consensus: proposal queue full")
+)
+
+// Stable is one replica's durable consensus state. The supervisor holds
+// one slot per node across restarts; a fresh incarnation loads the term
+// it last voted in and the entries it last acknowledged, which is what
+// makes a restarted replica safe to re-admit to the quorum.
+type Stable struct {
+	mu       sync.Mutex
+	term     int64
+	votedFor int32
+	log      []wire.Entry
+}
+
+// NewStable returns an empty slot (term 0, no vote, empty log).
+func NewStable() *Stable { return &Stable{votedFor: -1} }
+
+func (s *Stable) load() (int64, int32, []wire.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term, s.votedFor, append([]wire.Entry(nil), s.log...)
+}
+
+func (s *Stable) save(term int64, votedFor int32, log []wire.Entry) {
+	s.mu.Lock()
+	s.term, s.votedFor = term, votedFor
+	//dsmlint:ignore vtalias the replica clones command bytes out of decoded frames before they reach its log, and commands are immutable after creation; the slot and the replica share them read-only
+	s.log = append(s.log[:0], log...)
+	s.mu.Unlock()
+}
+
+// Counters points into the owning node's stat fields; nil pointers are
+// skipped so tests can run replicas without a node.
+type Counters struct {
+	Terms, Elections, Commits *int64
+}
+
+func bump(p *int64) {
+	if p != nil {
+		atomic.AddInt64(p, 1)
+	}
+}
+
+// Config wires a replica to its node.
+type Config struct {
+	Self int
+	N    int
+
+	// ElectionTimeout is the base leader-silence window before a
+	// follower stands for election; each deadline is drawn uniformly
+	// from [T, 2T) so split votes break symmetry. HeartbeatEvery is the
+	// leader's empty-append cadence and must be well under T.
+	ElectionTimeout time.Duration
+	HeartbeatEvery  time.Duration
+	Seed            int64
+
+	// Send transmits one frame to a peer (never Self). It must not
+	// block indefinitely; consensus tolerates dropped frames.
+	Send func(to int, m *wire.Msg)
+	// Apply consumes entry index (1-based) with its command bytes, in
+	// log order, exactly once per replica lifetime. A nil/empty command
+	// is a leadership no-op and is still delivered.
+	Apply func(index int64, cmd []byte)
+	// LeaderChange reports every observed leadership or term change.
+	// Optional.
+	LeaderChange func(term int64, leader int, isLeader bool)
+
+	// Bootstrap seeds a cold cluster (empty Stable everywhere) with
+	// node 0 as leader of term 1, skipping the startup election. A
+	// replica restarting with non-empty state ignores it.
+	Bootstrap bool
+
+	Counters Counters
+}
+
+const (
+	follower = iota
+	candidate
+	leader
+)
+
+// maxBatch bounds entries per append frame; a lagging follower catches
+// up over successive acks rather than one giant frame.
+const maxBatch = 64
+
+type proposal struct {
+	cmd  []byte
+	done func(error)
+}
+
+// Info is a point-in-time leadership snapshot.
+type Info struct {
+	Term     int64
+	Leader   int // -1 unknown
+	IsLeader bool
+}
+
+// Rep is one consensus replica. All protocol state is owned by the
+// event-loop goroutine; Deliver/Propose/Leader are safe from any
+// goroutine.
+type Rep struct {
+	cfg Config
+	st  *Stable
+	rng *rand.Rand
+
+	inbox chan *wire.Msg
+	props chan proposal
+	quit  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	// Event-loop state.
+	role     int
+	term     int64
+	votedFor int32
+	log      []wire.Entry
+	commit   int64
+	applied  int64
+	leader   int // current hint, -1 unknown
+	votes    map[int]bool
+	next     []int64
+	match    []int64
+	pending  map[int64][]func(error)
+	electAt  time.Time // follower/candidate: election deadline
+	beatAt   time.Time // leader: next heartbeat
+
+	info atomic.Value // Info
+}
+
+// New builds a replica over st. Call Start to run it.
+func New(cfg Config, st *Stable) *Rep {
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.ElectionTimeout / 10
+	}
+	r := &Rep{
+		cfg:     cfg,
+		st:      st,
+		rng:     rand.New(rand.NewSource(cfg.Seed*1315423911 + int64(cfg.Self)<<8 + 1)),
+		inbox:   make(chan *wire.Msg, 1024),
+		props:   make(chan proposal, 256),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		leader:  -1,
+		votes:   map[int]bool{},
+		next:    make([]int64, cfg.N),
+		match:   make([]int64, cfg.N),
+		pending: map[int64][]func(error){},
+	}
+	r.term, r.votedFor, r.log = st.load()
+	if cfg.Bootstrap && r.term == 0 && len(r.log) == 0 {
+		// Cold cluster: every replica deterministically agrees node 0
+		// leads term 1, as if an election already ran.
+		r.term, r.votedFor = 1, 0
+		r.persist()
+		if cfg.Self == 0 {
+			r.role = leader
+			r.leader = 0
+		} else {
+			r.leader = 0
+		}
+	}
+	r.updateInfo()
+	return r
+}
+
+// Start launches the event loop.
+func (r *Rep) Start() {
+	go r.run()
+}
+
+// Stop terminates the loop and fails outstanding proposals.
+func (r *Rep) Stop() {
+	r.once.Do(func() { close(r.quit) })
+	<-r.done
+}
+
+// Deliver hands a decoded consensus frame to the replica. Never blocks:
+// a full inbox drops the frame (retransmission is inherent — leaders
+// re-append, candidates re-elect).
+func (r *Rep) Deliver(m *wire.Msg) {
+	select {
+	case r.inbox <- m:
+	case <-r.quit:
+	default:
+	}
+}
+
+// Propose submits a command for quorum commit. done fires exactly once,
+// from the replica goroutine: nil after the command is committed and
+// applied locally, or an error if this replica is not the leader, loses
+// leadership first, or stops.
+func (r *Rep) Propose(cmd []byte, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	select {
+	case r.props <- proposal{cmd, done}:
+	case <-r.quit:
+		done(ErrStopped)
+	default:
+		done(ErrBusy)
+	}
+}
+
+// Leader reports the replica's current view of leadership.
+func (r *Rep) Leader() Info {
+	return r.info.Load().(Info)
+}
+
+func (r *Rep) run() {
+	defer close(r.done)
+	defer r.failPending(ErrStopped)
+	if r.role == leader {
+		r.broadcast()
+		r.beatAt = time.Now().Add(r.cfg.HeartbeatEvery)
+	} else {
+		r.resetElectionTimer()
+	}
+	tick := r.cfg.HeartbeatEvery / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case m := <-r.inbox:
+			r.step(m)
+		case p := <-r.props:
+			r.propose(p)
+		case <-ticker.C:
+			r.tickTimers()
+		}
+	}
+}
+
+func (r *Rep) tickTimers() {
+	now := time.Now()
+	if r.role == leader {
+		if now.After(r.beatAt) {
+			r.broadcast()
+			r.beatAt = now.Add(r.cfg.HeartbeatEvery)
+		}
+		return
+	}
+	if now.After(r.electAt) {
+		r.startElection()
+	}
+}
+
+func (r *Rep) resetElectionTimer() {
+	t := r.cfg.ElectionTimeout
+	r.electAt = time.Now().Add(t + time.Duration(r.rng.Int63n(int64(t))))
+}
+
+func (r *Rep) lastIndex() int64 { return int64(len(r.log)) }
+
+func (r *Rep) termAt(i int64) int64 {
+	if i <= 0 || i > int64(len(r.log)) {
+		return 0
+	}
+	return r.log[i-1].Term
+}
+
+func (r *Rep) persist() { r.st.save(r.term, r.votedFor, r.log) }
+
+func (r *Rep) updateInfo() {
+	r.info.Store(Info{Term: r.term, Leader: r.leader, IsLeader: r.role == leader})
+	if r.cfg.LeaderChange != nil {
+		r.cfg.LeaderChange(r.term, r.leader, r.role == leader)
+	}
+}
+
+// adoptTerm steps down into t's follower. ldr is the known leader of t
+// (-1 when learned from a vote exchange).
+func (r *Rep) adoptTerm(t int64, ldr int) {
+	wasLeader := r.role == leader
+	r.term, r.votedFor, r.role, r.leader = t, -1, follower, ldr
+	r.votes = map[int]bool{}
+	r.persist()
+	bump(r.cfg.Counters.Terms)
+	if wasLeader {
+		r.failPending(ErrDeposed)
+	}
+	r.resetElectionTimer()
+	r.updateInfo()
+}
+
+func (r *Rep) failPending(err error) {
+	for idx, cbs := range r.pending {
+		for _, cb := range cbs {
+			cb(err)
+		}
+		delete(r.pending, idx)
+	}
+}
+
+func (r *Rep) startElection() {
+	r.role = candidate
+	r.term++
+	r.votedFor = int32(r.cfg.Self)
+	r.leader = -1
+	r.votes = map[int]bool{r.cfg.Self: true}
+	r.persist()
+	bump(r.cfg.Counters.Terms)
+	bump(r.cfg.Counters.Elections)
+	r.resetElectionTimer()
+	r.updateInfo()
+	if r.wonElection() {
+		r.becomeLeader()
+		return
+	}
+	for p := 0; p < r.cfg.N; p++ {
+		if p == r.cfg.Self {
+			continue
+		}
+		r.cfg.Send(p, &wire.Msg{
+			Kind: wire.KVoteReq, Term: r.term,
+			LogIndex: r.lastIndex(), LogTerm: r.termAt(r.lastIndex()),
+		})
+	}
+}
+
+func (r *Rep) wonElection() bool { return len(r.votes) > r.cfg.N/2 }
+
+func (r *Rep) becomeLeader() {
+	r.role = leader
+	r.leader = r.cfg.Self
+	for p := 0; p < r.cfg.N; p++ {
+		r.next[p] = r.lastIndex() + 1
+		r.match[p] = 0
+	}
+	r.match[r.cfg.Self] = r.lastIndex()
+	r.updateInfo()
+	// Commit an entry of our own term immediately so the leader's
+	// applied state machine is current before it serves reads.
+	r.appendLocal(nil)
+	r.broadcast()
+	r.beatAt = time.Now().Add(r.cfg.HeartbeatEvery)
+}
+
+func (r *Rep) appendLocal(cmd []byte) int64 {
+	r.log = append(r.log, wire.Entry{Term: r.term, Cmd: cmd})
+	r.persist()
+	idx := r.lastIndex()
+	r.match[r.cfg.Self] = idx
+	r.advanceCommit()
+	return idx
+}
+
+func (r *Rep) propose(p proposal) {
+	if r.role != leader {
+		p.done(ErrNotLeader)
+		return
+	}
+	idx := r.appendLocal(p.cmd)
+	if r.pending[idx] != nil || idx > r.applied {
+		r.pending[idx] = append(r.pending[idx], p.done)
+	} else {
+		// Single-replica quorum: the entry already committed and
+		// applied inside appendLocal.
+		p.done(nil)
+		return
+	}
+	r.broadcast()
+	r.beatAt = time.Now().Add(r.cfg.HeartbeatEvery)
+}
+
+func (r *Rep) broadcast() {
+	for p := 0; p < r.cfg.N; p++ {
+		if p != r.cfg.Self {
+			r.sendAppend(p)
+		}
+	}
+}
+
+func (r *Rep) sendAppend(to int) {
+	prev := r.next[to] - 1
+	if prev < 0 {
+		prev = 0
+	}
+	var entries []wire.Entry
+	if n := r.lastIndex() - prev; n > 0 {
+		if n > maxBatch {
+			n = maxBatch
+		}
+		entries = append(entries, r.log[prev:prev+n]...)
+	}
+	r.cfg.Send(to, &wire.Msg{
+		Kind: wire.KAppend, Term: r.term,
+		LogIndex: prev, LogTerm: r.termAt(prev),
+		Commit: r.commit, Entries: entries,
+	})
+}
+
+func (r *Rep) advanceCommit() {
+	for idx := r.commit + 1; idx <= r.lastIndex(); idx++ {
+		if r.termAt(idx) != r.term {
+			continue // only entries of the current term commit by counting
+		}
+		n := 0
+		for p := 0; p < r.cfg.N; p++ {
+			if r.match[p] >= idx {
+				n++
+			}
+		}
+		if n > r.cfg.N/2 {
+			r.commit = idx
+		}
+	}
+	r.applyCommitted()
+}
+
+func (r *Rep) applyCommitted() {
+	for r.applied < r.commit {
+		r.applied++
+		e := r.log[r.applied-1]
+		bump(r.cfg.Counters.Commits)
+		if r.cfg.Apply != nil {
+			r.cfg.Apply(r.applied, e.Cmd)
+		}
+		if cbs := r.pending[r.applied]; cbs != nil {
+			delete(r.pending, r.applied)
+			for _, cb := range cbs {
+				cb(nil)
+			}
+		}
+	}
+}
+
+func (r *Rep) step(m *wire.Msg) {
+	if m.Term > r.term {
+		ldr := -1
+		if m.Kind == wire.KAppend {
+			ldr = int(m.From)
+		}
+		r.adoptTerm(m.Term, ldr)
+	}
+	switch m.Kind {
+	case wire.KVoteReq:
+		r.onVoteReq(m)
+	case wire.KVoteResp:
+		r.onVoteResp(m)
+	case wire.KAppend:
+		r.onAppend(m)
+	case wire.KAppendAck:
+		r.onAppendAck(m)
+	}
+}
+
+func (r *Rep) onVoteReq(m *wire.Msg) {
+	granted := false
+	if m.Term == r.term && (r.votedFor == -1 || r.votedFor == m.From) {
+		last := r.lastIndex()
+		upToDate := m.LogTerm > r.termAt(last) ||
+			(m.LogTerm == r.termAt(last) && m.LogIndex >= last)
+		if upToDate {
+			granted = true
+			if r.votedFor != m.From {
+				r.votedFor = m.From
+				r.persist()
+			}
+			r.resetElectionTimer()
+		}
+	}
+	resp := &wire.Msg{Kind: wire.KVoteResp, Term: r.term}
+	if granted {
+		resp.Flag = 1
+	}
+	r.cfg.Send(int(m.From), resp)
+}
+
+func (r *Rep) onVoteResp(m *wire.Msg) {
+	if r.role != candidate || m.Term != r.term || m.Flag != 1 {
+		return
+	}
+	r.votes[int(m.From)] = true
+	if r.wonElection() {
+		r.becomeLeader()
+	}
+}
+
+func (r *Rep) onAppend(m *wire.Msg) {
+	if m.Term < r.term {
+		r.cfg.Send(int(m.From), &wire.Msg{Kind: wire.KAppendAck, Term: r.term})
+		return
+	}
+	// m.Term == r.term: the sender is the legitimate leader of this term.
+	if r.role != follower || r.leader != int(m.From) {
+		wasLeader := r.role == leader
+		r.role, r.leader = follower, int(m.From)
+		r.votes = map[int]bool{}
+		if wasLeader {
+			r.failPending(ErrDeposed)
+		}
+		r.updateInfo()
+	}
+	r.resetElectionTimer()
+	prev := m.LogIndex
+	if prev > r.lastIndex() || r.termAt(prev) != m.LogTerm {
+		// Match-point miss: back the leader up past our shorter/conflicting
+		// suffix in one hop.
+		hint := prev - 1
+		if last := r.lastIndex(); hint > last {
+			hint = last
+		}
+		if hint < 0 {
+			hint = 0
+		}
+		r.cfg.Send(int(m.From), &wire.Msg{
+			Kind: wire.KAppendAck, Term: r.term, LogIndex: hint,
+		})
+		return
+	}
+	changed := false
+	for i, e := range m.Entries {
+		idx := prev + int64(i) + 1
+		if idx <= r.lastIndex() {
+			if r.termAt(idx) == e.Term {
+				continue
+			}
+			r.log = r.log[:idx-1] // conflict: truncate our divergent suffix
+		}
+		// Clone the command bytes: e.Cmd sub-slices the decoded frame,
+		// and the log outlives the frame buffer by the whole run.
+		r.log = append(r.log, wire.Entry{Term: e.Term, Cmd: append([]byte(nil), e.Cmd...)})
+		changed = true
+	}
+	if changed {
+		r.persist()
+	}
+	newLast := prev + int64(len(m.Entries))
+	if m.Commit > r.commit {
+		c := m.Commit
+		if last := r.lastIndex(); c > last {
+			c = last
+		}
+		r.commit = c
+		r.applyCommitted()
+	}
+	r.cfg.Send(int(m.From), &wire.Msg{
+		Kind: wire.KAppendAck, Term: r.term, LogIndex: newLast, Flag: 1,
+	})
+}
+
+func (r *Rep) onAppendAck(m *wire.Msg) {
+	if r.role != leader || m.Term != r.term {
+		return
+	}
+	from := int(m.From)
+	if m.Flag == 1 {
+		if m.LogIndex > r.match[from] {
+			r.match[from] = m.LogIndex
+		}
+		if m.LogIndex+1 > r.next[from] {
+			r.next[from] = m.LogIndex + 1
+		}
+		r.advanceCommit()
+		if r.next[from] <= r.lastIndex() {
+			r.sendAppend(from) // keep a lagging follower streaming
+		}
+		return
+	}
+	// Mismatch: adopt the follower's back-up hint and retry.
+	hint := m.LogIndex + 1
+	if hint < 1 {
+		hint = 1
+	}
+	if hint < r.next[from] {
+		r.next[from] = hint
+	} else if r.next[from] > 1 {
+		r.next[from]--
+	}
+	r.sendAppend(from)
+}

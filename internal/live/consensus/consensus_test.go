@@ -1,0 +1,323 @@
+package consensus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lrcdsm/internal/live/wire"
+)
+
+// harness wires N replicas through an in-memory network with cuttable
+// links and per-replica apply logs, so protocol behavior is testable
+// without the live engine.
+type harness struct {
+	t       *testing.T
+	n       int
+	mu      sync.Mutex
+	reps    []*Rep
+	stables []*Stable
+	down    []bool
+	cut     map[[2]int]bool
+	applied [][]string // per-replica apply log ("idx:cmd")
+}
+
+func newHarness(t *testing.T, n int, timeout time.Duration) *harness {
+	h := &harness{
+		t: t, n: n,
+		reps:    make([]*Rep, n),
+		stables: make([]*Stable, n),
+		down:    make([]bool, n),
+		cut:     map[[2]int]bool{},
+		applied: make([][]string, n),
+	}
+	for i := 0; i < n; i++ {
+		h.stables[i] = NewStable()
+		h.reps[i] = h.build(i, timeout)
+		h.reps[i].Start()
+	}
+	return h
+}
+
+func (h *harness) build(i int, timeout time.Duration) *Rep {
+	return New(Config{
+		Self: i, N: h.n,
+		ElectionTimeout: timeout,
+		HeartbeatEvery:  timeout / 10,
+		Seed:            int64(42 + i),
+		Send:            h.sender(i),
+		Apply: func(idx int64, cmd []byte) {
+			h.mu.Lock()
+			h.applied[i] = append(h.applied[i], fmt.Sprintf("%d:%s", idx, cmd))
+			h.mu.Unlock()
+		},
+		Bootstrap: true,
+	}, h.stables[i])
+}
+
+func (h *harness) sender(from int) func(int, *wire.Msg) {
+	return func(to int, m *wire.Msg) {
+		h.mu.Lock()
+		blocked := h.down[from] || h.down[to] ||
+			h.cut[[2]int{from, to}] || h.cut[[2]int{to, from}]
+		r := h.reps[to]
+		h.mu.Unlock()
+		if blocked || r == nil {
+			return
+		}
+		mm := *m
+		mm.From = int32(from)
+		r.Deliver(&mm)
+	}
+}
+
+func (h *harness) stopAll() {
+	for _, r := range h.reps {
+		r.Stop()
+	}
+}
+
+// kill silences a replica's links and stops it (engine death).
+func (h *harness) kill(i int) {
+	h.mu.Lock()
+	h.down[i] = true
+	h.mu.Unlock()
+	h.reps[i].Stop()
+}
+
+// restart rebuilds replica i over its surviving Stable slot. The apply
+// log is reset: a fresh incarnation rebuilds its state machine by
+// replaying the replicated log from index 1, so "exactly once" holds
+// per replica lifetime, not across restarts.
+func (h *harness) restart(i int, timeout time.Duration) {
+	r := h.build(i, timeout)
+	h.mu.Lock()
+	h.reps[i] = r
+	h.down[i] = false
+	h.applied[i] = nil
+	h.mu.Unlock()
+	r.Start()
+}
+
+// waitLeader polls until exactly one live replica claims leadership and
+// returns its id.
+func (h *harness) waitLeader(exclude ...int) int {
+	excluded := map[int]bool{}
+	for _, e := range exclude {
+		excluded[e] = true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < h.n; i++ {
+			h.mu.Lock()
+			dead := h.down[i]
+			r := h.reps[i]
+			h.mu.Unlock()
+			if dead || excluded[i] {
+				continue
+			}
+			if info := r.Leader(); info.IsLeader {
+				return i
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.t.Fatal("no leader elected within 10s")
+	return -1
+}
+
+// proposeOK proposes on replica i and waits for commit.
+func (h *harness) proposeOK(i int, cmd string) error {
+	errc := make(chan error, 1)
+	h.reps[i].Propose([]byte(cmd), func(err error) { errc <- err })
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("proposal %q on %d did not resolve", cmd, i)
+	}
+}
+
+// waitApplied polls until replica i's apply log contains cmd.
+func (h *harness) waitApplied(i int, cmd string) {
+	h.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		for _, a := range h.applied[i] {
+			if strings.HasSuffix(a, ":"+cmd) {
+				h.mu.Unlock()
+				return
+			}
+		}
+		h.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.t.Fatalf("replica %d never applied %q (log: %v)", i, cmd, h.applied[i])
+}
+
+// TestBootstrapCommit: a cold 3-replica cluster needs no election —
+// node 0 leads term 1 — and a committed command applies on every
+// replica in log order.
+func TestBootstrapCommit(t *testing.T) {
+	h := newHarness(t, 3, 200*time.Millisecond)
+	defer h.stopAll()
+
+	if ld := h.waitLeader(); ld != 0 {
+		t.Fatalf("bootstrap leader = %d, want 0", ld)
+	}
+	for k := 0; k < 5; k++ {
+		if err := h.proposeOK(0, fmt.Sprintf("cmd-%d", k)); err != nil {
+			t.Fatalf("propose cmd-%d: %v", k, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		h.waitApplied(i, "cmd-4")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 1; i < 3; i++ {
+		if fmt.Sprint(h.applied[i]) != fmt.Sprint(h.applied[0]) {
+			t.Fatalf("replica %d apply order diverged:\n %v\nvs\n %v", i, h.applied[i], h.applied[0])
+		}
+	}
+}
+
+// TestProposeOnFollowerRejected: a follower refuses proposals with
+// ErrNotLeader so callers redirect instead of committing nothing.
+func TestProposeOnFollowerRejected(t *testing.T) {
+	h := newHarness(t, 3, 200*time.Millisecond)
+	defer h.stopAll()
+	h.waitLeader()
+	if err := h.proposeOK(1, "nope"); err != ErrNotLeader {
+		t.Fatalf("follower proposal returned %v, want ErrNotLeader", err)
+	}
+}
+
+// TestLeaderFailover: killing the bootstrap leader elects a survivor,
+// which commits new commands on the remaining majority.
+func TestLeaderFailover(t *testing.T) {
+	h := newHarness(t, 3, 100*time.Millisecond)
+	defer h.stopAll()
+
+	h.waitLeader()
+	if err := h.proposeOK(0, "before"); err != nil {
+		t.Fatalf("pre-crash propose: %v", err)
+	}
+	h.kill(0)
+	ld := h.waitLeader(0)
+	if ld == 0 {
+		t.Fatal("dead node claimed leadership")
+	}
+	if err := h.proposeOK(ld, "after"); err != nil {
+		t.Fatalf("post-failover propose on %d: %v", ld, err)
+	}
+	for _, i := range []int{1, 2} {
+		h.waitApplied(i, "before")
+		h.waitApplied(i, "after")
+	}
+}
+
+// TestRestartCatchUp: the killed bootstrap leader restarts over its
+// Stable slot as a follower, adopts the new leader's term, and catches
+// up on entries committed while it was down — including entries its
+// old incarnation never saw.
+func TestRestartCatchUp(t *testing.T) {
+	h := newHarness(t, 3, 100*time.Millisecond)
+	defer h.stopAll()
+
+	h.waitLeader()
+	if err := h.proposeOK(0, "epoch0"); err != nil {
+		t.Fatal(err)
+	}
+	h.kill(0)
+	ld := h.waitLeader(0)
+	if err := h.proposeOK(ld, "while-down"); err != nil {
+		t.Fatal(err)
+	}
+	h.restart(0, 100*time.Millisecond)
+	h.waitApplied(0, "epoch0")
+	h.waitApplied(0, "while-down")
+
+	// The restarted replica must not have double-applied anything.
+	h.mu.Lock()
+	seen := map[string]int{}
+	for _, a := range h.applied[0] {
+		seen[a]++
+	}
+	h.mu.Unlock()
+	for a, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %q applied %d times on restarted replica", a, n)
+		}
+	}
+}
+
+// TestPartitionedLeaderDeposed: cutting the leader away from both
+// followers elects a new leader; proposals on the stale leader fail
+// rather than commit, and after the partition heals the old leader
+// adopts the higher term and converges on the survivors' log.
+func TestPartitionedLeaderDeposed(t *testing.T) {
+	h := newHarness(t, 3, 100*time.Millisecond)
+	defer h.stopAll()
+
+	h.waitLeader()
+	if err := h.proposeOK(0, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	h.cut[[2]int{0, 1}] = true
+	h.cut[[2]int{0, 2}] = true
+	h.mu.Unlock()
+
+	ld := h.waitLeader(0)
+	if err := h.proposeOK(ld, "majority-side"); err != nil {
+		t.Fatalf("majority-side propose: %v", err)
+	}
+	// The stale leader can still accept a proposal into its log, but it
+	// must never commit: the callback must resolve with an error once
+	// the healed partition deposes it.
+	errc := make(chan error, 1)
+	h.reps[0].Propose([]byte("stale-side"), func(err error) { errc <- err })
+
+	h.mu.Lock()
+	delete(h.cut, [2]int{0, 1})
+	delete(h.cut, [2]int{0, 2})
+	h.mu.Unlock()
+
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("minority-partition proposal committed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stale proposal never resolved after heal")
+	}
+	h.waitApplied(0, "majority-side")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, a := range h.applied[0] {
+		if strings.HasSuffix(a, ":stale-side") {
+			t.Fatalf("stale leader's uncommitted entry was applied: %v", h.applied[0])
+		}
+	}
+}
+
+// TestTermsMonotonicAcrossRestart: a restarted replica resumes from its
+// persisted term, so it can never grant a second vote in a term its
+// previous incarnation already voted in.
+func TestTermsMonotonicAcrossRestart(t *testing.T) {
+	h := newHarness(t, 3, 100*time.Millisecond)
+	defer h.stopAll()
+	h.waitLeader()
+	h.kill(1)
+	before := h.reps[1].Leader().Term
+	h.restart(1, 100*time.Millisecond)
+	if after := h.reps[1].Leader().Term; after < before {
+		t.Fatalf("restarted replica forgot its term: %d < %d", after, before)
+	}
+}

@@ -1,0 +1,81 @@
+package node
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds draws many samples and checks every one lands in the
+// documented [d/2, d] window.
+func TestJitterBounds(t *testing.T) {
+	n := &Node{id: 3}
+	n.rngState.Store(0x5eed)
+	const d = 80 * time.Millisecond
+	for i := 0; i < 10_000; i++ {
+		w := n.jitter(d)
+		if w < d/2 || w > d {
+			t.Fatalf("draw %d: jitter(%v) = %v outside [%v, %v]", i, d, w, d/2, d)
+		}
+	}
+}
+
+// TestJitterSpread is the satellite's point: retransmission schedules
+// must decorrelate, so the draws have to actually spread across the
+// window rather than cluster. Bucket the window into eighths and demand
+// every bucket gets a nontrivial share.
+func TestJitterSpread(t *testing.T) {
+	n := &Node{id: 1}
+	n.rngState.Store(1)
+	const (
+		d       = 128 * time.Millisecond
+		draws   = 8_000
+		buckets = 8
+	)
+	var hist [buckets]int
+	span := d - d/2
+	for i := 0; i < draws; i++ {
+		w := n.jitter(d)
+		b := int((w - d/2) * buckets / (span + 1))
+		hist[b]++
+	}
+	// A uniform draw puts draws/buckets in each; demand at least a
+	// quarter of that so a mixer collapsing to a few values fails loud.
+	min := draws / buckets / 4
+	for b, c := range hist {
+		if c < min {
+			t.Fatalf("bucket %d got %d of %d draws (< %d): jitter distribution collapsed %v",
+				b, c, draws, min, hist)
+		}
+	}
+}
+
+// TestJitterTinyDelays verifies sub-millisecond waits pass through
+// unjittered — there is nothing to decorrelate at that scale and the
+// fast path must not divide them to zero.
+func TestJitterTinyDelays(t *testing.T) {
+	n := &Node{id: 0}
+	for _, d := range []time.Duration{0, time.Microsecond, time.Millisecond} {
+		if got := n.jitter(d); got != d {
+			t.Fatalf("jitter(%v) = %v, want pass-through", d, got)
+		}
+	}
+}
+
+// TestJitterDistinctNodes checks two nodes with identical mixer state
+// still draw different schedules — the node id is folded into the hash
+// so lockstep restarts don't re-synchronize.
+func TestJitterDistinctNodes(t *testing.T) {
+	a, b := &Node{id: 0}, &Node{id: 1}
+	a.rngState.Store(42)
+	b.rngState.Store(42)
+	const d = 64 * time.Millisecond
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.jitter(d) == b.jitter(d) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/100 draws identical across nodes — id not decorrelating", same)
+	}
+}

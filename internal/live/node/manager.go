@@ -1,63 +1,75 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"lrcdsm/internal/live/consensus"
 	ckpt "lrcdsm/internal/live/recover"
 	"lrcdsm/internal/live/wire"
-	"lrcdsm/internal/vc"
 )
 
-// manager is the recovery coordinator and failure detector colocated
-// with node 0. Locks, barriers and the interval log are distributed
-// across the cluster (see sync.go); what remains centralized is the
-// membership-flavored machinery that genuinely needs a single point of
-// authority: checkpoint confirmation tracking, snapshot replication,
-// the crash/rejoin handshake, and liveness sweeps.
+// manager is the recovery coordinator and failure detector. Locks,
+// barriers and the interval log are distributed across the cluster (see
+// sync.go); what remains centralized is the membership-flavored
+// machinery that genuinely needs a single point of authority:
+// checkpoint confirmation tracking, snapshot replication, the
+// crash/rejoin handshake, and liveness sweeps.
+//
+// That authority is no longer pinned to node 0. When the manager quorum
+// is active (RecoverConfig.Consensus on a cluster of three or more),
+// every node runs a manager replica and the authoritative state lives
+// in a replicated state machine (mstate) driven by commands committed
+// on a consensus log (internal/live/consensus): the elected leader
+// serves requests by proposing the corresponding command and replying
+// only after commit, a non-leader replica answers every manager request
+// with KNotLeader and the current leader hint, and a leader crash
+// triggers an election instead of an abort. Without the quorum the
+// manager stays on node 0 and commands apply directly — same state
+// machine, no log.
 //
 // Requests are de-duplicated per client before any state changes: a
 // node's worker issues manager RPCs strictly sequentially with strictly
 // increasing tokens, so a request whose token is not newer than the
 // client's last is a retransmission — the cached reply is re-sent (the
 // original was lost) or, while the original is still pending, the
-// duplicate is simply dropped. That makes every manager operation
-// idempotent under the node layer's retransmission schedule.
-//
-// All manager state is owned by node 0's dispatcher goroutine; no
-// locking is needed.
+// duplicate is simply dropped. The dedup tables, chunk assemblers and
+// join blobs are leader-local (guarded by cmu, not replicated): every
+// command is idempotent and a client whose leader died retries at the
+// new one with fresh tokens, so serving state never needs to agree
+// across replicas.
 type manager struct {
 	n  *Node
 	nn int
 
-	// clients[w] is the request de-duplication state of node w.
-	clients []mclient
+	// st is the replicated state machine; rep the consensus replica
+	// driving it (nil when the quorum is inactive).
+	st  *mstate
+	rep *consensus.Rep
 
-	// Recovery state (only used when the node's RecoverConfig is set).
-	// recovering[w] marks a peer mid-recovery: liveness skips it and a
-	// KJoinReq from it is expected. incarnations[w] is the newest
-	// incarnation w announced. ckptConfirmed[w] is the newest checkpoint
-	// episode w confirmed durably stored; the stable checkpoint is their
-	// minimum (0 = the initial image, always available).
-	recovering    []bool
-	incarnations  []uint32
-	ckptConfirmed []int64
-	// resumeEpisode/resumeVT describe the checkpoint the cluster last
-	// rolled back to, handed to joiners in KJoinGrant.
-	resumeEpisode int64
-	resumeVT      vc.VC
-	// push[w] assembles a snapshot blob w is streaming in KSnapPush
-	// chunks; joinBlob[w] is the encoded replica being served back to a
-	// rejoining w in KSnapChunk replies.
+	// Leader-local serving state, guarded by cmu (the dispatcher serves
+	// requests while commit callbacks reply from the consensus
+	// goroutine). clients[w] is the request de-duplication state of node
+	// w; push[w] assembles a snapshot blob w is streaming in KSnapPush
+	// chunks; joinBlob[w] is the encoded replica served back to a
+	// rejoining w in KSnapChunk replies; suspect[w] marks a peer this
+	// leader already reported down, so one silence fires one verdict.
+	cmu      sync.Mutex
+	clients  []mclient
 	push     []*pushAsm
 	joinBlob [][]byte
+	suspect  []bool
 }
 
 // pushAsm reassembles one node's replicated snapshot from its chunks.
 // Chunks arrive strictly in order: the pusher streams them as blocking
-// RPCs and the client table drops retransmissions.
+// RPCs and the client table drops retransmissions. Chunk 0 always
+// starts a fresh assembly, so a stream restarted after a leader change
+// cannot collide with a stale half.
 type pushAsm struct {
 	episode int64
 	nchunks int32
@@ -99,18 +111,32 @@ func (c *mclient) cache(m *wire.Msg) {
 
 func newManager(n *Node) *manager {
 	return &manager{
-		n:             n,
-		nn:            n.nn,
-		clients:       make([]mclient, n.nn),
-		recovering:    make([]bool, n.nn),
-		incarnations:  make([]uint32, n.nn),
-		ckptConfirmed: make([]int64, n.nn),
-		push:          make([]*pushAsm, n.nn),
-		joinBlob:      make([][]byte, n.nn),
+		n:        n,
+		nn:       n.nn,
+		st:       newMstate(n.nn),
+		clients:  make([]mclient, n.nn),
+		push:     make([]*pushAsm, n.nn),
+		joinBlob: make([][]byte, n.nn),
+		suspect:  make([]bool, n.nn),
 	}
 }
 
+// isLeader reports whether this replica currently serves manager
+// requests (trivially true without a quorum).
+func (g *manager) isLeader() bool {
+	return g.rep == nil || g.rep.Leader().IsLeader
+}
+
 func (g *manager) handle(m *wire.Msg) {
+	if g.rep != nil {
+		if info := g.rep.Leader(); !info.IsLeader {
+			g.n.send(int(m.From), &wire.Msg{
+				Kind: wire.KNotLeader, Token: m.Token,
+				Term: info.Term, Leader: int32(info.Leader),
+			})
+			return
+		}
+	}
 	if g.dropDup(m) {
 		return
 	}
@@ -125,6 +151,8 @@ func (g *manager) handle(m *wire.Msg) {
 		g.resume(m)
 	case wire.KCkptDone:
 		g.ckptDone(m)
+	case wire.KMgrSnap:
+		g.mgrSnap(m)
 	}
 }
 
@@ -132,13 +160,17 @@ func (g *manager) handle(m *wire.Msg) {
 // state, re-serving the cached reply when the original was already
 // answered. It reports true when the message was a duplicate.
 func (g *manager) dropDup(m *wire.Msg) bool {
+	g.cmu.Lock()
 	c := &g.clients[m.From]
 	if m.Token > c.lastTok {
 		c.lastTok = m.Token
+		g.cmu.Unlock()
 		return false
 	}
+	r, ok := c.replies[m.Token]
+	g.cmu.Unlock()
 	atomic.AddInt64(&g.n.stats.DupRequests, 1)
-	if r, ok := c.replies[m.Token]; ok {
+	if ok {
 		g.n.send(int(m.From), r)
 	}
 	return true
@@ -147,56 +179,168 @@ func (g *manager) dropDup(m *wire.Msg) bool {
 // reply sends a response to a client and caches it for retransmitted
 // requests (bounded per client by replyCacheCap).
 func (g *manager) reply(to int32, m *wire.Msg) {
+	g.cmu.Lock()
 	c := &g.clients[to]
 	if m.Token <= c.lastTok {
-		c.cache(m)
+		// Cache a copy, not the outbound message itself: send rewrites
+		// envelope fields (From, Epoch) in place, and with a replicated
+		// manager this send runs on the consensus apply goroutine while
+		// the dispatcher may concurrently re-serve the cached reply.
+		cp := *m
+		c.cache(&cp)
 	}
+	g.cmu.Unlock()
 	g.n.send(int(to), m)
+}
+
+// redirect answers a request whose leader-local serving state straddled
+// a leader change (a chunk stream split across replicas): the client
+// restarts the whole exchange at the named leader — possibly this very
+// node — from a clean slate.
+func (g *manager) redirect(m *wire.Msg) {
+	ldr, term := g.n.id, int64(0)
+	if g.rep != nil {
+		info := g.rep.Leader()
+		ldr, term = info.Leader, info.Term
+	}
+	g.n.send(int(m.From), &wire.Msg{
+		Kind: wire.KNotLeader, Token: m.Token, Term: term, Leader: int32(ldr),
+	})
+}
+
+// ---- command plumbing ----
+
+// propose routes a command through the replicated log when the quorum
+// is active — done fires from the consensus goroutine after the commit
+// applied locally — or applies it directly and fires done synchronously
+// when it is not.
+func (g *manager) propose(cmd []byte, done func(error)) {
+	if g.rep == nil {
+		done(g.applyCmd(cmd))
+		return
+	}
+	g.rep.Propose(cmd, done)
+}
+
+// applyCmd decodes and applies one committed command, then performs the
+// per-replica side effects that hang off it: persisting the manager's
+// half of a checkpoint to this replica's own store, and re-arming
+// leader-local serving state on reset/resume. Runs on the consensus
+// goroutine (every replica, in log order) or synchronously on the
+// dispatcher when the quorum is inactive.
+func (g *manager) applyCmd(cmd []byte) error {
+	c, err := decodeCmd(cmd)
+	if err != nil {
+		return err
+	}
+	if err := g.st.apply(c); err != nil {
+		return err
+	}
+	switch c.op {
+	case opMgrSnap:
+		if rc := g.n.cfg.Recover; rc != nil {
+			snap := &ckpt.ManagerSnapshot{Episode: c.episode, VT: append([]int32(nil), c.vt...)}
+			if err := rc.Store.PutManager(snap); err != nil {
+				return fmt.Errorf("manager: storing checkpoint %d: %w", c.episode, err)
+			}
+		}
+	case opResume:
+		w := int(c.node)
+		g.cmu.Lock()
+		if w >= 0 && w < g.nn {
+			g.joinBlob[w] = nil
+		}
+		g.cmu.Unlock()
+		g.heard(w)
+	case opReset:
+		g.cmu.Lock()
+		for i := range g.clients {
+			g.clients[i] = mclient{}
+		}
+		for w := range g.push {
+			g.push[w] = nil
+			g.joinBlob[w] = nil
+			g.suspect[w] = false
+		}
+		g.cmu.Unlock()
+		if n := g.n; n.lastHeard != nil {
+			now := time.Now().UnixNano()
+			for w := range n.lastHeard {
+				atomic.StoreInt64(&n.lastHeard[w], now)
+			}
+		}
+	}
+	return nil
+}
+
+// commitReply builds a proposal callback that answers the client once
+// the command commits. A proposal that dies with the leadership
+// (deposed, stopped, or a full proposal queue) is dropped silently: the
+// client's retransmission re-resolves the leader and re-proposes.
+func (g *manager) commitReply(from int32, build func() *wire.Msg) func(error) {
+	return func(err error) {
+		if err != nil {
+			if errors.Is(err, consensus.ErrNotLeader) || errors.Is(err, consensus.ErrDeposed) ||
+				errors.Is(err, consensus.ErrStopped) || errors.Is(err, consensus.ErrBusy) {
+				return
+			}
+			g.abort(err)
+			return
+		}
+		g.reply(from, build())
+	}
 }
 
 // ---- checkpoint and rejoin ----
 
 // ckptDone records a node's confirmation that it durably stored its
-// snapshot for an episode.
+// snapshot for an episode, acknowledged once the confirmation commits.
 func (g *manager) ckptDone(m *wire.Msg) {
-	w := int(m.From)
-	if m.Episode > g.ckptConfirmed[w] {
-		g.ckptConfirmed[w] = m.Episode
-	}
-	g.reply(m.From, &wire.Msg{Kind: wire.KAck, Token: m.Token})
+	from, tok := m.From, m.Token
+	g.propose(encodeCkptDone(m.From, m.Episode), g.commitReply(from, func() *wire.Msg {
+		return &wire.Msg{Kind: wire.KAck, Token: tok}
+	}))
 }
 
-// stableCkpt is the newest episode every node has confirmed; the
-// rollback target a recovery restores.
-func (g *manager) stableCkpt() int64 {
-	stable := g.ckptConfirmed[0]
-	for _, e := range g.ckptConfirmed[1:] {
-		if e < stable {
-			stable = e
-		}
-	}
-	return stable
+// mgrSnap commits the manager's half of a flagged barrier episode — its
+// merged vector time — proposed by the barrier root (node 0, wherever
+// the leader is). The root holds the episode's releases until this ack.
+func (g *manager) mgrSnap(m *wire.Msg) {
+	from, tok := m.From, m.Token
+	g.propose(encodeMgrSnap(m.Episode, m.VT), g.commitReply(from, func() *wire.Msg {
+		return &wire.Msg{Kind: wire.KAck, Token: tok}
+	}))
 }
 
 // snapPush assembles a replicated snapshot streamed by a node, one
 // chunk per (acknowledged, de-duplicated) RPC, and stores it once
-// complete.
+// complete. Snapshot replication is leader-local store traffic, not
+// replicated state: a stream cut by a leader change is redirected and
+// restarts from chunk 0 at the new leader.
 func (g *manager) snapPush(m *wire.Msg) {
 	w := int(m.From)
+	g.cmu.Lock()
 	a := g.push[w]
-	if a == nil || a.episode != m.Episode {
+	if m.Chunk == 0 || a == nil || a.episode != m.Episode {
 		a = &pushAsm{episode: m.Episode, nchunks: m.NChunks}
 		g.push[w] = a
 	}
 	if m.Chunk != a.next {
-		g.abort(fmt.Errorf("manager: snapshot chunk %d from %d, want %d", m.Chunk, w, a.next))
+		g.push[w] = nil
+		g.cmu.Unlock()
+		g.redirect(m)
 		return
 	}
 	a.buf = append(a.buf, m.Data...)
 	a.next++
+	var done []byte
 	if a.next == a.nchunks {
+		done = a.buf
 		g.push[w] = nil
-		snap, err := ckpt.DecodeNode(a.buf)
+	}
+	g.cmu.Unlock()
+	if done != nil {
+		snap, err := ckpt.DecodeNode(done)
 		if err != nil {
 			g.abort(fmt.Errorf("manager: replicated snapshot from %d: %w", w, err))
 			return
@@ -209,36 +353,47 @@ func (g *manager) snapPush(m *wire.Msg) {
 	g.reply(m.From, &wire.Msg{Kind: wire.KAck, Token: m.Token})
 }
 
-// joinReq admits a restarted node: the grant names the checkpoint
-// episode the cluster rolled back to, its merged vector time, and — when
-// the manager holds a replica of the joiner's snapshot — how many chunks
-// the joiner may stream with KSnapReq if its own store is gone.
+// joinReq admits a restarted node: once its incarnation commits, the
+// grant names the checkpoint episode the cluster rolled back to, its
+// merged vector time, and — when this replica's store holds a copy of
+// the joiner's snapshot — how many chunks the joiner may stream with
+// KSnapReq if its own store is gone.
 func (g *manager) joinReq(m *wire.Msg) {
 	w := int(m.From)
-	g.incarnations[w] = m.Incarnation
-	reply := &wire.Msg{
-		Kind: wire.KJoinGrant, Token: m.Token,
-		Incarnation: m.Incarnation, Episode: g.resumeEpisode,
-	}
-	if g.resumeVT != nil {
-		reply.VT = g.resumeVT.Clone()
-	}
-	if g.resumeEpisode > 0 {
-		if snap, err := g.n.cfg.Recover.Store.GetNode(g.resumeEpisode, w); err == nil {
-			blob := ckpt.EncodeNode(snap)
-			g.joinBlob[w] = blob
-			reply.NChunks = int32((len(blob) + snapChunkSize - 1) / snapChunkSize)
+	from, tok, inc := m.From, m.Token, m.Incarnation
+	g.propose(encodeJoin(m.From, inc), g.commitReply(from, func() *wire.Msg {
+		k, rvt := g.st.resumePoint()
+		reply := &wire.Msg{
+			Kind: wire.KJoinGrant, Token: tok,
+			Incarnation: inc, Episode: k, VT: rvt,
 		}
-	}
-	g.reply(m.From, reply)
+		if k > 0 {
+			if snap, err := g.n.cfg.Recover.Store.GetNode(k, w); err == nil {
+				blob := ckpt.EncodeNode(snap)
+				g.cmu.Lock()
+				g.joinBlob[w] = blob
+				g.cmu.Unlock()
+				reply.NChunks = int32((len(blob) + snapChunkSize - 1) / snapChunkSize)
+			}
+		}
+		return reply
+	}))
 }
 
-// snapReq serves one chunk of the joiner's replicated snapshot.
+// snapReq serves one chunk of the joiner's replicated snapshot. A
+// leader granted after a failover has no blob for the joiner — the
+// redirect sends it back to re-run the join handshake here.
 func (g *manager) snapReq(m *wire.Msg) {
 	w := int(m.From)
+	g.cmu.Lock()
 	blob := g.joinBlob[w]
+	g.cmu.Unlock()
+	if blob == nil {
+		g.redirect(m)
+		return
+	}
 	lo := int(m.Chunk) * snapChunkSize
-	if blob == nil || lo < 0 || lo >= len(blob) {
+	if lo < 0 || lo >= len(blob) {
 		g.abort(fmt.Errorf("manager: snapshot chunk %d requested by %d, have %d bytes", m.Chunk, w, len(blob)))
 		return
 	}
@@ -252,64 +407,20 @@ func (g *manager) snapReq(m *wire.Msg) {
 	})
 }
 
-// resume re-arms liveness for a rejoined node and ends its recovery.
+// resume re-arms liveness for a rejoined node and ends its recovery,
+// committed so every replica agrees the peer is live again.
 func (g *manager) resume(m *wire.Msg) {
-	w := int(m.From)
-	g.recovering[w] = false
-	g.joinBlob[w] = nil
-	if g.n.lastHeard != nil {
-		atomic.StoreInt64(&g.n.lastHeard[w], time.Now().UnixNano())
-	}
-	g.reply(m.From, &wire.Msg{Kind: wire.KAck, Token: m.Token})
+	from, tok := m.From, m.Token
+	g.propose(encodeResume(m.From), g.commitReply(from, func() *wire.Msg {
+		return &wire.Msg{Kind: wire.KAck, Token: tok}
+	}))
 }
 
-// resetTo rolls the manager back to checkpoint episode k (0 = pristine):
-// the resume point handed to joiners is read from the manager snapshot,
-// client de-duplication is cleared for the new epoch, and victim is
-// marked recovering. The distributed synchronization state is reset on
-// each node by ResetToCheckpoint, not here. Runs on the dispatcher via
-// Node.Control.
-func (g *manager) resetTo(k int64, victim int) error {
-	var ms *ckpt.ManagerSnapshot
-	if k > 0 {
-		var err error
-		if ms, err = g.n.cfg.Recover.Store.GetManager(k); err != nil {
-			return fmt.Errorf("manager: checkpoint %d: %w", k, err)
-		}
+// heard re-stamps a peer's liveness clock (after its resume commits).
+func (g *manager) heard(w int) {
+	if n := g.n; n.lastHeard != nil && w >= 0 && w < len(n.lastHeard) {
+		atomic.StoreInt64(&n.lastHeard[w], time.Now().UnixNano())
 	}
-	for i := range g.clients {
-		g.clients[i] = mclient{}
-	}
-	g.resumeEpisode = k
-	g.resumeVT = nil
-	if ms != nil {
-		g.resumeVT = vc.VC(ms.VT).Clone()
-	}
-	for w := range g.recovering {
-		g.recovering[w] = false
-	}
-	if victim >= 0 && victim < g.nn {
-		g.recovering[victim] = true
-	}
-	// Confirmations past the rollback point refer to episodes the
-	// re-execution will reach (and re-store) again; clamping keeps the
-	// stable computation conservative.
-	for w := range g.ckptConfirmed {
-		if g.ckptConfirmed[w] > k {
-			g.ckptConfirmed[w] = k
-		}
-	}
-	for w := range g.push {
-		g.push[w] = nil
-	}
-	for w := range g.joinBlob {
-		g.joinBlob[w] = nil
-	}
-	now := time.Now().UnixNano()
-	for w := range g.n.lastHeard {
-		atomic.StoreInt64(&g.n.lastHeard[w], now)
-	}
-	return nil
 }
 
 // ---- failure detection ----
@@ -318,13 +429,43 @@ func (g *manager) resetTo(k int64, victim int) error {
 // past HeartbeatTimeout is presumed dead and the whole cluster is
 // aborted with a structured error naming it and its pending
 // synchronization — a clean fast failure instead of N workers each
-// riding out an RPC timeout. Runs on the dispatcher goroutine, which
-// owns the manager state the verdict describes.
+// riding out an RPC timeout — unless a supervisor takes the hand-off.
+// Only the leader judges: every node beacons at the leader, so only its
+// stamps mean anything, and a deposed leader's verdict frames are
+// term-fenced by the receivers. A leader that cannot hear a majority
+// withholds verdicts entirely — it is probably the partitioned one, and
+// the quorum's next leader will judge it instead.
 func (g *manager) checkLiveness() {
+	if !g.isLeader() {
+		return
+	}
 	now := time.Now().UnixNano()
-	for w := 1; w < g.nn; w++ {
-		if g.recovering[w] {
+	if g.rep != nil {
+		heard := 1 // self
+		for w := 0; w < g.nn; w++ {
+			if w == g.n.id {
+				continue
+			}
+			if time.Duration(now-atomic.LoadInt64(&g.n.lastHeard[w])) <= g.n.cfg.HeartbeatTimeout {
+				heard++
+			}
+		}
+		if heard <= g.nn/2 {
+			return
+		}
+	}
+	for w := 0; w < g.nn; w++ {
+		if w == g.n.id {
+			continue
+		}
+		if g.st.isRecovering(w) {
 			continue // its silence is expected; KResume re-arms it
+		}
+		g.cmu.Lock()
+		sus := g.suspect[w]
+		g.cmu.Unlock()
+		if sus {
+			continue // already reported; the rollback will reset this
 		}
 		silence := time.Duration(now - atomic.LoadInt64(&g.n.lastHeard[w]))
 		if silence <= g.n.cfg.HeartbeatTimeout {
@@ -332,26 +473,30 @@ func (g *manager) checkLiveness() {
 		}
 		perr := &PeerDownError{Node: w, Silence: silence, Pending: g.pendingFor(w)}
 		// With a supervisor attached, hand the failure over instead of
-		// aborting: marking the peer recovering stops this sweep from
+		// aborting: marking the peer suspect stops this sweep from
 		// re-firing while the rollback is organized.
 		if rc := g.n.cfg.Recover; rc != nil && rc.OnPeerDown != nil {
-			g.recovering[w] = true
+			g.cmu.Lock()
+			g.suspect[w] = true
+			g.cmu.Unlock()
 			if rc.OnPeerDown(perr) {
 				continue
 			}
-			g.recovering[w] = false
+			g.cmu.Lock()
+			g.suspect[w] = false
+			g.cmu.Unlock()
 		}
 		g.abort(perr)
 		return
 	}
 }
 
-// pendingFor describes a node's synchronization state as far as node 0
-// can see it, for the failure verdict. With the sync plane distributed,
-// node 0 knows the probable owners of the locks homed here and the
-// arrival state of the root barrier aggregation — a partial but useful
-// picture (a silent peer that owns a home-0 lock or whose subtree the
-// root still awaits is exactly the interesting case).
+// pendingFor describes a node's synchronization state as far as this
+// node can see it, for the failure verdict. With the sync plane
+// distributed, the leader knows the probable owners of the locks homed
+// here and the arrival state of its share of the barrier tree — a
+// partial but useful picture (a silent peer that owns a local lock or
+// whose subtree is still awaited is exactly the interesting case).
 func (g *manager) pendingFor(w int) string {
 	n := g.n
 	var parts []string

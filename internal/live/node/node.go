@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"lrcdsm/internal/core"
+	"lrcdsm/internal/live/consensus"
 	"lrcdsm/internal/live/transport"
 	"lrcdsm/internal/live/wire"
 	"lrcdsm/internal/page"
@@ -184,11 +185,29 @@ type Node struct {
 	pending map[int64]chan *wire.Msg
 	nextTok int64
 
-	mgr *manager // non-nil on node 0
+	// mgr is non-nil on node 0 (the static manager) and, when the
+	// manager quorum is active, on every node (each holds a replica;
+	// the elected leader serves).
+	mgr *manager
 
-	// lastHeard[w] (manager only) is the unix-nano time node 0 last
-	// received any frame from peer w; the pump stamps it, the liveness
-	// monitor reads it. Accessed with atomics.
+	// leaderHint is this node's cache of the manager quorum's current
+	// leader, updated by the local replica's leadership changes and by
+	// KNotLeader redirects. Always 0 when the quorum is inactive.
+	leaderHint atomic.Int32
+
+	// repOut holds one buffered outbound lane per peer for consensus
+	// frames. The replica's event loop must never block on a send — a
+	// TCP dial to a dead peer stalls for dial-retry backoff, which would
+	// freeze elections — so Send enqueues here (drop-on-full) and a
+	// per-peer drainer goroutine does the actual transport write.
+	repOut []chan *wire.Msg
+
+	// rngState seeds the retry-jitter mixer (see jitter).
+	rngState atomic.Uint64
+
+	// lastHeard[w] (manager replicas only) is the unix-nano time this
+	// node last received any frame from peer w; the pump stamps it, the
+	// liveness monitor reads it. Accessed with atomics.
 	lastHeard []int64
 	// hbCheck wakes the dispatcher to run a liveness sweep, so the check
 	// reads manager state from the goroutine that owns it.
@@ -263,12 +282,78 @@ func New(tr transport.Transport, cfg Config) *Node {
 		ps.homeVT = vc.New(n.nn)
 		ps.logBase = vc.New(n.nn)
 	}
-	if n.id == 0 {
+	if n.id == 0 || n.consensusOn() {
 		n.mgr = newManager(n)
 		n.lastHeard = make([]int64, n.nn)
 		n.hbCheck = make(chan struct{}, 1)
 	}
+	if n.consensusOn() {
+		rc := cfg.Recover
+		n.leaderHint.Store(int32(rc.LeaderHint))
+		// The election timeout rides the failure-detection budget: well
+		// under the heartbeat timeout, so a failover completes before
+		// anyone's silence verdict could fire, but long enough that a
+		// busy leader's appends keep elections quiet.
+		et := n.cfg.HeartbeatTimeout / 4
+		if et < 100*time.Millisecond {
+			et = 100 * time.Millisecond
+		}
+		// Outbound consensus frames go through one buffered lane per
+		// peer, drained by a dedicated goroutine: a send to a dead peer
+		// can stall in the transport's dial retries for hundreds of
+		// milliseconds, and the replica's event loop must never block on
+		// it (a candidate stuck dialing the dead leader cannot collect
+		// votes, and every survivor stalling in lock-step livelocks the
+		// election). Per-peer lanes preserve per-peer ordering; a full
+		// lane drops, like the wire would — the protocol is self-retrying.
+		n.repOut = make([]chan *wire.Msg, n.nn)
+		for p := range n.repOut {
+			if p != n.id {
+				n.repOut[p] = make(chan *wire.Msg, 64)
+			}
+		}
+		n.mgr.rep = consensus.New(consensus.Config{
+			Self:            n.id,
+			N:               n.nn,
+			ElectionTimeout: et,
+			Seed:            rc.Seed + int64(rc.Incarnation)*7919,
+			Send: func(to int, m *wire.Msg) {
+				if to < 0 || to >= n.nn || to == n.id || n.repOut[to] == nil {
+					return
+				}
+				select {
+				case n.repOut[to] <- m:
+				default:
+				}
+			},
+			Apply: func(_ int64, cmd []byte) {
+				if err := n.mgr.applyCmd(cmd); err != nil {
+					n.abortCluster(err)
+				}
+			},
+			LeaderChange: func(_ int64, leader int, _ bool) {
+				if leader >= 0 {
+					n.leaderHint.Store(int32(leader))
+				}
+			},
+			Bootstrap: true, // ignored once the Stable slot holds a term
+			Counters: consensus.Counters{
+				Terms:     &n.stats.ConsensusTerms,
+				Elections: &n.stats.ConsensusElections,
+				Commits:   &n.stats.ConsensusCommits,
+			},
+		}, rc.Consensus)
+	}
 	return n
+}
+
+// consensusOn reports whether this node participates in the replicated
+// manager quorum: a durable replica slot is configured and the cluster
+// has at least three nodes (a two-node "quorum" cannot outlive the very
+// failure it exists to survive, so the static node-0 manager is kept).
+func (n *Node) consensusOn() bool {
+	rc := n.cfg.Recover
+	return rc != nil && rc.Consensus != nil && n.nn >= 3
 }
 
 // Start launches the node's pump and dispatcher goroutines, plus the
@@ -279,6 +364,32 @@ func (n *Node) Start() {
 	n.wg.Add(2)
 	go n.pump()
 	go n.dispatch()
+	if g := n.mgr; g != nil && g.rep != nil {
+		g.rep.Start()
+		for p, lane := range n.repOut {
+			if lane == nil {
+				continue
+			}
+			n.wg.Add(1)
+			go func(p int, lane chan *wire.Msg) {
+				defer n.wg.Done()
+				for {
+					select {
+					case m := <-lane:
+						n.send(p, m)
+					case <-n.done:
+						return
+					}
+				}
+			}(p, lane)
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			<-n.done
+			g.rep.Stop()
+		}()
+	}
 	if n.nn < 2 {
 		return
 	}
@@ -291,16 +402,20 @@ func (n *Node) Start() {
 			n.wg.Add(1)
 			go n.monitor()
 		}
-		return
+		if !n.consensusOn() {
+			return // the static manager never beacons
+		}
 	}
 	n.wg.Add(1)
 	go n.heartbeat()
 }
 
 // heartbeat beats a periodic liveness beacon at the manager until
-// shutdown. Losses are tolerated: the manager's timeout spans many
-// intervals, so only sustained silence — a dead or partitioned node —
-// trips detection.
+// shutdown: node 0 classically, the quorum's current leader when the
+// replicated manager is active (a beacon to itself is skipped while
+// this node leads). Losses are tolerated: the manager's timeout spans
+// many intervals, so only sustained silence — a dead or partitioned
+// node — trips detection.
 func (n *Node) heartbeat() {
 	defer n.wg.Done()
 	tick := time.NewTicker(n.cfg.HeartbeatInterval)
@@ -308,7 +423,14 @@ func (n *Node) heartbeat() {
 	for {
 		select {
 		case <-tick.C:
-			n.send(0, &wire.Msg{Kind: wire.KHeartbeat})
+			to := int(n.leaderHint.Load())
+			if to < 0 || to >= n.nn {
+				to = 0
+			}
+			if to == n.id {
+				continue
+			}
+			n.send(to, &wire.Msg{Kind: wire.KHeartbeat})
 			atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
 		case <-n.done:
 			return
@@ -316,9 +438,9 @@ func (n *Node) heartbeat() {
 	}
 }
 
-// monitor (manager only) periodically wakes the dispatcher to sweep for
-// silent peers; the sweep itself runs on the dispatcher goroutine, which
-// owns the manager state the verdict describes.
+// monitor (manager replicas only) periodically wakes the dispatcher to
+// sweep for silent peers; the sweep itself runs on the dispatcher
+// goroutine and only acts while this replica leads.
 func (n *Node) monitor() {
 	defer n.wg.Done()
 	tick := time.NewTicker(n.cfg.HeartbeatInterval)
@@ -759,7 +881,7 @@ func (n *Node) pullDiffs(pg page.ID) {
 func isReply(k wire.Kind) bool {
 	switch k {
 	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart, wire.KReleaseAck,
-		wire.KJoinGrant, wire.KSnapChunk, wire.KLogSegResp:
+		wire.KJoinGrant, wire.KSnapChunk, wire.KLogSegResp, wire.KNotLeader:
 		return true
 	}
 	return false
@@ -802,14 +924,31 @@ func (n *Node) rpcLane(to int, m *wire.Msg, lane int64) *wire.Msg {
 	return n.awaitRetry(to, m, ch)
 }
 
+// jitter draws a uniform duration in [d/2, d] from a lock-free
+// splitmix-style mixer, decorrelating the retransmission schedules of
+// workers that all lost replies to the same event (a died leader, a
+// dropped batch): synchronized retry storms re-collide, jittered ones
+// spread. Safe from any goroutine.
+func (n *Node) jitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	x := n.rngState.Add(0x9e3779b97f4a7c15) + uint64(n.id)<<32
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	half := uint64(d) / 2
+	return time.Duration(half + x%(half+1))
+}
+
 // awaitRetry blocks for the reply to m (already sent once under its
-// token), retransmitting on a backoff schedule. A node failure aborts
-// the worker via runError; exceeding RPCTimeout fails the run with an
-// error naming the operation and peer instead of hanging.
+// token), retransmitting on a jittered backoff schedule. A node failure
+// aborts the worker via runError; exceeding RPCTimeout fails the run
+// with an error naming the operation and peer instead of hanging.
 func (n *Node) awaitRetry(to int, m *wire.Msg, ch chan *wire.Msg) *wire.Msg {
 	deadline := time.Now().Add(n.cfg.RPCTimeout)
 	backoff := n.cfg.RetryBase
-	timer := time.NewTimer(backoff)
+	timer := time.NewTimer(n.jitter(backoff))
 	defer timer.Stop()
 	intr := n.intrChan()
 	for attempt := 0; ; {
@@ -848,14 +987,91 @@ func (n *Node) awaitRetry(to int, m *wire.Msg, ch chan *wire.Msg) *wire.Msg {
 		if backoff > n.cfg.RetryMax {
 			backoff = n.cfg.RetryMax
 		}
-		if rem := time.Until(deadline); rem < backoff {
-			backoff = rem
-			if backoff <= 0 {
-				backoff = time.Millisecond
+		wait := n.jitter(backoff)
+		if rem := time.Until(deadline); rem < wait {
+			wait = rem
+			if wait <= 0 {
+				wait = time.Millisecond
 			}
 		}
-		timer.Reset(backoff)
+		timer.Reset(wait)
 	}
+}
+
+// rpcTry sends a request and waits at most wait for its reply,
+// retransmitting on the same jittered schedule as rpc but returning
+// (nil, false) on expiry instead of failing the run — for callers that
+// re-resolve their target and retry as a fresh request (mgrRPC chasing
+// the quorum's leader). The pending token is withdrawn on expiry, so a
+// straggling reply is dropped as a duplicate.
+func (n *Node) rpcTry(to int, m *wire.Msg, wait time.Duration) (*wire.Msg, bool) {
+	tok, ch := n.newToken()
+	m.Token = tok
+	n.trySend(to, m)
+	deadline := time.Now().Add(wait)
+	backoff := n.cfg.RetryBase
+	timer := time.NewTimer(n.jitter(backoff))
+	defer timer.Stop()
+	intr := n.intrChan()
+	for attempt := 0; ; {
+		select {
+		case r := <-ch:
+			return r, true
+		case <-intr:
+			n.withdraw(tok)
+			n.panicInterrupted()
+		case <-n.done:
+			select {
+			case r := <-ch:
+				return r, true
+			default:
+			}
+			err := n.Err()
+			if err == nil {
+				err = fmt.Errorf("node %d: shut down while waiting for %v reply from %d", n.id, m.Kind, to)
+			}
+			panic(runError{err})
+		case <-timer.C:
+		}
+		if !time.Now().Before(deadline) {
+			n.withdraw(tok)
+			// The reply may have raced the withdrawal.
+			select {
+			case r := <-ch:
+				return r, true
+			default:
+			}
+			return nil, false
+		}
+		attempt++
+		if attempt > 255 {
+			m.Attempt = 255
+		} else {
+			m.Attempt = uint8(attempt)
+		}
+		atomic.AddInt64(&n.stats.RPCRetries, 1)
+		n.trySend(to, m)
+		backoff *= 2
+		if backoff > n.cfg.RetryMax {
+			backoff = n.cfg.RetryMax
+		}
+		w := n.jitter(backoff)
+		if rem := time.Until(deadline); rem < w {
+			w = rem
+			if w <= 0 {
+				w = time.Millisecond
+			}
+		}
+		timer.Reset(w)
+	}
+}
+
+// withdraw abandons a pending token so a late reply is dropped instead
+// of landing on a reused channel.
+func (n *Node) withdraw(tok int64) {
+	n.pmu.Lock()
+	delete(n.pending, tok)
+	n.pmu.Unlock()
 }
 
 // trySend transmits m, treating transport errors as transient — the
@@ -965,6 +1181,16 @@ func (n *Node) pump() {
 			atomic.AddInt64(&n.stats.HeartbeatsRecv, 1)
 			continue // carries nothing beyond the liveness stamp
 		}
+		// Consensus traffic bypasses the dispatcher: the replica runs its
+		// own event loop and its protocol is self-retrying, so a full
+		// inbox may simply drop.
+		switch m.Kind {
+		case wire.KVoteReq, wire.KVoteResp, wire.KAppend, wire.KAppendAck:
+			if g := n.mgr; g != nil && g.rep != nil {
+				g.rep.Deliver(m)
+			}
+			continue
+		}
 		if isReply(m.Kind) {
 			n.routeReply(m)
 			continue
@@ -1012,6 +1238,12 @@ func (n *Node) handle(m *wire.Msg) {
 	case wire.KWriteNotices:
 		n.handleWriteNotices(m)
 	case wire.KAbort:
+		// Term fence: a deposed leader's stale silence verdict must not
+		// kill a cluster that already moved on to a newer term.
+		if g := n.mgr; g != nil && g.rep != nil && m.Term > 0 && m.Term < g.rep.Leader().Term {
+			atomic.AddInt64(&n.stats.StaleFrames, 1)
+			return
+		}
 		n.fail(&RemoteAbortError{From: int(m.From), Reason: m.Err})
 	case wire.KLockReq:
 		n.handleLockReq(m)
@@ -1023,7 +1255,7 @@ func (n *Node) handle(m *wire.Msg) {
 		n.handleBarRelease(m)
 	case wire.KLogSegReq:
 		n.handleLogSegReq(m)
-	case wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone:
+	case wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone, wire.KMgrSnap:
 		if n.mgr == nil {
 			n.fail(fmt.Errorf("node %d: manager message %v at non-manager", n.id, m.Kind))
 			return

@@ -3,7 +3,9 @@ package node
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"lrcdsm/internal/live/consensus"
 	ckpt "lrcdsm/internal/live/recover"
 	"lrcdsm/internal/live/wire"
 	"lrcdsm/internal/page"
@@ -42,8 +44,23 @@ type RecoverConfig struct {
 	// true to hand the failure to the supervisor (the peer is marked
 	// recovering and the cluster keeps running), false to abort as a
 	// recovery-free cluster would. Called on the dispatcher goroutine;
-	// it must not block.
+	// it must not block. With the quorum active, set it on every node —
+	// any replica can be elected to judge.
 	OnPeerDown func(err *PeerDownError) bool
+
+	// Consensus, when non-nil on a cluster of three or more nodes,
+	// activates the replicated manager: this node runs a consensus
+	// replica over the given durable slot (term, vote, log), manager
+	// requests chase the elected leader, and a manager crash fails over
+	// instead of aborting. The supervisor owns the slots so a restarted
+	// incarnation resumes from its persisted term and can never vote
+	// twice in one term.
+	Consensus *consensus.Stable
+	// LeaderHint seeds the node's leader cache (a rejoining node is told
+	// the leader that granted its rollback).
+	LeaderHint int
+	// Seed drives the replica's randomized election timers.
+	Seed int64
 }
 
 // RollbackError marks a worker unwound deliberately so the cluster can
@@ -155,6 +172,95 @@ func (n *Node) replayBarrier() {
 	}
 }
 
+// ---- manager RPC (leader resolution) ----
+
+// mgrRPC issues one manager request at the current leader, following
+// KNotLeader redirects and rotating targets through silence, within the
+// node's RPCTimeout. Each attempt is a fresh request under a fresh
+// token — manager commands are idempotent, so a duplicate execution
+// after a lost reply converges — and every redirect both counts and
+// updates the node's leader cache. When the quorum is inactive the
+// manager is statically node 0 and this is a plain rpc.
+func (n *Node) mgrRPC(m *wire.Msg) *wire.Msg {
+	r := n.mgrRPCRedirect(m)
+	if r.Kind == wire.KNotLeader {
+		// Exhausted RPCTimeout without ever reaching a settled leader.
+		panic(runError{fmt.Errorf("node %d: manager rpc %v gave up chasing the leader after %v",
+			n.id, m.Kind, n.cfg.RPCTimeout)})
+	}
+	return r
+}
+
+// mgrRPCRedirect is mgrRPC for stream steps (snapshot chunks) whose
+// leader-local serving state cannot survive a leader change: instead of
+// silently retrying a redirected request at the new leader — whose
+// assembler or join blob knows nothing of the stream — the final
+// KNotLeader is returned so the caller restarts the whole exchange.
+// Transient redirects during an unsettled election are still absorbed.
+func (n *Node) mgrRPCRedirect(m *wire.Msg) *wire.Msg {
+	if !n.consensusOn() {
+		return n.rpc(0, m)
+	}
+	deadline := time.Now().Add(n.cfg.RPCTimeout)
+	perTry := 4 * n.cfg.RetryMax
+	if perTry < 250*time.Millisecond {
+		perTry = 250 * time.Millisecond
+	}
+	to := int(n.leaderHint.Load())
+	if to < 0 || to >= n.nn {
+		to = 0
+	}
+	backoff := n.cfg.RetryBase
+	var last *wire.Msg
+	for {
+		wait := perTry
+		if rem := time.Until(deadline); rem < wait {
+			wait = rem
+		}
+		if wait <= 0 {
+			if last != nil {
+				return last
+			}
+			panic(runError{fmt.Errorf("node %d: manager rpc timeout: %v after %v (last target %d)",
+				n.id, m.Kind, n.cfg.RPCTimeout, to)})
+		}
+		req := *m
+		r, ok := n.rpcTry(to, &req, wait)
+		if ok && r.Kind != wire.KNotLeader {
+			return r
+		}
+		if ok {
+			atomic.AddInt64(&n.stats.LeaderRedirects, 1)
+			last = r
+			if ldr := int(r.Leader); ldr >= 0 && ldr < n.nn && ldr != to {
+				to = ldr
+			} else if ldr == to {
+				// The replica named itself: its serving state is reset and
+				// the caller must restart the exchange here.
+				n.leaderHint.Store(int32(to))
+				return r
+			} else {
+				to = (to + 1) % n.nn
+			}
+			n.leaderHint.Store(int32(to))
+		} else {
+			to = (to + 1) % n.nn
+		}
+		// Brief jittered pause so an unsettled election is not hammered.
+		select {
+		case <-time.After(n.jitter(backoff)):
+		case <-n.intrChan():
+			n.panicInterrupted()
+		case <-n.done:
+			panic(runError{n.closedErr()})
+		}
+		backoff *= 2
+		if backoff > n.cfg.RetryMax {
+			backoff = n.cfg.RetryMax
+		}
+	}
+}
+
 // ---- checkpoint capture ----
 
 // captureCheckpoint runs on the worker right after departing a flagged
@@ -199,25 +305,41 @@ func (n *Node) captureCheckpoint(episode int64) {
 		n.handleWriteNotices(m)
 	}
 
-	if rc.Replicate && n.id != 0 {
-		blob := ckpt.EncodeNode(snap)
-		total := (len(blob) + snapChunkSize - 1) / snapChunkSize
-		for i := 0; i < total; i++ {
-			lo := i * snapChunkSize
+	if rc.Replicate && (n.id != 0 || n.consensusOn()) {
+		n.pushSnapshot(episode, ckpt.EncodeNode(snap))
+	}
+	n.mgrRPC(&wire.Msg{Kind: wire.KCkptDone, Episode: episode})
+	if err := rc.Store.Prune(keepCheckpoints); err != nil {
+		panic(runError{fmt.Errorf("node %d: pruning checkpoints: %w", n.id, err)})
+	}
+}
+
+// pushSnapshot streams an encoded snapshot to the manager's store in
+// KSnapPush chunks. The chunks are leader-local state: a stream the
+// leader died under is answered with a redirect and restarts from chunk
+// 0 at the new leader (whose chunk-0 reset discards any stale half). A
+// leader pushing to itself is a plain store round-trip through its own
+// dispatcher.
+func (n *Node) pushSnapshot(episode int64, blob []byte) {
+	total := int32((len(blob) + snapChunkSize - 1) / snapChunkSize)
+restart:
+	for {
+		for i := int32(0); i < total; i++ {
+			lo := int(i) * snapChunkSize
 			hi := lo + snapChunkSize
 			if hi > len(blob) {
 				hi = len(blob)
 			}
-			n.rpc(0, &wire.Msg{
+			r := n.mgrRPCRedirect(&wire.Msg{
 				Kind: wire.KSnapPush, Episode: episode,
-				Chunk: int32(i), NChunks: int32(total),
+				Chunk: i, NChunks: total,
 				Data: blob[lo:hi],
 			})
+			if r.Kind == wire.KNotLeader {
+				continue restart
+			}
 		}
-	}
-	n.rpc(0, &wire.Msg{Kind: wire.KCkptDone, Episode: episode})
-	if err := rc.Store.Prune(keepCheckpoints); err != nil {
-		panic(runError{fmt.Errorf("node %d: pruning checkpoints: %w", n.id, err)})
+		return
 	}
 }
 
@@ -312,34 +434,42 @@ func (n *Node) JoinCluster() (err error) {
 	if ep, ok := rc.Store.LatestNode(n.id); ok {
 		localBest = ep
 	}
-	grant := n.rpc(0, &wire.Msg{Kind: wire.KJoinReq, Incarnation: n.incarnation, Episode: localBest})
-	k := grant.Episode
-	var snap *ckpt.NodeSnapshot
-	if k > 0 {
-		if s, gerr := rc.Store.GetNode(k, n.id); gerr == nil {
-			snap = s
-		} else if grant.NChunks > 0 {
-			var blob []byte
-			for i := int32(0); i < grant.NChunks; i++ {
-				r := n.rpc(0, &wire.Msg{Kind: wire.KSnapReq, Episode: k, Chunk: i})
-				blob = append(blob, r.Data...)
+rejoin:
+	for {
+		grant := n.mgrRPC(&wire.Msg{Kind: wire.KJoinReq, Incarnation: n.incarnation, Episode: localBest})
+		k := grant.Episode
+		var snap *ckpt.NodeSnapshot
+		if k > 0 {
+			if s, gerr := rc.Store.GetNode(k, n.id); gerr == nil {
+				snap = s
+			} else if grant.NChunks > 0 {
+				var blob []byte
+				for i := int32(0); i < grant.NChunks; i++ {
+					r := n.mgrRPCRedirect(&wire.Msg{Kind: wire.KSnapReq, Episode: k, Chunk: i})
+					if r.Kind == wire.KNotLeader {
+						// The granting leader died mid-stream; its successor
+						// holds no join blob. Re-run the whole handshake.
+						continue rejoin
+					}
+					blob = append(blob, r.Data...)
+				}
+				if snap, err = ckpt.DecodeNode(blob); err != nil {
+					return fmt.Errorf("node %d: decoding streamed snapshot %d: %w", n.id, k, err)
+				}
+				// Keep the restored snapshot locally so the next stable-episode
+				// accounting and a repeated crash stay honest.
+				if err = rc.Store.PutNode(snap); err != nil {
+					return fmt.Errorf("node %d: storing streamed snapshot %d: %w", n.id, k, err)
+				}
+			} else {
+				return fmt.Errorf("node %d: checkpoint %d neither local nor at manager", n.id, k)
 			}
-			if snap, err = ckpt.DecodeNode(blob); err != nil {
-				return fmt.Errorf("node %d: decoding streamed snapshot %d: %w", n.id, k, err)
-			}
-			// Keep the restored snapshot locally so the next stable-episode
-			// accounting and a repeated crash stay honest.
-			if err = rc.Store.PutNode(snap); err != nil {
-				return fmt.Errorf("node %d: storing streamed snapshot %d: %w", n.id, k, err)
-			}
-		} else {
-			return fmt.Errorf("node %d: checkpoint %d neither local nor at manager", n.id, k)
 		}
+		n.ResetToCheckpoint(snap)
+		n.mgrRPC(&wire.Msg{Kind: wire.KResume, Incarnation: n.incarnation})
+		n.BeginReplay(k)
+		return nil
 	}
-	n.ResetToCheckpoint(snap)
-	n.rpc(0, &wire.Msg{Kind: wire.KResume, Incarnation: n.incarnation})
-	n.BeginReplay(k)
-	return nil
 }
 
 // ---- dispatcher control ----
@@ -376,30 +506,58 @@ func (n *Node) closedErr() error {
 	return fmt.Errorf("node %d: shut down", n.id)
 }
 
+// awaitCommit proposes cmd on this node's manager and blocks for the
+// commit (or the direct apply when the quorum is inactive), bounded by
+// RPCTimeout and the node's shutdown.
+func (n *Node) awaitCommit(cmd []byte) error {
+	errc := make(chan error, 1)
+	n.mgr.propose(cmd, func(err error) { errc <- err })
+	select {
+	case err := <-errc:
+		return err
+	case <-n.done:
+		return n.closedErr()
+	case <-time.After(n.cfg.RPCTimeout):
+		return fmt.Errorf("node %d: manager command did not commit within %v", n.id, n.cfg.RPCTimeout)
+	}
+}
+
 // StableCheckpoint returns the newest checkpoint episode every node has
-// confirmed durably stored (0 = the initial image). Manager node only.
+// confirmed durably stored (0 = the initial image). Manager node only —
+// with the quorum active, the current leader. A noop is committed first
+// as a read barrier, so the answer reflects everything any previous
+// leader acknowledged.
 func (n *Node) StableCheckpoint() (int64, error) {
 	if n.mgr == nil {
 		return 0, fmt.Errorf("node %d: not the manager", n.id)
 	}
-	var k int64
-	if err := n.Control(func() { k = n.mgr.stableCkpt() }); err != nil {
+	if err := n.awaitCommit(nil); err != nil {
 		return 0, err
 	}
-	return k, nil
+	return n.mgr.st.stable(), nil
 }
 
-// ResetManager rolls the manager's synchronization state back to
-// checkpoint episode k and marks victim as recovering: its silence is
-// expected, its rejoin is awaited, and liveness skips it until KResume.
-// Manager node only; call after SetEpoch on every surviving engine.
+// ResetManager rolls the manager's replicated state back to checkpoint
+// episode k and marks victim as recovering: its silence is expected,
+// its rejoin is awaited, and liveness skips it until KResume. Manager
+// node only — with the quorum active, the current leader, and the reset
+// commits on the quorum before returning. Call after SetEpoch on every
+// surviving engine.
 func (n *Node) ResetManager(k int64, victim int) error {
 	if n.mgr == nil {
 		return fmt.Errorf("node %d: not the manager", n.id)
 	}
-	var rerr error
-	if err := n.Control(func() { rerr = n.mgr.resetTo(k, victim) }); err != nil {
-		return err
+	return n.awaitCommit(encodeReset(int32(victim), k))
+}
+
+// ConsensusLeader reports this node's view of the manager quorum: the
+// current term's leader (-1 while an election is unsettled) and whether
+// this node is it. ok is false when the quorum is inactive.
+func (n *Node) ConsensusLeader() (leader int, isLeader bool, ok bool) {
+	g := n.mgr
+	if g == nil || g.rep == nil {
+		return 0, n.id == 0, false
 	}
-	return rerr
+	info := g.rep.Leader()
+	return info.Leader, info.IsLeader, true
 }

@@ -82,6 +82,16 @@ type Stats struct {
 	ServeGets       int64 `json:"serve_gets"`
 	ServePuts       int64 `json:"serve_puts"`
 	ServeLockWaitNs int64 `json:"serve_lock_waits_ns"`
+
+	// Consensus-health counters: the replicated control plane's activity
+	// on this node. Terms counts term advances this replica observed,
+	// Elections the elections it stood for, Commits the log entries it
+	// applied, and LeaderRedirects the not-leader redirects its manager
+	// RPCs followed. All zero unless the manager quorum is active.
+	ConsensusTerms     int64 `json:"consensus_terms"`
+	ConsensusElections int64 `json:"consensus_elections"`
+	ConsensusCommits   int64 `json:"consensus_commits"`
+	LeaderRedirects    int64 `json:"leader_redirects"`
 }
 
 func (s *Stats) add(f *int64, d int64) { atomic.AddInt64(f, d) }
@@ -112,6 +122,8 @@ func (s *Stats) Snapshot() Stats {
 		{&out.FaultWaitNs, &s.FaultWaitNs}, {&out.FlushWaitNs, &s.FlushWaitNs},
 		{&out.ServeGets, &s.ServeGets}, {&out.ServePuts, &s.ServePuts},
 		{&out.ServeLockWaitNs, &s.ServeLockWaitNs},
+		{&out.ConsensusTerms, &s.ConsensusTerms}, {&out.ConsensusElections, &s.ConsensusElections},
+		{&out.ConsensusCommits, &s.ConsensusCommits}, {&out.LeaderRedirects, &s.LeaderRedirects},
 	} {
 		*c.dst = atomic.LoadInt64(c.src)
 	}

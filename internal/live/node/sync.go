@@ -52,7 +52,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	ckpt "lrcdsm/internal/live/recover"
 	"lrcdsm/internal/live/wire"
 	"lrcdsm/internal/vc"
 )
@@ -470,12 +469,17 @@ func (n *Node) handleBarArrive(m *wire.Msg) {
 	sy := n.sy
 	if m.Episode <= sy.relEpisode {
 		// Already released: a lost release or a straggling retransmission.
-		// Re-serve the newest release (an older one is of no use — the
-		// arriver must have departed it to arrive again).
+		// Re-serve the newest release — unless it is older than the
+		// arrival's episode, which happens at the root while a flagged
+		// episode's manager commit is still in flight (relEpisode has
+		// moved, lastRelease has not): serving the stale release would
+		// unblock the arriver with the previous episode's state. Drop and
+		// let the commit's own fan-out (or the next retransmission)
+		// deliver the right one.
 		rel := sy.lastRelease
 		n.mu.Unlock()
 		atomic.AddInt64(&n.stats.DupRequests, 1)
-		if rel == nil {
+		if rel == nil || rel.Episode < m.Episode {
 			return
 		}
 		if int(m.From) == n.id {
@@ -534,20 +538,103 @@ func (n *Node) handleBarArrive(m *wire.Msg) {
 	selfTok := b.arrived[int32(n.id)]
 	rel := &wire.Msg{Kind: wire.KBarRelease, Barrier: barrier, Episode: episode, VT: merged, Notices: notices}
 	sy.relEpisode = episode
-	sy.lastRelease = rel
 	sy.bar = barAgg{}
+	rc := n.cfg.Recover
+	flagged := rc != nil && rc.Every > 0 && episode%rc.Every == 0
+	if !flagged {
+		sy.lastRelease = rel
+		n.mu.Unlock()
+		n.fanRelease(rel, selfTok)
+		return
+	}
+	// A flagged episode commits the root's half of the checkpoint — the
+	// episode number and merged vector time — before any release
+	// escapes: by the time a node can snapshot (after its depart) or
+	// confirm, the manager snapshot it pairs with exists on the quorum.
+	// lastRelease still names the previous episode meanwhile, so a
+	// duplicate arrival for this one is dropped instead of re-served
+	// early (see the stale-release path above).
 	n.mu.Unlock()
-	// A flagged episode stores the root's half of the checkpoint — the
-	// episode number and merged vector time — before any release escapes:
-	// by the time a node can snapshot (after its depart) or confirm, the
-	// manager snapshot it pairs with exists.
-	if rc := n.cfg.Recover; rc != nil && rc.Every > 0 && episode%rc.Every == 0 {
-		snap := &ckpt.ManagerSnapshot{Episode: episode, VT: append([]int32(nil), merged...)}
-		if err := rc.Store.PutManager(snap); err != nil {
+	if !n.consensusOn() {
+		// Static manager: the root is the manager; apply directly.
+		if err := n.mgr.applyCmd(encodeMgrSnap(episode, merged)); err != nil {
 			n.abortCluster(fmt.Errorf("node %d: storing manager checkpoint %d: %w", n.id, episode, err))
 			return
 		}
+		n.mu.Lock()
+		sy.lastRelease = rel
+		n.mu.Unlock()
+		n.fanRelease(rel, selfTok)
+		return
 	}
+	// Replicated manager: the root (statically node 0) may not be the
+	// leader, and the dispatcher must not block on a quorum round-trip —
+	// a helper goroutine chases the leader with KMgrSnap and fans the
+	// releases out once the commit is acknowledged. A rollback that
+	// lands meanwhile supersedes the episode: the epoch moves and the
+	// sync plane resets, so the release is quietly abandoned.
+	startEpoch := n.epoch.Load()
+	go func() {
+		for {
+			committed := func() (ok bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, isRun := r.(runError); !isRun {
+							panic(r)
+						}
+						// Interrupted, timed out (e.g. a partition outlasting
+						// the RPC deadline) or shut down mid-chase: report
+						// failure and let the loop decide whether the episode
+						// is still worth chasing.
+						ok = false
+					}
+				}()
+				n.mgrRPC(&wire.Msg{Kind: wire.KMgrSnap, Episode: episode, VT: merged})
+				return true
+			}()
+			superseded := func() bool {
+				select {
+				case <-n.done:
+					return true
+				default:
+				}
+				if n.epoch.Load() != startEpoch {
+					return true
+				}
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				return n.sy.relEpisode != episode ||
+					(n.sy.lastRelease != nil && n.sy.lastRelease.Episode >= episode)
+			}
+			if !committed {
+				if superseded() {
+					return
+				}
+				// Still the current episode: duplicate arrivals are dropped
+				// while lastRelease is nil, so nothing else will re-fire the
+				// commit — keep chasing until it lands or a rollback (or
+				// teardown) supersedes the episode.
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			n.mu.Lock()
+			if n.epoch.Load() != startEpoch || n.sy.relEpisode != episode ||
+				(n.sy.lastRelease != nil && n.sy.lastRelease.Episode >= episode) {
+				n.mu.Unlock()
+				return
+			}
+			n.sy.lastRelease = rel
+			n.mu.Unlock()
+			n.fanRelease(rel, selfTok)
+			return
+		}
+	}()
+}
+
+// fanRelease sends a completed episode's release to the root's
+// children and the local worker's synthesized depart. Call without
+// Node.mu held, after publishing lastRelease under it.
+func (n *Node) fanRelease(rel *wire.Msg, selfTok int64) {
 	for _, c := range n.barChildren() {
 		cp := *rel
 		n.send(c, &cp)
@@ -761,6 +848,11 @@ func (n *Node) handleLogSegReq(m *wire.Msg) {
 // partitioned one) is torn down by the cluster anyway.
 func (n *Node) abortCluster(err error) {
 	msg := &wire.Msg{Kind: wire.KAbort, Err: err.Error()}
+	// Stamp the quorum term so receivers can fence an abort from a
+	// deposed leader whose cluster view is stale.
+	if g := n.mgr; g != nil && g.rep != nil {
+		msg.Term = g.rep.Leader().Term
+	}
 	for p := 0; p < n.nn; p++ {
 		if p != n.id {
 			n.send(p, msg)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lrcdsm/internal/core"
+	"lrcdsm/internal/live/consensus"
 	"lrcdsm/internal/live/node"
 	ckpt "lrcdsm/internal/live/recover"
 	"lrcdsm/internal/live/transport"
@@ -237,6 +238,20 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 		incarnations = make([]uint32, c.cfg.Nodes)
 		restarts     atomic.Int64
 	)
+	// With three or more nodes the manager state machine is replicated
+	// across every node through the consensus log, so a crashed
+	// coordinator fails over instead of aborting the run. The durable
+	// term/vote/log state outlives each node incarnation: a restarted
+	// replica rejoins the quorum with its history intact.
+	quorum := c.cfg.Nodes >= 3
+	var stables []*consensus.Stable
+	if quorum {
+		stables = make([]*consensus.Stable, c.cfg.Nodes)
+		for i := range stables {
+			stables[i] = consensus.NewStable()
+		}
+	}
+	leaderHint := 0
 	rcFor := func(i int) *node.RecoverConfig {
 		rc := &node.RecoverConfig{
 			Store:       stores[i],
@@ -244,8 +259,13 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 			Replicate:   opts.Replicate,
 			Epoch:       epoch,
 			Incarnation: incarnations[i],
+			Seed:        opts.Seed + int64(i+1)*104729,
 		}
-		if i == 0 {
+		if quorum {
+			rc.Consensus = stables[i]
+			rc.LeaderHint = leaderHint
+		}
+		if i == 0 || quorum {
 			rc.OnPeerDown = func(pe *node.PeerDownError) bool {
 				// Dispatcher goroutine: hand the failure to the
 				// supervisor while budget remains. A rollback already in
@@ -338,6 +358,57 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 		return nil, err
 	}
 
+	// rollback reads the stable checkpoint and resets the replicated
+	// manager state, addressing whichever replica currently leads. Under
+	// a quorum the leader is re-resolved (and the calls retried) until a
+	// surviving replica both claims leadership and commits the reset —
+	// an election may still be in flight when the crash is handled, and
+	// the first claimed leader can be deposed mid-proposal.
+	rollback := func(victim int) (int64, error) {
+		if !quorum {
+			k, err := nodes[0].StableCheckpoint()
+			if err != nil {
+				return 0, fmt.Errorf("live: reading stable checkpoint: %w", err)
+			}
+			if err := nodes[0].ResetManager(k, victim); err != nil {
+				return 0, fmt.Errorf("live: rolling manager back to episode %d: %w", k, err)
+			}
+			return k, nil
+		}
+		var lastErr error
+		deadline := time.Now().Add(time.Minute)
+		for time.Now().Before(deadline) {
+			ldr := -1
+			for i, nd := range nodes {
+				if i == victim {
+					continue
+				}
+				if _, isLeader, _ := nd.ConsensusLeader(); isLeader {
+					ldr = i
+					break
+				}
+			}
+			if ldr < 0 {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			k, err := nodes[ldr].StableCheckpoint()
+			if err == nil {
+				err = nodes[ldr].ResetManager(k, victim)
+			}
+			if err == nil {
+				leaderHint = ldr
+				return k, nil
+			}
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no consensus leader elected among the survivors")
+		}
+		return 0, fmt.Errorf("live: rolling back after node %d crash: %w", victim, lastErr)
+	}
+
 	var (
 		killedTotal node.Stats
 		recoveryNs  int64
@@ -396,8 +467,8 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 		}
 
 		// ---- crash: roll back, rejoin, re-run ----
-		if ev.victim == 0 {
-			return fail(doneCh, roundErrs, fmt.Errorf("live: manager (node 0) crashed; manager recovery is not supported"))
+		if ev.victim == 0 && !quorum {
+			return fail(doneCh, roundErrs, fmt.Errorf("live: manager (node 0) crashed and no quorum is configured (fewer than 3 nodes); manager recovery needs a replica to fail over to"))
 		}
 		if int(restarts.Load()) >= opts.MaxRestarts {
 			return fail(doneCh, roundErrs, &node.PeerDownError{
@@ -427,12 +498,9 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 			}
 		}
 
-		k, err := nodes[0].StableCheckpoint()
+		k, err := rollback(ev.victim)
 		if err != nil {
-			return fail(nil, nil, fmt.Errorf("live: reading stable checkpoint: %w", err))
-		}
-		if err := nodes[0].ResetManager(k, ev.victim); err != nil {
-			return fail(nil, nil, fmt.Errorf("live: rolling manager back to episode %d: %w", k, err))
+			return fail(nil, nil, err)
 		}
 		for i, nd := range nodes {
 			if i == ev.victim {

@@ -28,11 +28,17 @@ import (
 // lock's home to its probable owner, tree-barrier aggregation (an
 // episode stamp and aggregated notices on KBarArrive, plus the
 // KBarRelease fan-out kind), and on-demand per-writer interval-log
-// segment replication. Decode still accepts MinVersion frames — an old
-// frame simply has none of the newer fields and cannot carry the newer
-// kinds — so a rolling upgrade never wedges on the codec.
+// segment replication. Version 5 added the replicated control plane:
+// the consensus kinds (vote-req/vote-resp/append/append-ack) the
+// manager quorum elects leaders and commits commands with, the
+// not-leader redirect reply, the mgr-snap proposal carrying a barrier
+// episode's merged vector time to the leader, and a Term stamp on
+// KAbort so a deposed leader's stale abort verdicts are fenced. Decode
+// still accepts MinVersion frames — an old frame simply has none of
+// the newer fields and cannot carry the newer kinds — so a rolling
+// upgrade never wedges on the codec.
 const (
-	Version    = 4
+	Version    = 5
 	MinVersion = 1
 )
 
@@ -137,6 +143,33 @@ const (
 	// KLogSegResp returns the requested interval-log segment as notices.
 	KLogSegResp
 
+	// Version 5 kinds (the replicated control plane). firstV5Kind below
+	// must stay in sync with the first of them.
+
+	// KVoteReq is a candidate's request for a vote in Term, carrying the
+	// position (LogIndex, LogTerm) of its last replicated-log entry so
+	// voters can refuse a candidate with a stale log.
+	KVoteReq
+	// KVoteResp answers a vote request: Flag is 1 if the vote was
+	// granted in Term.
+	KVoteResp
+	// KAppend is the leader's append-entries/heartbeat: Entries extend
+	// the follower's log after the (LogIndex, LogTerm) match point, and
+	// Commit advertises the leader's commit frontier.
+	KAppend
+	// KAppendAck answers an append: Flag is 1 on a match-point hit, and
+	// LogIndex carries the follower's last matching index (on success)
+	// or a back-up hint (on mismatch).
+	KAppendAck
+	// KNotLeader is a replica's redirect reply to a manager RPC it
+	// cannot serve: Leader names the replica's current leader hint (-1
+	// for unknown) so the client can re-resolve and retry.
+	KNotLeader
+	// KMgrSnap proposes a barrier episode's merged vector time to the
+	// leader for quorum commit; the barrier root may not be the leader,
+	// so the snapshot travels as an RPC before releases fan out.
+	KMgrSnap
+
 	kindEnd
 )
 
@@ -150,6 +183,9 @@ const firstV3Kind = KJoinReq
 // firstV4Kind is the first kind that requires wire version 4.
 const firstV4Kind = KLockForward
 
+// firstV5Kind is the first kind that requires wire version 5.
+const firstV5Kind = KVoteReq
+
 var kindNames = [...]string{
 	KHello: "hello", KPageReq: "page-req", KPageReply: "page-reply",
 	KDiffReq: "diff-req", KDiffReply: "diff-reply",
@@ -162,6 +198,9 @@ var kindNames = [...]string{
 	KResume: "resume", KCkptDone: "ckpt-done",
 	KLockForward: "lock-forward", KBarRelease: "bar-release",
 	KLogSegReq: "log-seg-req", KLogSegResp: "log-seg-resp",
+	KVoteReq: "vote-req", KVoteResp: "vote-resp",
+	KAppend: "append", KAppendAck: "append-ack",
+	KNotLeader: "not-leader", KMgrSnap: "mgr-snap",
 }
 
 func (k Kind) String() string {
@@ -196,6 +235,13 @@ type Interval struct {
 	Pages  []int32
 }
 
+// Entry is one replicated-log entry carried by KAppend: the term it was
+// proposed in and the opaque encoded manager command.
+type Entry struct {
+	Term int64
+	Cmd  []byte
+}
+
 // Msg is one live-protocol message. Only the fields relevant to its Kind
 // are encoded; see the per-kind field lists in encode.
 type Msg struct {
@@ -228,11 +274,21 @@ type Msg struct {
 	Lo, Hi  int32 // interval-log segment range (Lo, Hi] (KLogSeg*)
 	Err     string // abort reason (KAbort)
 
+	// Consensus fields (version 5). Term also stamps KAbort so a
+	// deposed leader's stale abort is fenced at receivers.
+	Term     int64 // sender's current term (consensus kinds, KAbort)
+	LogIndex int64 // log position: last/prev/match index by kind
+	LogTerm  int64 // term of the entry at LogIndex (KVoteReq/KAppend)
+	Commit   int64 // leader's commit frontier (KAppend)
+	Flag     uint8 // vote granted / append ok (KVoteResp/KAppendAck)
+	Leader   int32 // redirect hint, -1 unknown (KNotLeader)
+
 	VT      []int32 // vector time (requester VT, grant VT, page version)
 	Data    []byte  // full page image (page/diff replies)
 	Diffs   []Diff
 	Notices []Notice
 	Interval *Interval // closed interval (release/arrive flushes)
+	Entries  []Entry   // replicated-log entries (KAppend)
 }
 
 // fieldSet describes which optional fields a kind encodes, so the codec
@@ -261,6 +317,18 @@ type fieldSet struct {
 	// reqfrom and seg are v4-only field groups on v4-only kinds.
 	reqfrom bool
 	seg     bool // Lo + Hi pair
+	// term5 marks the Term stamp version 5 added to a pre-v5 kind
+	// (KAbort's fencing term): encoded always, decoded only from v5
+	// frames. The remaining groups sit on v5-only kinds and need no
+	// version gate of their own.
+	term5   bool
+	term    bool
+	logidx  bool
+	logterm bool
+	commit  bool
+	flag    bool
+	leader  bool
+	entries bool
 }
 
 var fields = map[Kind]fieldSet{
@@ -278,7 +346,7 @@ var fields = map[Kind]fieldSet{
 	KBarDepart:    {barrier: true, episode: true, vt: true, notices: true},
 	KReleaseAck:   {lock: true},
 	KHeartbeat:    {},
-	KAbort:        {errstr: true},
+	KAbort:        {errstr: true, term5: true},
 	KJoinReq:      {incarn: true, episode: true, attempt: true},
 	KJoinGrant:    {incarn: true, episode: true, vt: true, chunk: true},
 	KSnapReq:      {episode: true, chunk: true, attempt: true},
@@ -290,6 +358,12 @@ var fields = map[Kind]fieldSet{
 	KBarRelease:   {barrier: true, episode: true, vt: true, notices: true},
 	KLogSegReq:    {seg: true, attempt: true},
 	KLogSegResp:   {seg: true, notices: true},
+	KVoteReq:      {term: true, logidx: true, logterm: true},
+	KVoteResp:     {term: true, flag: true},
+	KAppend:       {term: true, logidx: true, logterm: true, commit: true, entries: true},
+	KAppendAck:    {term: true, logidx: true, flag: true},
+	KNotLeader:    {term: true, leader: true},
+	KMgrSnap:      {episode: true, vt: true, attempt: true},
 }
 
 // Encode serializes m into a fresh buffer.
@@ -313,6 +387,24 @@ func Encode(m *Msg) []byte {
 	if fs.chunk {
 		w.i32(m.Chunk)
 		w.i32(m.NChunks)
+	}
+	if fs.term || fs.term5 {
+		w.i64(m.Term)
+	}
+	if fs.logidx {
+		w.i64(m.LogIndex)
+	}
+	if fs.logterm {
+		w.i64(m.LogTerm)
+	}
+	if fs.commit {
+		w.i64(m.Commit)
+	}
+	if fs.flag {
+		w.u8(m.Flag)
+	}
+	if fs.leader {
+		w.i32(m.Leader)
 	}
 	if fs.episode3 {
 		w.i64(m.Episode)
@@ -371,6 +463,13 @@ func Encode(m *Msg) []byte {
 			w.i32slice(m.Interval.Pages)
 		}
 	}
+	if fs.entries {
+		w.u32(uint32(len(m.Entries)))
+		for i := range m.Entries {
+			w.i64(m.Entries[i].Term)
+			w.bytes(m.Entries[i].Cmd)
+		}
+	}
 	return w.b
 }
 
@@ -399,6 +498,9 @@ func Decode(b []byte) (*Msg, error) {
 	if r.err == nil && v < 4 && k >= firstV4Kind {
 		return nil, fmt.Errorf("wire: kind %v requires version 4, frame is version %d", k, v)
 	}
+	if r.err == nil && v < 5 && k >= firstV5Kind {
+		return nil, fmt.Errorf("wire: kind %v requires version 5, frame is version %d", k, v)
+	}
 	m := &Msg{Kind: k}
 	m.From = r.i32()
 	m.Token = r.i64()
@@ -414,6 +516,24 @@ func Decode(b []byte) (*Msg, error) {
 	if fs.chunk {
 		m.Chunk = r.i32()
 		m.NChunks = r.i32()
+	}
+	if fs.term || (fs.term5 && v >= 5) {
+		m.Term = r.i64()
+	}
+	if fs.logidx {
+		m.LogIndex = r.i64()
+	}
+	if fs.logterm {
+		m.LogTerm = r.i64()
+	}
+	if fs.commit {
+		m.Commit = r.i64()
+	}
+	if fs.flag {
+		m.Flag = r.u8()
+	}
+	if fs.leader {
+		m.Leader = r.i32()
 	}
 	if fs.episode3 && v >= 3 {
 		m.Episode = r.i64()
@@ -472,6 +592,15 @@ func Decode(b []byte) (*Msg, error) {
 			iv.VT = r.i32slice()
 			iv.Pages = r.i32slice()
 			m.Interval = iv
+		}
+	}
+	if fs.entries {
+		n := r.count(12) // minimum bytes per encoded entry (term + len)
+		for i := 0; i < n && r.err == nil; i++ {
+			var e Entry
+			e.Term = r.i64()
+			e.Cmd = r.bytes()
+			m.Entries = append(m.Entries, e)
 		}
 	}
 	if r.err != nil {

@@ -23,6 +23,10 @@ func sampleMsgs() []*Msg {
 		{Writer: 3, Index: 1, Pages: nil},
 	}
 	ival := &Interval{Writer: 2, Index: 5, VT: []int32{1, 0, 5, 2}, Pages: []int32{4, 8}}
+	entries := []Entry{
+		{Term: 2, Cmd: []byte{1, 2, 3, 4}},
+		{Term: 3, Cmd: nil},
+	}
 	return []*Msg{
 		{Kind: KHello, From: 3, Token: 1},
 		{Kind: KPageReq, From: 1, Token: 42, Page: 17},
@@ -40,7 +44,7 @@ func sampleMsgs() []*Msg {
 		{Kind: KBarDepart, From: 0, Token: 13, Barrier: 1, Episode: 4, VT: []int32{2, 2, 2, 2}, Notices: notices},
 		{Kind: KReleaseAck, From: 0, Token: 11, Lock: 12},
 		{Kind: KHeartbeat, From: 2, Epoch: 3},
-		{Kind: KAbort, From: 0, Err: "manager: node 3 silent for 2s (pending: barrier 1)"},
+		{Kind: KAbort, From: 0, Term: 7, Err: "manager: node 3 silent for 2s (pending: barrier 1)"},
 		{Kind: KJoinReq, From: 3, Token: 1, Epoch: 2, Incarnation: 1, Episode: -1, Attempt: 1},
 		{Kind: KJoinGrant, From: 0, Token: 1, Epoch: 2, Incarnation: 1, Episode: 4, VT: []int32{4, 4, 4, 4}, NChunks: 3},
 		{Kind: KSnapReq, From: 3, Token: 2, Epoch: 2, Episode: 4, Chunk: 1},
@@ -52,6 +56,13 @@ func sampleMsgs() []*Msg {
 		{Kind: KBarRelease, From: 0, Token: 0, Epoch: 1, Barrier: 1, Episode: 9, VT: []int32{3, 3, 3, 3}, Notices: notices},
 		{Kind: KLogSegReq, From: 2, Token: 30, Epoch: 1, Lo: 4, Hi: 9, Attempt: 1},
 		{Kind: KLogSegResp, From: 1, Token: 30, Epoch: 1, Lo: 4, Hi: 9, Notices: notices},
+		{Kind: KVoteReq, From: 2, Epoch: 1, Term: 5, LogIndex: 12, LogTerm: 4},
+		{Kind: KVoteResp, From: 1, Epoch: 1, Term: 5, Flag: 1},
+		{Kind: KAppend, From: 0, Epoch: 1, Term: 5, LogIndex: 12, LogTerm: 4, Commit: 10, Entries: entries},
+		{Kind: KAppend, From: 0, Epoch: 1, Term: 6, LogIndex: 14, LogTerm: 5, Commit: 14}, // pure heartbeat
+		{Kind: KAppendAck, From: 2, Epoch: 1, Term: 5, LogIndex: 14, Flag: 1},
+		{Kind: KNotLeader, From: 2, Token: 31, Epoch: 1, Term: 5, Leader: 1},
+		{Kind: KMgrSnap, From: 0, Token: 32, Epoch: 1, Episode: 9, VT: []int32{3, 3, 3, 3}, Attempt: 1},
 	}
 }
 
@@ -161,13 +172,34 @@ func cutV4(m *Msg, b []byte) []byte {
 	return b
 }
 
+// cutV5 removes the v5-gated fields (the fencing Term version 5 added
+// to KAbort) from a full encoding of m, yielding the v4 layout of that
+// kind. Only simple pre-v5 kinds carry the term5 flag.
+func cutV5(m *Msg, b []byte) []byte {
+	fs := fields[m.Kind]
+	if !fs.term5 {
+		return b
+	}
+	off := 18 // version, kind, from, token, epoch
+	if fs.attempt {
+		off++
+	}
+	if fs.incarn {
+		off += 4
+	}
+	if fs.chunk {
+		off += 8
+	}
+	return append(b[:off], b[off+8:]...)
+}
+
 // encodeV1 builds a version-1 frame for kinds that existed in v1: the
-// same layout as Encode minus the v4-gated fields, the Attempt byte
+// same layout as Encode minus the v4/v5-gated fields, the Attempt byte
 // version 2 added, and the Epoch word (plus, for flushes, the Episode
 // stamp) version 3 added. The v1-v3 cuts sit contiguously after the
 // (version, kind, from, token) prefix, so one cut suffices.
 func encodeV1(m *Msg) []byte {
-	b := cutV4(m, Encode(m))
+	b := cutV4(m, cutV5(m, Encode(m)))
 	b[0] = 1
 	fs := fields[m.Kind]
 	cut := 4 // Epoch
@@ -183,7 +215,7 @@ func encodeV1(m *Msg) []byte {
 // encodeV2 builds a version-2 frame for kinds that existed in v2: the v3
 // layout minus the Epoch word and the v3 Episode stamp (Attempt stays).
 func encodeV2(m *Msg) []byte {
-	b := cutV4(m, Encode(m))
+	b := cutV4(m, cutV5(m, Encode(m)))
 	b[0] = 2
 	fs := fields[m.Kind]
 	b = append(b[:14], b[18:]...) // Epoch
@@ -198,10 +230,18 @@ func encodeV2(m *Msg) []byte {
 }
 
 // encodeV3 builds a version-3 frame for kinds that existed in v3: the
-// full layout minus the v4-gated fields.
+// full layout minus the v4- and v5-gated fields.
 func encodeV3(m *Msg) []byte {
-	b := cutV4(m, Encode(m))
+	b := cutV4(m, cutV5(m, Encode(m)))
 	b[0] = 3
+	return b
+}
+
+// encodeV4 builds a version-4 frame for kinds that existed in v4: the
+// full layout minus the v5-gated fields.
+func encodeV4(m *Msg) []byte {
+	b := cutV5(m, Encode(m))
+	b[0] = 4
 	return b
 }
 
@@ -265,6 +305,9 @@ func TestDecodeV2Compat(t *testing.T) {
 		if fields[m.Kind].notices4 {
 			want.Notices = nil
 		}
+		if fields[m.Kind].term5 {
+			want.Term = 0
+		}
 		if !reflect.DeepEqual(&want, got) {
 			t.Errorf("%v: v2 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
 		}
@@ -297,8 +340,39 @@ func TestDecodeV3Compat(t *testing.T) {
 		if fields[m.Kind].notices4 {
 			want.Notices = nil
 		}
+		if fields[m.Kind].term5 {
+			want.Term = 0
+		}
 		if !reflect.DeepEqual(&want, got) {
 			t.Errorf("%v: v3 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
+		}
+	}
+}
+
+// TestDecodeV4Compat checks the v5 versioning contract: a v4 frame of a
+// v4-or-older kind still decodes (with the fencing Term zero), while
+// the v5-only consensus kinds are rejected when stamped as v4.
+func TestDecodeV4Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Kind >= firstV5Kind {
+			b := Encode(m)
+			b[0] = 4
+			if _, err := Decode(b); err == nil {
+				t.Errorf("%v: v5-only kind accepted in a v4 frame", m.Kind)
+			}
+			continue
+		}
+		got, err := Decode(encodeV4(m))
+		if err != nil {
+			t.Errorf("%v: v4 frame rejected: %v", m.Kind, err)
+			continue
+		}
+		want := *m
+		if fields[m.Kind].term5 {
+			want.Term = 0
+		}
+		if !reflect.DeepEqual(&want, got) {
+			t.Errorf("%v: v4 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
 		}
 	}
 }
