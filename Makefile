@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-smoke live chaos recover failover scale-smoke serve serve-smoke bench-live bench-scale bench-serve verify
+.PHONY: build vet lint test race check-smoke live chaos recover failover scale-smoke serve serve-smoke endurance bench-live bench-scale bench-serve verify
 
 build:
 	$(GO) build ./...
@@ -97,6 +97,23 @@ serve-smoke:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'TestServeInprocVsReference|TestServeFrontendTCP' ./internal/serve/
 
+# endurance: the long-haul gate — the control-plane soak (all four apps
+# × {LI, LH}, the coordinator killed every round, membership growth and
+# slot-corruption rounds, a compaction-bounded consensus log, byte-
+# identical results vs a 1-node reference) and the durable serving soak
+# under repeated coordinator kills, both under -race with a CI-sized
+# episode budget (override: make endurance ENDURANCE_EPISODES=2000),
+# then one seeded dsmd run over real TCP sockets that compacts the log,
+# promotes a replica at runtime and re-seeds the restarted coordinator
+# by snapshot, checked against a fault-free 1-node reference.
+ENDURANCE_EPISODES ?= 400
+endurance:
+	DSM_ENDURANCE=1 DSM_ENDURANCE_EPISODES=$(ENDURANCE_EPISODES) \
+		$(GO) test -race -count=1 -timeout 1200s -run 'TestEndurance' ./internal/live/ ./internal/serve/
+	$(GO) run ./cmd/dsmd -app cholesky -nodes 4 -transport tcp -scale test \
+		-recover -crash 0:600:5ms -compact-every 2 -voters 3 -add-replica 3:5ms \
+		-retry 10ms -hb-interval 50ms -hb-timeout 2s -check -timeout 60s -deadline 120s
+
 # bench-serve regenerates BENCH_serve.json: the serving benchmark —
 # throughput and latency quantiles for the uniform update mix and the
 # zipfian read-heavy mix at 1, 2, 4 and 8 serving nodes, one JSON
@@ -137,4 +154,4 @@ bench-scale:
 	done
 	@wc -l BENCH_scale.json
 
-verify: build vet lint race check-smoke live chaos recover failover scale-smoke serve-smoke
+verify: build vet lint race check-smoke live chaos recover failover scale-smoke serve-smoke endurance

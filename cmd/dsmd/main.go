@@ -75,6 +75,11 @@ type runOpts struct {
 	crashes     []chaos.Crash
 	deadline    time.Duration
 	seed        int64
+
+	// Long-haul control-plane knobs.
+	compactEvery int64
+	voters       int
+	addReplicas  []live.ReplicaAdd
 }
 
 func main() {
@@ -106,6 +111,10 @@ func main() {
 		ckptDir     = flag.String("ckpt-dir", "", "directory for on-disk checkpoint stores (default: in-memory)")
 		crashSpec   = flag.String("crash", "", "kill schedule: node:atop[:delay][,...] — kill node when the cluster send count reaches atop, restart after delay")
 		deadline    = flag.Duration("deadline", 0, "wall-clock budget for the run; on expiry dump a stats JSON snapshot and exit nonzero")
+
+		compactEvery = flag.Int64("compact-every", 0, "consensus log-compaction threshold in applied entries (0: default 512, negative: disable; with -recover)")
+		votersN      = flag.Int("voters", 0, "initial consensus voting membership: nodes [0,N) vote, the rest run non-voting replicas (0: all; with -recover)")
+		addReplica   = flag.String("add-replica", "", "runtime voter promotions: node:delay[,...] — promote node to a voter after delay (with -recover)")
 	)
 	flag.Parse()
 
@@ -129,6 +138,16 @@ func main() {
 		ckptDir:     *ckptDir,
 		deadline:    *deadline,
 		seed:        *chaosSeed,
+
+		compactEvery: *compactEvery,
+		voters:       *votersN,
+	}
+	if *addReplica != "" {
+		adds, err := parseAddReplicas(*addReplica)
+		if err != nil {
+			fatal(err)
+		}
+		opts.addReplicas = adds
 	}
 	if *crashSpec != "" {
 		crashes, err := parseCrashes(*crashSpec)
@@ -258,6 +277,25 @@ func parseCrashes(s string) ([]chaos.Crash, error) {
 	return crashes, nil
 }
 
+// parseAddReplicas reads "node:delay[,...]" — promote the node to a
+// consensus voter once delay has elapsed into the run.
+func parseAddReplicas(s string) ([]live.ReplicaAdd, error) {
+	var adds []live.ReplicaAdd
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-add-replica %q: want node:delay", entry)
+		}
+		n, errN := strconv.Atoi(parts[0])
+		d, errD := time.ParseDuration(parts[1])
+		if errN != nil || errD != nil || n < 0 {
+			return nil, fmt.Errorf("-add-replica %q: bad node or delay", entry)
+		}
+		adds = append(adds, live.ReplicaAdd{Node: n, After: d})
+	}
+	return adds, nil
+}
+
 // runLive executes one workload on a fresh live cluster and verifies its
 // result. With opts.chaos set, every node's transport is wrapped with
 // fault injection and the summed fault counters are returned. With
@@ -343,6 +381,9 @@ func runLive(appName string, scale harness.Scale, prot core.Protocol, nodes int,
 			CheckpointEvery: opts.ckptEvery,
 			Replicate:       true,
 			Seed:            opts.seed,
+			CompactEvery:    opts.compactEvery,
+			Voters:          opts.voters,
+			AddReplicas:     opts.addReplicas,
 		}
 		if !opts.recover {
 			// A crash schedule without -recover demonstrates the

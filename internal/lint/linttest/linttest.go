@@ -4,8 +4,10 @@
 //
 //	code // want "regexp"
 //
-// and the harness fails the test for every unmatched expectation and every
-// unexpected diagnostic.
+// A line that triggers several diagnostics lists several quoted
+// patterns after one want marker, one per diagnostic. The harness fails
+// the test for every unmatched expectation and every unexpected
+// diagnostic.
 package linttest
 
 import (
@@ -21,7 +23,10 @@ import (
 	"lrcdsm/internal/lint/loader"
 )
 
-var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	wantPatRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
 
 type expectation struct {
 	file    string
@@ -73,14 +78,15 @@ func collectExpectations(t *testing.T, pkg *loader.Package) []*expectation {
 				if m == nil {
 					continue
 				}
-				pat := strings.ReplaceAll(m[1], `\"`, `"`)
-				re, err := regexp.Compile(pat)
-				if err != nil {
-					pos := pkg.Fset.Position(c.Pos())
-					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
-				}
 				pos := pkg.Fset.Position(c.Pos())
-				expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				for _, pm := range wantPatRe.FindAllStringSubmatch(m[1], -1) {
+					pat := strings.ReplaceAll(pm[1], `\"`, `"`)
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
 			}
 		}
 	}

@@ -1,9 +1,9 @@
 // Fixture for the wiredrift analyzer: a codec whose hand-maintained
 // tables have drifted from the Kind enum. KData never got a fields
-// entry, KAck never got a name, the Version bump to 5 opened no
-// firstV5Kind band (the consensus-frame band in the live codec),
-// firstV2Kind's version gate is missing from Decode, and firstV3Kind
-// points at a kind below the v2 band.
+// entry, KAck never got a name, the Version bumps to 5 and 6 opened no
+// firstV5Kind/firstV6Kind bands (the consensus- and snapshot-frame
+// bands in the live codec), firstV2Kind's version gate is missing from
+// Decode, and firstV3Kind points at a kind below the v2 band.
 package wiredrift
 
 import "errors"
@@ -12,7 +12,7 @@ type Kind uint8
 
 type fieldSet struct{ pg, vt bool }
 
-const Version = 5 // want "wire version 5 has no firstV5Kind band marker"
+const Version = 6 // want "wire version 6 has no firstV5Kind band marker" "wire version 6 has no firstV6Kind band marker"
 
 const (
 	KHello Kind = 1

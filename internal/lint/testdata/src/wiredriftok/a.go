@@ -1,8 +1,9 @@
 // Fixture for the wiredrift analyzer: a fully wired codec. Every kind
 // has a fields entry and a name, every version past the first has a
-// band marker — including the v5 consensus band mirroring the live
-// codec's vote/append frames — the markers partition the enum in
-// order, and Decode gates each band. No diagnostics expected.
+// band marker — including the v5 consensus band and the v6 snapshot
+// band mirroring the live codec's vote/append and snapshot-install
+// frames — the markers partition the enum in order, and Decode gates
+// each band. No diagnostics expected.
 package wiredriftok
 
 import "errors"
@@ -11,7 +12,7 @@ type Kind uint8
 
 type fieldSet struct{ pg, vt bool }
 
-const Version = 5
+const Version = 6
 
 const (
 	KHello  Kind = 1
@@ -20,13 +21,15 @@ const (
 	KJoin   Kind = 4
 	KVote   Kind = 5
 	KAppend Kind = 6
+	KSnap   Kind = 7
 
-	kindEnd Kind = 7
+	kindEnd Kind = 8
 
 	firstV2Kind Kind = KData
 	firstV3Kind Kind = KAck
 	firstV4Kind Kind = KJoin
 	firstV5Kind Kind = KVote
+	firstV6Kind Kind = KSnap
 )
 
 var fields = map[Kind]fieldSet{
@@ -36,11 +39,13 @@ var fields = map[Kind]fieldSet{
 	KJoin:   {pg: true, vt: true},
 	KVote:   {vt: true},
 	KAppend: {pg: true},
+	KSnap:   {pg: true, vt: true},
 }
 
 var kindNames = [kindEnd]string{
 	KHello: "hello", KData: "data", KAck: "ack",
 	KJoin: "join", KVote: "vote", KAppend: "append",
+	KSnap: "snap",
 }
 
 var errTooNew = errors.New("wiredriftok: kind too new for version")
@@ -60,6 +65,9 @@ func Decode(b []byte) (Kind, error) {
 		return 0, errTooNew
 	}
 	if v < 5 && k >= firstV5Kind {
+		return 0, errTooNew
+	}
+	if v < 6 && k >= firstV6Kind {
 		return 0, errTooNew
 	}
 	if _, ok := fields[k]; !ok {

@@ -480,6 +480,12 @@ func addStats(dst, src *node.Stats) {
 	dst.ConsensusElections += src.ConsensusElections
 	dst.ConsensusCommits += src.ConsensusCommits
 	dst.LeaderRedirects += src.LeaderRedirects
+	dst.ConsensusCompactions += src.ConsensusCompactions
+	dst.ConsensusSnapInstalls += src.ConsensusSnapInstalls
+	dst.ConsensusConfChanges += src.ConsensusConfChanges
+	dst.ConsensusSlotQuarantines += src.ConsensusSlotQuarantines
+	dst.ConsensusLaneDrops += src.ConsensusLaneDrops
+	dst.MgrCacheEvictions += src.MgrCacheEvictions
 }
 
 // PeekU64 implements core.Peeker: before Run it reads the initial image,

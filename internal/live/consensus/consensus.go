@@ -1,23 +1,43 @@
 // Package consensus is the replicated control plane's multi-decree log:
 // a compact Raft-style replica that elects a leader with randomized
 // timeouts, fences every proposal with its term, commits commands on a
-// majority of the full membership, and applies them in log order on
+// majority of the voting membership, and applies them in log order on
 // every replica. It rides the live runtime's existing transport — the
 // owning node feeds decoded consensus frames in through Deliver and
 // supplies a Send callback for outbound ones — so the quorum shares the
 // cluster's sockets, chaos middleware and epoch fencing.
 //
-// The log is never compacted: manager commands are tiny (a few dozen
-// bytes) and arrive at checkpoint cadence, so even long soaks stay in
-// the kilobytes. Durable state (term, vote, log) lives in a Stable slot
-// the supervisor owns outside the node engine, so a crashed node's
-// fresh incarnation cannot vote twice in a term it already voted in or
-// forget entries it acknowledged.
+// The log is compacted: once the applied prefix outgrows CompactEvery
+// entries, the replica folds it into a snapshot (the deterministic
+// encoding of the applied state machine, captured through the
+// SnapshotState hook) and truncates the log behind it, so unbounded
+// runtimes hold bounded memory. A replica whose next needed entry has
+// been compacted away — a far-behind follower, or a freshly seeded
+// one — is brought up by the leader with a chunked snapshot install
+// (KSnapInstall/KSnapAck) instead of entry replay.
+//
+// The voting membership is dynamic: a committed single-server
+// config-change entry adds or removes one voter at a time (ProposeConf,
+// at most one change uncommitted at once), which keeps every old-quorum
+// and new-quorum majority overlapping — the joint-safety property that
+// makes one-at-a-time changes safe without joint consensus.
+//
+// Durable state (term, vote, snapshot, membership, log) lives in a
+// Stable slot the supervisor owns outside the node engine, so a crashed
+// node's fresh incarnation cannot vote twice in a term it already voted
+// in or forget entries it acknowledged. Every slot is checksummed: a
+// corrupt or torn slot is quarantined at load — the replica comes back
+// empty, with its votes fenced until a leader re-seeds it through the
+// snapshot-install flow — rather than silently diverging or panicking.
 package consensus
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,40 +52,297 @@ var (
 	ErrDeposed   = errors.New("consensus: lost leadership before commit")
 	ErrStopped   = errors.New("consensus: replica stopped")
 	ErrBusy      = errors.New("consensus: proposal queue full")
+	// ErrConfPending rejects a membership change while another is still
+	// uncommitted: single-server changes are only safe one at a time.
+	ErrConfPending = errors.New("consensus: a membership change is already pending")
+	// ErrConfInvalid rejects a membership change naming a node outside
+	// the cluster or shrinking the voting set below a usable quorum.
+	ErrConfInvalid = errors.New("consensus: invalid membership change")
 )
 
-// Stable is one replica's durable consensus state. The supervisor holds
-// one slot per node across restarts; a fresh incarnation loads the term
-// it last voted in and the entries it last acknowledged, which is what
-// makes a restarted replica safe to re-admit to the quorum.
+// snapChunk is the payload size of one KSnapInstall frame when a
+// snapshot is streamed to a re-seeding replica.
+const snapChunk = 32 << 10
+
+// ---- durable slot ----
+
+// durable is the decoded content of a Stable slot.
+type durable struct {
+	term      int64
+	votedFor  int32
+	snapIndex int64
+	snapTerm  int64
+	snapshot  []byte
+	voters    []int32
+	log       []wire.Entry
+}
+
+// Stable is one replica's durable consensus state, held as one encoded,
+// checksummed blob. The supervisor holds one slot per node across
+// restarts; a fresh incarnation loads the term it last voted in and the
+// entries it last acknowledged, which is what makes a restarted replica
+// safe to re-admit to the quorum. A slot whose checksum fails at load —
+// a torn or corrupted write — is quarantined: the load returns empty
+// state, the quarantine is counted, and the replica re-seeds from the
+// leader instead of trusting bad bytes.
 type Stable struct {
-	mu       sync.Mutex
-	term     int64
-	votedFor int32
-	log      []wire.Entry
+	mu          sync.Mutex
+	blob        []byte
+	quarantines int64
+
+	// Summary fields mirrored out of the last save, so monitors can
+	// sample log growth without decoding the blob.
+	logLen    int
+	snapIndex int64
 }
 
 // NewStable returns an empty slot (term 0, no vote, empty log).
-func NewStable() *Stable { return &Stable{votedFor: -1} }
+func NewStable() *Stable { return &Stable{} }
 
-func (s *Stable) load() (int64, int32, []wire.Entry) {
+// load decodes the slot, verifying its checksum. quarantined reports a
+// corrupt slot: the returned state is empty and the slot is cleared.
+func (s *Stable) load() (durable, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.term, s.votedFor, append([]wire.Entry(nil), s.log...)
+	if s.blob == nil {
+		return durable{votedFor: -1}, false
+	}
+	d, err := decodeSlot(s.blob)
+	if err != nil {
+		s.blob = nil
+		s.logLen, s.snapIndex = 0, 0
+		s.quarantines++
+		return durable{votedFor: -1}, true
+	}
+	return d, false
 }
 
-func (s *Stable) save(term int64, votedFor int32, log []wire.Entry) {
+func (s *Stable) save(d *durable) {
+	b := encodeSlot(d)
 	s.mu.Lock()
-	s.term, s.votedFor = term, votedFor
-	//dsmlint:ignore vtalias the replica clones command bytes out of decoded frames before they reach its log, and commands are immutable after creation; the slot and the replica share them read-only
-	s.log = append(s.log[:0], log...)
+	s.blob = b
+	s.logLen = len(d.log)
+	s.snapIndex = d.snapIndex
 	s.mu.Unlock()
+}
+
+// LogLen reports how many entries the slot's persisted log holds — the
+// in-memory log length as of the replica's last persist.
+func (s *Stable) LogLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logLen
+}
+
+// SnapIndex reports the persisted snapshot's log index (0 = none).
+func (s *Stable) SnapIndex() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapIndex
+}
+
+// Quarantines reports how many corrupt loads this slot has quarantined.
+func (s *Stable) Quarantines() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantines
+}
+
+// Corrupt flips one byte of the stored blob — a deliberately torn slot
+// for integrity tests. It reports false if the slot is empty.
+func (s *Stable) Corrupt() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.blob) == 0 {
+		return false
+	}
+	b := append([]byte(nil), s.blob...)
+	b[len(b)/2] ^= 0xFF
+	s.blob = b
+	return true
+}
+
+// encodeSlot serializes d with a trailing CRC32 over everything before
+// it. decodeSlot is its strict inverse: any truncation, trailing bytes
+// or checksum mismatch is an error, never a panic.
+func encodeSlot(d *durable) []byte {
+	var b []byte
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u64(uint64(d.term))
+	u32(uint32(d.votedFor))
+	u64(uint64(d.snapIndex))
+	u64(uint64(d.snapTerm))
+	u32(uint32(len(d.voters)))
+	for _, v := range d.voters {
+		u32(uint32(v))
+	}
+	u32(uint32(len(d.snapshot)))
+	b = append(b, d.snapshot...)
+	u32(uint32(len(d.log)))
+	for i := range d.log {
+		u64(uint64(d.log[i].Term))
+		u32(uint32(len(d.log[i].Cmd)))
+		b = append(b, d.log[i].Cmd...)
+	}
+	u32(crc32.ChecksumIEEE(b))
+	return b
+}
+
+func decodeSlot(b []byte) (durable, error) {
+	var d durable
+	if len(b) < 4 {
+		return d, fmt.Errorf("consensus: slot of %d bytes is short", len(b))
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return d, fmt.Errorf("consensus: slot checksum mismatch")
+	}
+	off := 0
+	fail := fmt.Errorf("consensus: slot truncated")
+	u32 := func() (uint32, bool) {
+		if len(body)-off < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(body)-off < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		return v, true
+	}
+	t, ok := u64()
+	if !ok {
+		return d, fail
+	}
+	d.term = int64(t)
+	vf, ok := u32()
+	if !ok {
+		return d, fail
+	}
+	d.votedFor = int32(vf)
+	si, ok1 := u64()
+	st, ok2 := u64()
+	if !ok1 || !ok2 {
+		return d, fail
+	}
+	d.snapIndex, d.snapTerm = int64(si), int64(st)
+	nv, ok := u32()
+	if !ok || int64(nv)*4 > int64(len(body)-off) {
+		return d, fail
+	}
+	for i := 0; i < int(nv); i++ {
+		v, _ := u32()
+		d.voters = append(d.voters, int32(v))
+	}
+	ns, ok := u32()
+	if !ok || int(ns) > len(body)-off {
+		return d, fail
+	}
+	if ns > 0 {
+		d.snapshot = append([]byte(nil), body[off:off+int(ns)]...)
+		off += int(ns)
+	}
+	nl, ok := u32()
+	if !ok || int64(nl)*12 > int64(len(body)-off) {
+		return d, fail
+	}
+	for i := 0; i < int(nl); i++ {
+		et, ok := u64()
+		if !ok {
+			return d, fail
+		}
+		nc, ok := u32()
+		if !ok || int(nc) > len(body)-off {
+			return d, fail
+		}
+		var cmd []byte
+		if nc > 0 {
+			cmd = append([]byte(nil), body[off:off+int(nc)]...)
+			off += int(nc)
+		}
+		d.log = append(d.log, wire.Entry{Term: int64(et), Cmd: cmd})
+	}
+	if off != len(body) {
+		return d, fmt.Errorf("consensus: %d trailing slot bytes", len(body)-off)
+	}
+	return d, nil
+}
+
+// ---- snapshot blob ----
+
+// encodeSnap wraps the application state image with the voting
+// membership as of the snapshot index, so an installed snapshot seeds
+// both the state machine and the receiver's config.
+func encodeSnap(voters []int32, app []byte) []byte {
+	b := make([]byte, 0, 8+4*len(voters)+len(app))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(voters)))
+	for _, v := range voters {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(app)))
+	b = append(b, app...)
+	return b
+}
+
+func decodeSnap(b []byte) (voters []int32, app []byte, err error) {
+	bad := fmt.Errorf("consensus: malformed snapshot blob (%d bytes)", len(b))
+	if len(b) < 8 {
+		return nil, nil, bad
+	}
+	nv := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	if int64(nv)*4 > int64(len(b)-off-4) {
+		return nil, nil, bad
+	}
+	for i := 0; i < nv; i++ {
+		voters = append(voters, int32(binary.LittleEndian.Uint32(b[off:])))
+		off += 4
+	}
+	na := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if na != len(b)-off {
+		return nil, nil, bad
+	}
+	return voters, b[off:], nil
+}
+
+// ---- membership-change commands ----
+
+// confMagic prefixes a consensus-internal config-change command in the
+// replicated log; the application's Apply never sees these entries.
+// Manager opcodes are small (see node/mstate.go), so the prefix cannot
+// collide.
+const confMagic byte = 0xC6
+
+func encodeConfCmd(add bool, node int) []byte {
+	b := make([]byte, 6)
+	b[0] = confMagic
+	if add {
+		b[1] = 1
+	}
+	binary.LittleEndian.PutUint32(b[2:], uint32(node))
+	return b
+}
+
+func decodeConfCmd(cmd []byte) (add bool, node int, ok bool) {
+	if len(cmd) != 6 || cmd[0] != confMagic {
+		return false, 0, false
+	}
+	return cmd[1] == 1, int(binary.LittleEndian.Uint32(cmd[2:])), true
 }
 
 // Counters points into the owning node's stat fields; nil pointers are
 // skipped so tests can run replicas without a node.
 type Counters struct {
 	Terms, Elections, Commits *int64
+	Compactions, SnapInstalls *int64
+	ConfChanges, Quarantines  *int64
 }
 
 func bump(p *int64) {
@@ -79,6 +356,13 @@ type Config struct {
 	Self int
 	N    int
 
+	// Voters names the initial voting membership (nil: every node in
+	// [0, N)). A non-voter still runs a replica — it applies what a
+	// leader sends it and can be promoted by a committed config change —
+	// but never campaigns and its vote is not counted. Ignored when the
+	// Stable slot already persists a membership.
+	Voters []int
+
 	// ElectionTimeout is the base leader-silence window before a
 	// follower stands for election; each deadline is drawn uniformly
 	// from [T, 2T) so split votes break symmetry. HeartbeatEvery is the
@@ -87,20 +371,36 @@ type Config struct {
 	HeartbeatEvery  time.Duration
 	Seed            int64
 
+	// CompactEvery folds the applied prefix into a snapshot and
+	// truncates the log once it exceeds this many applied entries.
+	// Non-positive disables compaction. Requires SnapshotState.
+	CompactEvery int64
+
 	// Send transmits one frame to a peer (never Self). It must not
 	// block indefinitely; consensus tolerates dropped frames.
 	Send func(to int, m *wire.Msg)
 	// Apply consumes entry index (1-based) with its command bytes, in
 	// log order, exactly once per replica lifetime. A nil/empty command
-	// is a leadership no-op and is still delivered.
+	// is a leadership no-op and is still delivered. Config-change
+	// entries are consumed by the replica itself and never reach Apply.
 	Apply func(index int64, cmd []byte)
+	// SnapshotState captures the application state machine exactly as
+	// of the applied prefix, deterministically encoded. Called from the
+	// replica goroutine, synchronously with Apply.
+	SnapshotState func() []byte
+	// InstallState replaces the application state machine with a
+	// snapshot image (the inverse of SnapshotState). Called from the
+	// replica goroutine, and once from New when the slot holds a
+	// snapshot.
+	InstallState func(app []byte)
 	// LeaderChange reports every observed leadership or term change.
 	// Optional.
 	LeaderChange func(term int64, leader int, isLeader bool)
 
 	// Bootstrap seeds a cold cluster (empty Stable everywhere) with
 	// node 0 as leader of term 1, skipping the startup election. A
-	// replica restarting with non-empty state ignores it.
+	// replica restarting with non-empty state — or one whose slot was
+	// quarantined — ignores it.
 	Bootstrap bool
 
 	Counters Counters
@@ -118,6 +418,7 @@ const maxBatch = 64
 
 type proposal struct {
 	cmd  []byte
+	conf bool
 	done func(error)
 }
 
@@ -126,6 +427,22 @@ type Info struct {
 	Term     int64
 	Leader   int // -1 unknown
 	IsLeader bool
+	Voters   []int // sorted voting membership
+}
+
+// snapXfer is the leader's cursor into one outbound snapshot stream.
+type snapXfer struct {
+	index, term int64
+	blob        []byte
+	next        int32
+}
+
+// snapAsm reassembles an inbound snapshot stream on a follower.
+type snapAsm struct {
+	index, term int64
+	nchunks     int32
+	next        int32
+	buf         []byte
 }
 
 // Rep is one consensus replica. All protocol state is owned by the
@@ -146,7 +463,7 @@ type Rep struct {
 	role     int
 	term     int64
 	votedFor int32
-	log      []wire.Entry
+	log      []wire.Entry // entries (snapIndex, lastIndex]
 	commit   int64
 	applied  int64
 	leader   int // current hint, -1 unknown
@@ -156,6 +473,30 @@ type Rep struct {
 	pending  map[int64][]func(error)
 	electAt  time.Time // follower/candidate: election deadline
 	beatAt   time.Time // leader: next heartbeat
+
+	// Compaction state: the log is truncated at snapIndex, whose entry
+	// had term snapTerm; snap is the encoded snapshot covering
+	// [1, snapIndex].
+	snapIndex int64
+	snapTerm  int64
+	snap      []byte
+
+	// Membership state: the voting set, and the log index of an
+	// uncommitted config change (0 = none; at most one at a time).
+	voters      map[int]bool
+	confPending int64
+
+	// Snapshot streaming: per-peer outbound cursors (leader) and the
+	// inbound assembly (follower).
+	xfer map[int]*snapXfer
+	asm  *snapAsm
+
+	// fenced marks a replica whose slot was quarantined at load: it
+	// must not vote or campaign — its lost slot may have held a vote
+	// for the current term — and it refuses plain entry replay,
+	// NACKing appends with Flag 2 until a leader re-seeds it with a
+	// snapshot install (cut on demand if none exists yet).
+	fenced bool
 
 	info atomic.Value // Info
 }
@@ -181,9 +522,42 @@ func New(cfg Config, st *Stable) *Rep {
 		next:    make([]int64, cfg.N),
 		match:   make([]int64, cfg.N),
 		pending: map[int64][]func(error){},
+		voters:  map[int]bool{},
+		xfer:    map[int]*snapXfer{},
 	}
-	r.term, r.votedFor, r.log = st.load()
-	if cfg.Bootstrap && r.term == 0 && len(r.log) == 0 {
+	d, quarantined := st.load()
+	if quarantined {
+		r.fenced = true
+		bump(cfg.Counters.Quarantines)
+	}
+	r.term, r.votedFor = d.term, d.votedFor
+	r.snapIndex, r.snapTerm, r.snap = d.snapIndex, d.snapTerm, d.snapshot
+	r.log = d.log
+	r.commit, r.applied = d.snapIndex, d.snapIndex
+	switch {
+	case len(d.voters) > 0:
+		for _, v := range d.voters {
+			r.voters[int(v)] = true
+		}
+	case cfg.Voters != nil:
+		for _, v := range cfg.Voters {
+			if v >= 0 && v < cfg.N {
+				r.voters[v] = true
+			}
+		}
+	default:
+		for p := 0; p < cfg.N; p++ {
+			r.voters[p] = true
+		}
+	}
+	if len(r.snap) > 0 && cfg.InstallState != nil {
+		// The state machine resumes from the persisted snapshot; the log
+		// suffix replays on top as commit advances.
+		if _, app, err := decodeSnap(r.snap); err == nil {
+			cfg.InstallState(app)
+		}
+	}
+	if cfg.Bootstrap && !quarantined && r.term == 0 && len(r.log) == 0 && r.snapIndex == 0 {
 		// Cold cluster: every replica deterministically agrees node 0
 		// leads term 1, as if an election already ran.
 		r.term, r.votedFor = 1, 0
@@ -226,15 +600,28 @@ func (r *Rep) Deliver(m *wire.Msg) {
 // applied locally, or an error if this replica is not the leader, loses
 // leadership first, or stops.
 func (r *Rep) Propose(cmd []byte, done func(error)) {
-	if done == nil {
-		done = func(error) {}
+	r.submit(proposal{cmd: cmd, done: done})
+}
+
+// ProposeConf submits a single-server membership change: add (or
+// remove) node as a voter. At most one change may be uncommitted at a
+// time (ErrConfPending); a change that would shrink the voting set
+// below three or names a node outside the cluster is rejected
+// (ErrConfInvalid). done fires like Propose's.
+func (r *Rep) ProposeConf(add bool, node int, done func(error)) {
+	r.submit(proposal{cmd: encodeConfCmd(add, node), conf: true, done: done})
+}
+
+func (r *Rep) submit(p proposal) {
+	if p.done == nil {
+		p.done = func(error) {}
 	}
 	select {
-	case r.props <- proposal{cmd, done}:
+	case r.props <- p:
 	case <-r.quit:
-		done(ErrStopped)
+		p.done(ErrStopped)
 	default:
-		done(ErrBusy)
+		p.done(ErrBusy)
 	}
 }
 
@@ -291,19 +678,47 @@ func (r *Rep) resetElectionTimer() {
 	r.electAt = time.Now().Add(t + time.Duration(r.rng.Int63n(int64(t))))
 }
 
-func (r *Rep) lastIndex() int64 { return int64(len(r.log)) }
+func (r *Rep) lastIndex() int64 { return r.snapIndex + int64(len(r.log)) }
+
+// entryAt returns the entry at 1-based index i, which must lie in
+// (snapIndex, lastIndex].
+func (r *Rep) entryAt(i int64) *wire.Entry { return &r.log[i-r.snapIndex-1] }
 
 func (r *Rep) termAt(i int64) int64 {
-	if i <= 0 || i > int64(len(r.log)) {
+	switch {
+	case i == r.snapIndex:
+		return r.snapTerm
+	case i <= r.snapIndex || i > r.lastIndex():
 		return 0
+	default:
+		return r.entryAt(i).Term
 	}
-	return r.log[i-1].Term
 }
 
-func (r *Rep) persist() { r.st.save(r.term, r.votedFor, r.log) }
+func (r *Rep) votersList() []int32 {
+	vs := make([]int32, 0, len(r.voters))
+	for v := range r.voters {
+		vs = append(vs, int32(v))
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+func (r *Rep) persist() {
+	r.st.save(&durable{
+		term: r.term, votedFor: r.votedFor,
+		snapIndex: r.snapIndex, snapTerm: r.snapTerm, snapshot: r.snap,
+		voters: r.votersList(), log: r.log,
+	})
+}
 
 func (r *Rep) updateInfo() {
-	r.info.Store(Info{Term: r.term, Leader: r.leader, IsLeader: r.role == leader})
+	vs := make([]int, 0, len(r.voters))
+	for v := range r.voters {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	r.info.Store(Info{Term: r.term, Leader: r.leader, IsLeader: r.role == leader, Voters: vs})
 	if r.cfg.LeaderChange != nil {
 		r.cfg.LeaderChange(r.term, r.leader, r.role == leader)
 	}
@@ -315,6 +730,7 @@ func (r *Rep) adoptTerm(t int64, ldr int) {
 	wasLeader := r.role == leader
 	r.term, r.votedFor, r.role, r.leader = t, -1, follower, ldr
 	r.votes = map[int]bool{}
+	r.xfer = map[int]*snapXfer{}
 	r.persist()
 	bump(r.cfg.Counters.Terms)
 	if wasLeader {
@@ -334,6 +750,12 @@ func (r *Rep) failPending(err error) {
 }
 
 func (r *Rep) startElection() {
+	if !r.voters[r.cfg.Self] || r.fenced {
+		// A non-voter (or a quarantined replica awaiting its re-seed)
+		// never campaigns; it waits for a leader to reach it.
+		r.resetElectionTimer()
+		return
+	}
 	r.role = candidate
 	r.term++
 	r.votedFor = int32(r.cfg.Self)
@@ -348,7 +770,7 @@ func (r *Rep) startElection() {
 		r.becomeLeader()
 		return
 	}
-	for p := 0; p < r.cfg.N; p++ {
+	for p := range r.voters {
 		if p == r.cfg.Self {
 			continue
 		}
@@ -359,7 +781,7 @@ func (r *Rep) startElection() {
 	}
 }
 
-func (r *Rep) wonElection() bool { return len(r.votes) > r.cfg.N/2 }
+func (r *Rep) wonElection() bool { return 2*len(r.votes) > len(r.voters) }
 
 func (r *Rep) becomeLeader() {
 	r.role = leader
@@ -369,6 +791,16 @@ func (r *Rep) becomeLeader() {
 		r.match[p] = 0
 	}
 	r.match[r.cfg.Self] = r.lastIndex()
+	r.xfer = map[int]*snapXfer{}
+	// Re-derive the one-pending-change gate from the uncommitted log
+	// suffix: a config entry a dead leader appended is now ours to see
+	// through before any new change is admitted.
+	r.confPending = 0
+	for i := r.commit + 1; i <= r.lastIndex(); i++ {
+		if _, _, ok := decodeConfCmd(r.entryAt(i).Cmd); ok {
+			r.confPending = i
+		}
+	}
 	r.updateInfo()
 	// Commit an entry of our own term immediately so the leader's
 	// applied state machine is current before it serves reads.
@@ -391,7 +823,21 @@ func (r *Rep) propose(p proposal) {
 		p.done(ErrNotLeader)
 		return
 	}
+	if p.conf {
+		add, nd, _ := decodeConfCmd(p.cmd)
+		if err := r.confAllowed(add, nd); err != nil {
+			p.done(err)
+			return
+		}
+		if add == r.voters[nd] {
+			p.done(nil) // already in the desired state
+			return
+		}
+	}
 	idx := r.appendLocal(p.cmd)
+	if p.conf {
+		r.confPending = idx
+	}
 	if r.pending[idx] != nil || idx > r.applied {
 		r.pending[idx] = append(r.pending[idx], p.done)
 	} else {
@@ -404,10 +850,32 @@ func (r *Rep) propose(p proposal) {
 	r.beatAt = time.Now().Add(r.cfg.HeartbeatEvery)
 }
 
+func (r *Rep) confAllowed(add bool, nd int) error {
+	if nd < 0 || nd >= r.cfg.N {
+		return ErrConfInvalid
+	}
+	if r.confPending != 0 {
+		return ErrConfPending
+	}
+	if !add && r.voters[nd] && len(r.voters) <= 3 {
+		// Shrinking below three voters leaves a quorum that cannot
+		// survive the failures it exists for.
+		return ErrConfInvalid
+	}
+	return nil
+}
+
 func (r *Rep) broadcast() {
-	for p := 0; p < r.cfg.N; p++ {
+	for p := range r.voters {
 		if p != r.cfg.Self {
 			r.sendAppend(p)
+		}
+	}
+	// Keep streaming to peers mid-snapshot-install even if a config
+	// change just removed them from the voting set.
+	for p := range r.xfer {
+		if !r.voters[p] && p != r.cfg.Self {
+			r.sendSnapshot(p)
 		}
 	}
 }
@@ -417,17 +885,57 @@ func (r *Rep) sendAppend(to int) {
 	if prev < 0 {
 		prev = 0
 	}
+	if prev < r.snapIndex {
+		// The entries the follower needs are compacted away: stream the
+		// snapshot instead.
+		r.sendSnapshot(to)
+		return
+	}
 	var entries []wire.Entry
 	if n := r.lastIndex() - prev; n > 0 {
 		if n > maxBatch {
 			n = maxBatch
 		}
-		entries = append(entries, r.log[prev:prev+n]...)
+		base := prev - r.snapIndex
+		entries = append(entries, r.log[base:base+n]...)
 	}
 	r.cfg.Send(to, &wire.Msg{
 		Kind: wire.KAppend, Term: r.term,
 		LogIndex: prev, LogTerm: r.termAt(prev),
 		Commit: r.commit, Entries: entries,
+	})
+}
+
+// sendSnapshot sends the next chunk of the leader's snapshot to a
+// replica whose needed entries were compacted away. One chunk flies per
+// ack (or heartbeat resend), so a slow receiver never sees an unbounded
+// burst.
+func (r *Rep) sendSnapshot(to int) {
+	x := r.xfer[to]
+	if x == nil || x.index != r.snapIndex {
+		x = &snapXfer{index: r.snapIndex, term: r.snapTerm, blob: r.snap}
+		r.xfer[to] = x
+	}
+	total := int32((len(x.blob) + snapChunk - 1) / snapChunk)
+	if total == 0 {
+		total = 1
+	}
+	if x.next >= total {
+		x.next = total - 1
+	}
+	lo := int(x.next) * snapChunk
+	hi := lo + snapChunk
+	if hi > len(x.blob) {
+		hi = len(x.blob)
+	}
+	var data []byte
+	if lo < hi {
+		data = x.blob[lo:hi]
+	}
+	r.cfg.Send(to, &wire.Msg{
+		Kind: wire.KSnapInstall, Term: r.term,
+		LogIndex: x.index, LogTerm: x.term,
+		Chunk: x.next, NChunks: total, Data: data,
 	})
 }
 
@@ -437,12 +945,12 @@ func (r *Rep) advanceCommit() {
 			continue // only entries of the current term commit by counting
 		}
 		n := 0
-		for p := 0; p < r.cfg.N; p++ {
+		for p := range r.voters {
 			if r.match[p] >= idx {
 				n++
 			}
 		}
-		if n > r.cfg.N/2 {
+		if 2*n > len(r.voters) {
 			r.commit = idx
 		}
 	}
@@ -452,10 +960,15 @@ func (r *Rep) advanceCommit() {
 func (r *Rep) applyCommitted() {
 	for r.applied < r.commit {
 		r.applied++
-		e := r.log[r.applied-1]
+		e := r.entryAt(r.applied)
 		bump(r.cfg.Counters.Commits)
-		if r.cfg.Apply != nil {
+		if add, nd, ok := decodeConfCmd(e.Cmd); ok {
+			r.applyConf(add, nd)
+		} else if r.cfg.Apply != nil {
 			r.cfg.Apply(r.applied, e.Cmd)
+		}
+		if r.confPending != 0 && r.applied >= r.confPending {
+			r.confPending = 0
 		}
 		if cbs := r.pending[r.applied]; cbs != nil {
 			delete(r.pending, r.applied)
@@ -464,12 +977,87 @@ func (r *Rep) applyCommitted() {
 			}
 		}
 	}
+	r.maybeCompact()
+}
+
+// applyConf applies a committed single-server membership change. The
+// change takes effect at commit on every replica; because changes are
+// serialized one at a time, any majority of the pre-change voters and
+// any majority of the post-change voters overlap, so no two leaders can
+// be elected by disjoint quorums across the transition.
+func (r *Rep) applyConf(add bool, nd int) {
+	if nd < 0 || nd >= r.cfg.N {
+		return
+	}
+	changed := false
+	if add {
+		if !r.voters[nd] {
+			r.voters[nd] = true
+			changed = true
+		}
+	} else if r.voters[nd] {
+		delete(r.voters, nd)
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	bump(r.cfg.Counters.ConfChanges)
+	r.persist()
+	if r.role == leader && add && nd != r.cfg.Self {
+		// Start replicating to the new voter; its empty log backs the
+		// cursor up into the snapshot-install path if we have compacted.
+		r.next[nd] = r.lastIndex() + 1
+		r.match[nd] = 0
+		r.sendAppend(nd)
+	}
+	if !add {
+		delete(r.xfer, nd)
+		if nd == r.cfg.Self && r.role == leader {
+			// We removed ourselves: step down and let the remaining
+			// voters elect.
+			r.role, r.leader = follower, -1
+			r.failPending(ErrDeposed)
+			r.resetElectionTimer()
+		}
+	}
+	r.updateInfo()
+}
+
+// maybeCompact folds the applied prefix into a snapshot and truncates
+// the log once the prefix outgrows CompactEvery. Every replica compacts
+// independently: the state machine is deterministic, so equal applied
+// indexes mean equal snapshots.
+func (r *Rep) maybeCompact() {
+	ce := r.cfg.CompactEvery
+	if ce <= 0 || r.applied-r.snapIndex < ce {
+		return
+	}
+	r.compact()
+}
+
+// compact folds the applied prefix into a snapshot unconditionally;
+// callers decide the cadence (the periodic CompactEvery threshold, or
+// on demand when a fenced replica must be re-seeded and no snapshot
+// exists yet).
+func (r *Rep) compact() {
+	if r.cfg.SnapshotState == nil || r.applied <= r.snapIndex {
+		return
+	}
+	app := r.cfg.SnapshotState()
+	r.snap = encodeSnap(r.votersList(), app)
+	keep := r.applied - r.snapIndex
+	r.snapTerm = r.termAt(r.applied)
+	r.log = append([]wire.Entry(nil), r.log[keep:]...)
+	r.snapIndex = r.applied
+	r.persist()
+	bump(r.cfg.Counters.Compactions)
 }
 
 func (r *Rep) step(m *wire.Msg) {
 	if m.Term > r.term {
 		ldr := -1
-		if m.Kind == wire.KAppend {
+		if m.Kind == wire.KAppend || m.Kind == wire.KSnapInstall {
 			ldr = int(m.From)
 		}
 		r.adoptTerm(m.Term, ldr)
@@ -483,12 +1071,16 @@ func (r *Rep) step(m *wire.Msg) {
 		r.onAppend(m)
 	case wire.KAppendAck:
 		r.onAppendAck(m)
+	case wire.KSnapInstall:
+		r.onSnapInstall(m)
+	case wire.KSnapAck:
+		r.onSnapAck(m)
 	}
 }
 
 func (r *Rep) onVoteReq(m *wire.Msg) {
 	granted := false
-	if m.Term == r.term && (r.votedFor == -1 || r.votedFor == m.From) {
+	if m.Term == r.term && !r.fenced && (r.votedFor == -1 || r.votedFor == m.From) {
 		last := r.lastIndex()
 		upToDate := m.LogTerm > r.termAt(last) ||
 			(m.LogTerm == r.termAt(last) && m.LogIndex >= last)
@@ -512,18 +1104,18 @@ func (r *Rep) onVoteResp(m *wire.Msg) {
 	if r.role != candidate || m.Term != r.term || m.Flag != 1 {
 		return
 	}
+	if !r.voters[int(m.From)] {
+		return // only voters count toward the majority
+	}
 	r.votes[int(m.From)] = true
 	if r.wonElection() {
 		r.becomeLeader()
 	}
 }
 
-func (r *Rep) onAppend(m *wire.Msg) {
-	if m.Term < r.term {
-		r.cfg.Send(int(m.From), &wire.Msg{Kind: wire.KAppendAck, Term: r.term})
-		return
-	}
-	// m.Term == r.term: the sender is the legitimate leader of this term.
+// followLeader adopts m's sender as the legitimate leader of the
+// current term (append and snapshot-install frames both prove it).
+func (r *Rep) followLeader(m *wire.Msg) {
 	if r.role != follower || r.leader != int(m.From) {
 		wasLeader := r.role == leader
 		r.role, r.leader = follower, int(m.From)
@@ -534,16 +1126,50 @@ func (r *Rep) onAppend(m *wire.Msg) {
 		r.updateInfo()
 	}
 	r.resetElectionTimer()
+}
+
+func (r *Rep) onAppend(m *wire.Msg) {
+	if m.Term < r.term {
+		r.cfg.Send(int(m.From), &wire.Msg{Kind: wire.KAppendAck, Term: r.term})
+		return
+	}
+	// m.Term == r.term: the sender is the legitimate leader of this term.
+	r.followLeader(m)
+	if r.fenced {
+		// A quarantined slot means our durable history is gone: refuse
+		// entry replay outright and demand a leader-certified snapshot
+		// (Flag 2), so the re-seed never trusts replayed state against
+		// an empty match point.
+		r.cfg.Send(int(m.From), &wire.Msg{Kind: wire.KAppendAck, Term: r.term, Flag: 2})
+		return
+	}
 	prev := m.LogIndex
-	if prev > r.lastIndex() || r.termAt(prev) != m.LogTerm {
+	logTerm := m.LogTerm
+	entries := m.Entries
+	if prev < r.snapIndex {
+		// Our snapshot already covers part of this append: skip the
+		// entries the snapshot subsumes and rebase the match point onto
+		// the snapshot boundary.
+		skip := r.snapIndex - prev
+		if skip >= int64(len(entries)) {
+			r.cfg.Send(int(m.From), &wire.Msg{
+				Kind: wire.KAppendAck, Term: r.term, LogIndex: r.snapIndex, Flag: 1,
+			})
+			return
+		}
+		logTerm = entries[skip-1].Term
+		entries = entries[skip:]
+		prev = r.snapIndex
+	}
+	if prev > r.lastIndex() || r.termAt(prev) != logTerm {
 		// Match-point miss: back the leader up past our shorter/conflicting
 		// suffix in one hop.
 		hint := prev - 1
 		if last := r.lastIndex(); hint > last {
 			hint = last
 		}
-		if hint < 0 {
-			hint = 0
+		if hint < r.snapIndex {
+			hint = r.snapIndex
 		}
 		r.cfg.Send(int(m.From), &wire.Msg{
 			Kind: wire.KAppendAck, Term: r.term, LogIndex: hint,
@@ -551,13 +1177,13 @@ func (r *Rep) onAppend(m *wire.Msg) {
 		return
 	}
 	changed := false
-	for i, e := range m.Entries {
+	for i, e := range entries {
 		idx := prev + int64(i) + 1
 		if idx <= r.lastIndex() {
 			if r.termAt(idx) == e.Term {
 				continue
 			}
-			r.log = r.log[:idx-1] // conflict: truncate our divergent suffix
+			r.log = r.log[:idx-r.snapIndex-1] // conflict: truncate our divergent suffix
 		}
 		// Clone the command bytes: e.Cmd sub-slices the decoded frame,
 		// and the log outlives the frame buffer by the whole run.
@@ -567,7 +1193,7 @@ func (r *Rep) onAppend(m *wire.Msg) {
 	if changed {
 		r.persist()
 	}
-	newLast := prev + int64(len(m.Entries))
+	newLast := prev + int64(len(entries))
 	if m.Commit > r.commit {
 		c := m.Commit
 		if last := r.lastIndex(); c > last {
@@ -586,6 +1212,22 @@ func (r *Rep) onAppendAck(m *wire.Msg) {
 		return
 	}
 	from := int(m.From)
+	if m.Flag == 2 {
+		// A fenced replica refuses replay: it must be re-seeded from a
+		// snapshot. Cut one on demand if the committed prefix has not
+		// been compacted yet; with nothing applied there is nothing to
+		// seed from, and the next heartbeat retries.
+		if r.snapIndex == 0 {
+			r.compact()
+			if r.snapIndex == 0 {
+				return
+			}
+		}
+		r.next[from] = r.snapIndex + 1
+		r.match[from] = 0
+		r.sendSnapshot(from)
+		return
+	}
 	if m.Flag == 1 {
 		if m.LogIndex > r.match[from] {
 			r.match[from] = m.LogIndex
@@ -610,4 +1252,107 @@ func (r *Rep) onAppendAck(m *wire.Msg) {
 		r.next[from]--
 	}
 	r.sendAppend(from)
+}
+
+func (r *Rep) onSnapInstall(m *wire.Msg) {
+	if m.Term < r.term {
+		r.cfg.Send(int(m.From), &wire.Msg{Kind: wire.KSnapAck, Term: r.term})
+		return
+	}
+	r.followLeader(m)
+	idx, tm := m.LogIndex, m.LogTerm
+	if idx <= r.snapIndex || (idx <= r.lastIndex() && r.termAt(idx) == tm) {
+		// Already covered: tell the leader to resume entry replication.
+		r.cfg.Send(int(m.From), &wire.Msg{
+			Kind: wire.KSnapAck, Term: r.term, LogIndex: idx, Flag: 1,
+		})
+		return
+	}
+	a := r.asm
+	if m.Chunk == 0 && (a == nil || a.index != idx || a.term != tm) {
+		a = &snapAsm{index: idx, term: tm, nchunks: m.NChunks}
+		r.asm = a
+	}
+	if a == nil || a.index != idx || a.term != tm || m.Chunk != a.next {
+		// Out of sync (dropped or duplicated chunk): tell the leader
+		// which chunk the assembly actually needs.
+		var next int32
+		if a != nil && a.index == idx && a.term == tm {
+			next = a.next
+		}
+		r.cfg.Send(int(m.From), &wire.Msg{
+			Kind: wire.KSnapAck, Term: r.term, LogIndex: idx, Chunk: next,
+		})
+		return
+	}
+	a.buf = append(a.buf, m.Data...)
+	a.next++
+	if a.next < a.nchunks {
+		r.cfg.Send(int(m.From), &wire.Msg{
+			Kind: wire.KSnapAck, Term: r.term, LogIndex: idx, Chunk: a.next,
+		})
+		return
+	}
+	r.asm = nil
+	r.installSnapshot(idx, tm, a.buf)
+	r.cfg.Send(int(m.From), &wire.Msg{
+		Kind: wire.KSnapAck, Term: r.term, LogIndex: idx, Chunk: a.next, Flag: 1,
+	})
+}
+
+// installSnapshot replaces this replica's log prefix and state machine
+// with a fully assembled leader snapshot. It also lifts the quarantine
+// fence: the replica now holds leader-certified durable state again.
+func (r *Rep) installSnapshot(idx, tm int64, blob []byte) {
+	if idx <= r.applied {
+		return
+	}
+	voters, app, err := decodeSnap(blob)
+	if err != nil {
+		return // corrupt transfer; the leader's resend will rebuild it
+	}
+	r.snapIndex, r.snapTerm, r.snap = idx, tm, blob
+	r.log = nil
+	r.commit, r.applied = idx, idx
+	r.voters = map[int]bool{}
+	for _, v := range voters {
+		r.voters[int(v)] = true
+	}
+	if r.cfg.InstallState != nil {
+		r.cfg.InstallState(app)
+	}
+	r.fenced = false
+	r.persist()
+	bump(r.cfg.Counters.SnapInstalls)
+	r.updateInfo()
+}
+
+func (r *Rep) onSnapAck(m *wire.Msg) {
+	if r.role != leader || m.Term != r.term {
+		return
+	}
+	from := int(m.From)
+	if m.Flag == 1 {
+		delete(r.xfer, from)
+		if m.LogIndex > r.match[from] {
+			r.match[from] = m.LogIndex
+		}
+		if m.LogIndex+1 > r.next[from] {
+			r.next[from] = m.LogIndex + 1
+		}
+		r.advanceCommit()
+		if r.next[from] <= r.lastIndex() {
+			r.sendAppend(from)
+		}
+		return
+	}
+	x := r.xfer[from]
+	if x == nil {
+		r.sendAppend(from) // re-derive entries vs snapshot from the cursor
+		return
+	}
+	if x.index == m.LogIndex {
+		x.next = m.Chunk
+	}
+	r.sendSnapshot(from)
 }

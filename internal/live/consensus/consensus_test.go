@@ -4,34 +4,59 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"lrcdsm/internal/live/wire"
 )
 
+// repCounters mirrors the node stat fields a replica bumps, so tests
+// can assert on compaction/snapshot/membership activity without a node.
+type repCounters struct {
+	terms, elections, commits int64
+	compactions, snapInstalls int64
+	confChanges, quarantines  int64
+}
+
 // harness wires N replicas through an in-memory network with cuttable
 // links and per-replica apply logs, so protocol behavior is testable
-// without the live engine.
+// without the live engine. The "state machine" under replication is the
+// apply log itself: snapshots serialize it newline-joined, so a replica
+// seeded by snapshot install resumes with the exact prefix the leader
+// had applied.
 type harness struct {
-	t       *testing.T
-	n       int
-	mu      sync.Mutex
-	reps    []*Rep
-	stables []*Stable
-	down    []bool
-	cut     map[[2]int]bool
-	applied [][]string // per-replica apply log ("idx:cmd")
+	t            *testing.T
+	n            int
+	compactEvery int64
+	voters       []int
+	mu           sync.Mutex
+	reps         []*Rep
+	stables      []*Stable
+	counters     []repCounters
+	down         []bool
+	cut          map[[2]int]bool
+	applied      [][]string // per-replica apply log ("idx:cmd")
 }
 
 func newHarness(t *testing.T, n int, timeout time.Duration) *harness {
+	return newHarnessOpt(t, n, timeout, 0, nil)
+}
+
+// newHarnessOpt builds a cluster with log compaction every compactEvery
+// applied entries (0 disables) and an initial voting membership (nil:
+// all n nodes vote).
+func newHarnessOpt(t *testing.T, n int, timeout time.Duration, compactEvery int64, voters []int) *harness {
 	h := &harness{
 		t: t, n: n,
-		reps:    make([]*Rep, n),
-		stables: make([]*Stable, n),
-		down:    make([]bool, n),
-		cut:     map[[2]int]bool{},
-		applied: make([][]string, n),
+		compactEvery: compactEvery,
+		voters:       voters,
+		reps:         make([]*Rep, n),
+		stables:      make([]*Stable, n),
+		counters:     make([]repCounters, n),
+		down:         make([]bool, n),
+		cut:          map[[2]int]bool{},
+		applied:      make([][]string, n),
 	}
 	for i := 0; i < n; i++ {
 		h.stables[i] = NewStable()
@@ -42,16 +67,38 @@ func newHarness(t *testing.T, n int, timeout time.Duration) *harness {
 }
 
 func (h *harness) build(i int, timeout time.Duration) *Rep {
+	c := &h.counters[i]
 	return New(Config{
 		Self: i, N: h.n,
+		Voters:          h.voters,
 		ElectionTimeout: timeout,
 		HeartbeatEvery:  timeout / 10,
 		Seed:            int64(42 + i),
+		CompactEvery:    h.compactEvery,
 		Send:            h.sender(i),
 		Apply: func(idx int64, cmd []byte) {
 			h.mu.Lock()
 			h.applied[i] = append(h.applied[i], fmt.Sprintf("%d:%s", idx, cmd))
 			h.mu.Unlock()
+		},
+		SnapshotState: func() []byte {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return []byte(strings.Join(h.applied[i], "\n"))
+		},
+		InstallState: func(app []byte) {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if len(app) == 0 {
+				h.applied[i] = nil
+			} else {
+				h.applied[i] = strings.Split(string(app), "\n")
+			}
+		},
+		Counters: Counters{
+			Terms: &c.terms, Elections: &c.elections, Commits: &c.commits,
+			Compactions: &c.compactions, SnapInstalls: &c.snapInstalls,
+			ConfChanges: &c.confChanges, Quarantines: &c.quarantines,
 		},
 		Bootstrap: true,
 	}, h.stables[i])
@@ -99,6 +146,27 @@ func (h *harness) restart(i int, timeout time.Duration) {
 	h.applied[i] = nil
 	h.mu.Unlock()
 	r.Start()
+}
+
+// restartFresh rebuilds replica i over a brand-new Stable slot — the
+// live analogue of losing the durable state entirely (disk
+// replacement). The replica must be re-seeded by the leader.
+func (h *harness) restartFresh(i int, timeout time.Duration) {
+	h.stables[i] = NewStable()
+	h.restart(i, timeout)
+}
+
+// proposeConfOK proposes a membership change on replica i and waits for
+// it to resolve.
+func (h *harness) proposeConfOK(i int, add bool, node int) error {
+	errc := make(chan error, 1)
+	h.reps[i].ProposeConf(add, node, func(err error) { errc <- err })
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("conf change (add=%v node=%d) on %d did not resolve", add, node, i)
+	}
 }
 
 // waitLeader polls until exactly one live replica claims leadership and
@@ -305,6 +373,223 @@ func TestPartitionedLeaderDeposed(t *testing.T) {
 			t.Fatalf("stale leader's uncommitted entry was applied: %v", h.applied[0])
 		}
 	}
+}
+
+// TestCompactionBoundsLog: with CompactEvery=8, a 40-command run folds
+// the applied prefix into snapshots on every replica, the persisted log
+// stays within 2x the threshold, and the apply order still converges.
+func TestCompactionBoundsLog(t *testing.T) {
+	h := newHarnessOpt(t, 3, 200*time.Millisecond, 8, nil)
+	defer h.stopAll()
+
+	h.waitLeader()
+	for k := 0; k < 40; k++ {
+		if err := h.proposeOK(0, fmt.Sprintf("cmd-%d", k)); err != nil {
+			t.Fatalf("propose cmd-%d: %v", k, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		h.waitApplied(i, "cmd-39")
+	}
+	// Compaction runs synchronously after apply; give the tail batch a
+	// moment to persist its snapshot on every replica.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		for h.stables[i].SnapIndex() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if si := h.stables[i].SnapIndex(); si == 0 {
+			t.Fatalf("replica %d never compacted", i)
+		}
+		if ll := h.stables[i].LogLen(); ll > 16 {
+			t.Fatalf("replica %d persisted log holds %d entries, want <= 16 (2x threshold)", i, ll)
+		}
+	}
+	if c := atomic.LoadInt64(&h.counters[0].compactions); c == 0 {
+		t.Fatal("leader's compaction counter never moved")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 1; i < 3; i++ {
+		if fmt.Sprint(h.applied[i]) != fmt.Sprint(h.applied[0]) {
+			t.Fatalf("replica %d apply order diverged under compaction:\n %v\nvs\n %v", i, h.applied[i], h.applied[0])
+		}
+	}
+}
+
+// TestSnapshotCatchUp: a replica that loses its durable slot while the
+// leader compacts past its last entry cannot be caught up by replay —
+// the leader must stream its snapshot, and the re-seeded replica
+// converges on the survivors' state.
+func TestSnapshotCatchUp(t *testing.T) {
+	h := newHarnessOpt(t, 3, 100*time.Millisecond, 4, nil)
+	defer h.stopAll()
+
+	h.waitLeader()
+	for k := 0; k < 4; k++ {
+		if err := h.proposeOK(0, fmt.Sprintf("pre-%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.kill(1)
+	for k := 0; k < 12; k++ {
+		if err := h.proposeOK(0, fmt.Sprintf("post-%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.stables[0].SnapIndex() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.stables[0].SnapIndex() < 5 {
+		t.Fatalf("leader never compacted past the dead replica's log (snapIndex=%d)", h.stables[0].SnapIndex())
+	}
+
+	h.restartFresh(1, 100*time.Millisecond)
+	h.waitApplied(1, "post-11")
+	if n := atomic.LoadInt64(&h.counters[1].snapInstalls); n == 0 {
+		t.Fatal("re-seeded replica caught up without a snapshot install")
+	}
+	h.waitApplied(2, "post-11")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if fmt.Sprint(h.applied[1]) != fmt.Sprint(h.applied[2]) {
+		t.Fatalf("snapshot-seeded replica diverged:\n %v\nvs\n %v", h.applied[1], h.applied[2])
+	}
+}
+
+// TestMembershipAddServesFailover: a non-voting spare is promoted by a
+// committed config change, catches up on the full log, and then keeps
+// the cluster available through a leader crash — the scenario a live
+// cluster uses to grow 3->5 or replace a dead replica without restart.
+func TestMembershipAddServesFailover(t *testing.T) {
+	h := newHarnessOpt(t, 4, 100*time.Millisecond, 0, []int{0, 1, 2})
+	defer h.stopAll()
+
+	h.waitLeader()
+	if err := h.proposeOK(0, "before-add"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.proposeConfOK(0, true, 3); err != nil {
+		t.Fatalf("add replica 3: %v", err)
+	}
+	if err := h.proposeOK(0, "after-add"); err != nil {
+		t.Fatal(err)
+	}
+	// The promoted replica replays the whole log, including entries
+	// committed before it had a vote.
+	h.waitApplied(3, "before-add")
+	h.waitApplied(3, "after-add")
+	if c := atomic.LoadInt64(&h.counters[0].confChanges); c == 0 {
+		t.Fatal("leader's conf-change counter never moved")
+	}
+
+	h.kill(0)
+	ld := h.waitLeader(0)
+	if err := h.proposeOK(ld, "post-failover"); err != nil {
+		t.Fatalf("post-failover propose on %d: %v", ld, err)
+	}
+	h.waitApplied(3, "post-failover")
+}
+
+// TestMembershipRemoveFloor: removal works one server at a time but is
+// refused once it would leave fewer than three voters — the smallest
+// set that still tolerates a fault.
+func TestMembershipRemoveFloor(t *testing.T) {
+	h := newHarnessOpt(t, 4, 100*time.Millisecond, 0, nil)
+	defer h.stopAll()
+
+	h.waitLeader()
+	if err := h.proposeConfOK(0, false, 3); err != nil {
+		t.Fatalf("remove replica 3 from a 4-voter set: %v", err)
+	}
+	if err := h.proposeConfOK(0, false, 2); err != ErrConfInvalid {
+		t.Fatalf("removal below 3 voters returned %v, want ErrConfInvalid", err)
+	}
+	// The shrunken set still commits.
+	if err := h.proposeOK(0, "three-voters"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfPendingRejected: only one membership change may be in flight;
+// a second proposal while the first is uncommitted fails fast with
+// ErrConfPending instead of queueing behind an unknown outcome.
+func TestConfPendingRejected(t *testing.T) {
+	h := newHarnessOpt(t, 4, 100*time.Millisecond, 0, []int{0, 1, 2})
+	defer h.stopAll()
+
+	h.waitLeader()
+	// Isolate the leader so its first change stays uncommitted.
+	h.mu.Lock()
+	for _, p := range []int{1, 2, 3} {
+		h.cut[[2]int{0, p}] = true
+	}
+	h.mu.Unlock()
+
+	firstc := make(chan error, 1)
+	h.reps[0].ProposeConf(true, 3, func(err error) { firstc <- err })
+	if err := h.proposeConfOK(0, false, 1); err != ErrConfPending {
+		t.Fatalf("second conf change returned %v, want ErrConfPending", err)
+	}
+
+	h.mu.Lock()
+	for _, p := range []int{1, 2, 3} {
+		delete(h.cut, [2]int{0, p})
+	}
+	h.mu.Unlock()
+	// After the heal the stalled change resolves one way or the other
+	// (commits, or fails when a higher term deposes the old leader).
+	select {
+	case <-firstc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("isolated conf change never resolved after heal")
+	}
+}
+
+// TestQuarantineReseed: a corrupted Stable slot is quarantined at load
+// — the replica comes back fenced and empty instead of diverging on
+// torn state — and the leader re-seeds it by snapshot. Once seeded the
+// fence lifts: the replica votes in a later election, proving the
+// quarantine is a recovery path and not a permanent demotion.
+func TestQuarantineReseed(t *testing.T) {
+	h := newHarnessOpt(t, 3, 100*time.Millisecond, 4, nil)
+	defer h.stopAll()
+
+	h.waitLeader()
+	for k := 0; k < 12; k++ {
+		if err := h.proposeOK(0, fmt.Sprintf("cmd-%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.stables[0].SnapIndex() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.stables[0].SnapIndex() == 0 {
+		t.Fatal("leader never compacted")
+	}
+
+	h.kill(1)
+	if !h.stables[1].Corrupt() {
+		t.Fatal("stable slot was empty; nothing to corrupt")
+	}
+	h.restart(1, 100*time.Millisecond)
+	if q := h.stables[1].Quarantines(); q != 1 {
+		t.Fatalf("quarantine count = %d, want 1", q)
+	}
+	h.waitApplied(1, "cmd-11")
+	if n := atomic.LoadInt64(&h.counters[1].snapInstalls); n == 0 {
+		t.Fatal("quarantined replica was not re-seeded by snapshot")
+	}
+
+	// The re-seeded replica must be able to carry an election again.
+	h.kill(0)
+	ld := h.waitLeader(0)
+	if err := h.proposeOK(ld, "after-quarantine"); err != nil {
+		t.Fatalf("post-quarantine propose on %d: %v", ld, err)
+	}
+	h.waitApplied(1, "after-quarantine")
 }
 
 // TestTermsMonotonicAcrossRestart: a restarted replica resumes from its

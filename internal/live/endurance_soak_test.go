@@ -1,0 +1,220 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/harness"
+	"lrcdsm/internal/live/chaos"
+	"lrcdsm/internal/live/consensus"
+	"lrcdsm/internal/live/transport"
+)
+
+// enduranceCompactEvery is the soak's compaction threshold, chosen low
+// enough that every round compacts several times. The acceptance bound
+// is 2x: the sampled consensus log must never hold more than twice this
+// many entries.
+const enduranceCompactEvery = 8
+
+// enduranceEpisodes reads the cumulative barrier-episode target
+// (cluster-wide, summed over nodes and rounds) from
+// DSM_ENDURANCE_EPISODES, defaulting to 2000.
+func enduranceEpisodes(t *testing.T) int64 {
+	if s := os.Getenv("DSM_ENDURANCE_EPISODES"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DSM_ENDURANCE_EPISODES %q: %v", s, err)
+		}
+		return n
+	}
+	return 2000
+}
+
+// logLenSampler polls every replica's durable slot and records the
+// largest consensus log it ever observes, concurrently with the run.
+type logLenSampler struct {
+	stables []*consensus.Stable
+	stop    chan struct{}
+	done    chan int
+}
+
+func sampleLogLen(stables []*consensus.Stable) *logLenSampler {
+	s := &logLenSampler{stables: stables, stop: make(chan struct{}), done: make(chan int, 1)}
+	go func() {
+		maxLen := 0
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				for _, st := range s.stables {
+					if ll := st.LogLen(); ll > maxLen {
+						maxLen = ll
+					}
+				}
+			case <-s.stop:
+				s.done <- maxLen
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *logLenSampler) maxLen() int {
+	close(s.stop)
+	return <-s.done
+}
+
+// TestEndurance is the long-haul claim: the replicated control plane
+// survives an unbounded sequence of runs — every round kills the
+// coordinator at least once — without the consensus log, the durable
+// slots, or the heap growing with time. Rounds rotate through all four
+// paper workloads and both protocols; every fourth round grows the
+// voting set from three to four mid-run, and every fourth round
+// corrupts the coordinator's durable slot while it is down, so the
+// restarted incarnation must quarantine the slot and be re-seeded by
+// snapshot. Each round's results are checked byte-for-byte against a
+// fault-free 1-node reference.
+//
+// The soak is opt-in (DSM_ENDURANCE=1): it runs until the cluster-wide
+// barrier-episode count crosses DSM_ENDURANCE_EPISODES (default 2000),
+// minutes of wall clock. `make endurance` wraps it with a race detector
+// and a CI-sized episode budget.
+func TestEndurance(t *testing.T) {
+	if os.Getenv("DSM_ENDURANCE") == "" {
+		t.Skip("set DSM_ENDURANCE=1 to run the long-haul soak")
+	}
+	target := enduranceEpisodes(t)
+	atOp := map[string]int64{"jacobi": 30, "water": 100, "cholesky": 600, "tsp": 10}
+
+	var (
+		episodes     int64
+		quarantines  int64
+		confChanges  int64
+		snapInstalls int64
+		compactions  int64
+	)
+	// At least four rounds always run, so the membership and corruption
+	// variants fire even under a tiny CI episode budget.
+	for round := 0; episodes < target || round < 4; round++ {
+		name := harness.AppNames[round%len(harness.AppNames)]
+		prot := core.LI
+		if round%2 == 1 {
+			prot = core.LH
+		}
+		// Membership rounds ride cholesky (the longest run, latest kill):
+		// the promotion must commit well before the coordinator dies.
+		// Corruption rounds ride water and force an aggressive compaction
+		// cadence, so the leader is guaranteed to hold a snapshot and the
+		// quarantined replica is re-seeded by install, not plain replay.
+		membership := round%4 == 3 // grow the voting set 3 -> 4 mid-run
+		corrupt := round%4 == 2    // corrupt the coordinator's slot while it is down
+
+		stables := make([]*consensus.Stable, 4)
+		for i := range stables {
+			stables[i] = consensus.NewStable()
+		}
+		ce := int64(enduranceCompactEvery)
+		if corrupt {
+			ce = 4
+		}
+		opts := RecoverOptions{
+			MaxRestarts:     4,
+			CheckpointEvery: 1,
+			Replicate:       true,
+			Seed:            int64(1000 + round),
+			Stables:         stables,
+			CompactEvery:    ce,
+		}
+		if membership {
+			opts.Voters = 3
+			opts.AddReplicas = []ReplicaAdd{{Node: 3, After: 5 * time.Millisecond}}
+		}
+		fcfg := chaos.Config{Seed: int64(round), Crashes: []chaos.Crash{
+			{Node: 0, AtOp: atOp[name], Local: true, RestartAfter: 5 * time.Millisecond},
+		}}
+
+		app, err := harness.NewApp(name, harness.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cl *Cluster
+		fcfg.OnCrash = func(n int, d time.Duration) {
+			cl.Kill(n, d)
+			if corrupt && n == 0 {
+				// The victim is down: tear its durable slot the way a
+				// torn write would, before the supervisor revives it.
+				stables[0].Corrupt()
+			}
+		}
+		nw := chaos.WrapNet(transport.NewInprocNet(4), fcfg)
+		cfg := failoverConfig(4, prot)
+		cfg.Net = nw
+		cl, err = New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Configure(cl)
+
+		sampler := sampleLogLen(stables)
+		stats, runErr := cl.RunSupervised(func(w core.Worker) { app.Worker(w) }, opts)
+		maxLog := sampler.maxLen()
+
+		tag := fmt.Sprintf("round %d (%s/%v membership=%v corrupt=%v)", round, name, prot, membership, corrupt)
+		if runErr != nil {
+			t.Fatalf("%s: %v (faults %+v)", tag, runErr, nw.Counters())
+		}
+		if err := app.Verify(cl); err != nil {
+			t.Fatalf("%s: verification: %v", tag, err)
+		}
+		if nw.Counters().Crashes == 0 {
+			t.Fatalf("%s: coordinator kill never fired", tag)
+		}
+		if maxLog > 2*enduranceCompactEvery {
+			t.Fatalf("%s: consensus log reached %d entries, bound is %d (2x compaction threshold)",
+				tag, maxLog, 2*enduranceCompactEvery)
+		}
+		if membership && stats.Total.ConsensusConfChanges == 0 {
+			t.Errorf("%s: membership round committed no config change", tag)
+		}
+		if corrupt {
+			if stats.Total.ConsensusSlotQuarantines == 0 {
+				t.Errorf("%s: corrupted slot was not quarantined", tag)
+			}
+			if stats.Total.ConsensusSnapInstalls == 0 {
+				t.Errorf("%s: quarantined replica was not re-seeded by snapshot", tag)
+			}
+		}
+		compareToReference(t, name, prot, cl)
+
+		episodes += stats.Total.BarrierEpisodes
+		quarantines += stats.Total.ConsensusSlotQuarantines
+		confChanges += stats.Total.ConsensusConfChanges
+		snapInstalls += stats.Total.ConsensusSnapInstalls
+		compactions += stats.Total.ConsensusCompactions
+
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		t.Logf("%s: episodes %d/%d, maxlog %d, heap %d KiB, compactions %d",
+			tag, episodes, target, maxLog, ms.HeapAlloc>>10, stats.Total.ConsensusCompactions)
+		// The heap after GC must stay flat across rounds; a control
+		// plane that leaks log entries or snapshot chunks trips this
+		// long before an operator would notice.
+		if ms.HeapAlloc > 512<<20 {
+			t.Fatalf("%s: heap grew to %d MiB — the control plane is leaking", tag, ms.HeapAlloc>>20)
+		}
+	}
+	t.Logf("endurance done: %d episodes, %d compactions, %d conf changes, %d quarantines, %d snapshot installs",
+		episodes, compactions, confChanges, quarantines, snapInstalls)
+	if compactions == 0 || quarantines == 0 || confChanges == 0 || snapInstalls == 0 {
+		t.Errorf("soak exercised too little: compactions=%d quarantines=%d confChanges=%d snapInstalls=%d",
+			compactions, quarantines, confChanges, snapInstalls)
+	}
+}

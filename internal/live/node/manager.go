@@ -53,16 +53,31 @@ type manager struct {
 
 	// Leader-local serving state, guarded by cmu (the dispatcher serves
 	// requests while commit callbacks reply from the consensus
-	// goroutine). clients[w] is the request de-duplication state of node
-	// w; push[w] assembles a snapshot blob w is streaming in KSnapPush
-	// chunks; joinBlob[w] is the encoded replica served back to a
-	// rejoining w in KSnapChunk replies; suspect[w] marks a peer this
-	// leader already reported down, so one silence fires one verdict.
-	cmu      sync.Mutex
-	clients  []mclient
-	push     []*pushAsm
-	joinBlob [][]byte
-	suspect  []bool
+	// goroutine). clients is the request de-duplication state, keyed by
+	// (origin node, token lane) — each lane issues tokens from its own
+	// monotonic sequence, so a supervisor RPC on the conf lane cannot
+	// shadow a worker's lane-0 tokens — and LRU-bounded by
+	// clientCacheCap. push[w] assembles a snapshot blob w is streaming
+	// in KSnapPush chunks; joinBlob[w] is the encoded replica served
+	// back to a rejoining w in KSnapChunk replies; both chunk caches are
+	// LRU-bounded by blobCacheCap (an evicted stream self-heals: the
+	// client is redirected and restarts from chunk 0, a rejoining node
+	// re-runs its join handshake). suspect[w] marks a peer this leader
+	// already reported down, so one silence fires one verdict.
+	cmu        sync.Mutex
+	clients    map[clientKey]*mclient
+	clientSeen []clientKey
+	push       map[int]*pushAsm
+	pushSeen   []int
+	joinBlob   map[int][]byte
+	joinSeen   []int
+	suspect    []bool
+}
+
+// clientKey names one dedup stream: one token lane of one node.
+type clientKey struct {
+	from int32
+	lane int64
 }
 
 // pushAsm reassembles one node's replicated snapshot from its chunks.
@@ -83,6 +98,18 @@ type pushAsm struct {
 // recently answered tokens without letting a hot client grow the cache
 // without bound.
 const replyCacheCap = 32
+
+// clientCacheCap bounds the dedup table across (node, lane) streams;
+// blobCacheCap bounds the snapshot-chunk caches (inbound push
+// assemblies and outbound join blobs, independently). Both follow the
+// reply-cache discipline: oldest-first eviction, and an evicted stream
+// re-establishes itself — a client whose dedup entry aged out simply
+// starts a fresh token window, an evicted chunk stream is redirected
+// and restarts from chunk 0.
+const (
+	clientCacheCap = 256
+	blobCacheCap   = 8
+)
 
 // mclient is one node's request de-duplication state: the newest token
 // seen from it and a bounded cache of recent replies, keyed by token
@@ -114,10 +141,85 @@ func newManager(n *Node) *manager {
 		n:        n,
 		nn:       n.nn,
 		st:       newMstate(n.nn),
-		clients:  make([]mclient, n.nn),
-		push:     make([]*pushAsm, n.nn),
-		joinBlob: make([][]byte, n.nn),
+		clients:  map[clientKey]*mclient{},
+		push:     map[int]*pushAsm{},
+		joinBlob: map[int][]byte{},
 		suspect:  make([]bool, n.nn),
+	}
+}
+
+// client returns (creating if needed) the dedup state for the token's
+// (origin, lane) stream, evicting the least-recently-created stream
+// past clientCacheCap. Caller holds cmu.
+func (g *manager) client(from int32, tok int64) *mclient {
+	k := clientKey{from: from, lane: tok >> laneShift}
+	c := g.clients[k]
+	if c == nil {
+		c = &mclient{}
+		g.clients[k] = c
+		g.clientSeen = append(g.clientSeen, k)
+		if len(g.clientSeen) > clientCacheCap {
+			delete(g.clients, g.clientSeen[0])
+			g.clientSeen = g.clientSeen[1:]
+		}
+	}
+	return c
+}
+
+// touchSeen moves w to the most-recent end of an LRU order slice.
+func touchSeen(order []int, w int) []int {
+	for i, v := range order {
+		if v == w {
+			return append(append(order[:i:i], order[i+1:]...), w)
+		}
+	}
+	return append(order, w)
+}
+
+// dropSeen removes w from an LRU order slice.
+func dropSeen(order []int, w int) []int {
+	for i, v := range order {
+		if v == w {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
+}
+
+// setPush installs (or clears, a == nil) node w's inbound snapshot
+// assembly, evicting the least-recently-touched one past blobCacheCap.
+// Caller holds cmu.
+func (g *manager) setPush(w int, a *pushAsm) {
+	if a == nil {
+		delete(g.push, w)
+		g.pushSeen = dropSeen(g.pushSeen, w)
+		return
+	}
+	g.push[w] = a
+	g.pushSeen = touchSeen(g.pushSeen, w)
+	if len(g.pushSeen) > blobCacheCap {
+		ev := g.pushSeen[0]
+		g.pushSeen = g.pushSeen[1:]
+		delete(g.push, ev)
+		atomic.AddInt64(&g.n.stats.MgrCacheEvictions, 1)
+	}
+}
+
+// setJoinBlob installs (or clears) the outbound join blob served to a
+// rejoining node w, with the same LRU bound. Caller holds cmu.
+func (g *manager) setJoinBlob(w int, blob []byte) {
+	if blob == nil {
+		delete(g.joinBlob, w)
+		g.joinSeen = dropSeen(g.joinSeen, w)
+		return
+	}
+	g.joinBlob[w] = blob
+	g.joinSeen = touchSeen(g.joinSeen, w)
+	if len(g.joinSeen) > blobCacheCap {
+		ev := g.joinSeen[0]
+		g.joinSeen = g.joinSeen[1:]
+		delete(g.joinBlob, ev)
+		atomic.AddInt64(&g.n.stats.MgrCacheEvictions, 1)
 	}
 }
 
@@ -153,6 +255,8 @@ func (g *manager) handle(m *wire.Msg) {
 		g.ckptDone(m)
 	case wire.KMgrSnap:
 		g.mgrSnap(m)
+	case wire.KConfChange:
+		g.confChange(m)
 	}
 }
 
@@ -161,7 +265,7 @@ func (g *manager) handle(m *wire.Msg) {
 // answered. It reports true when the message was a duplicate.
 func (g *manager) dropDup(m *wire.Msg) bool {
 	g.cmu.Lock()
-	c := &g.clients[m.From]
+	c := g.client(m.From, m.Token)
 	if m.Token > c.lastTok {
 		c.lastTok = m.Token
 		g.cmu.Unlock()
@@ -180,7 +284,7 @@ func (g *manager) dropDup(m *wire.Msg) bool {
 // requests (bounded per client by replyCacheCap).
 func (g *manager) reply(to int32, m *wire.Msg) {
 	g.cmu.Lock()
-	c := &g.clients[to]
+	c := g.client(to, m.Token)
 	if m.Token <= c.lastTok {
 		// Cache a copy, not the outbound message itself: send rewrites
 		// envelope fields (From, Epoch) in place, and with a replicated
@@ -247,19 +351,18 @@ func (g *manager) applyCmd(cmd []byte) error {
 	case opResume:
 		w := int(c.node)
 		g.cmu.Lock()
-		if w >= 0 && w < g.nn {
-			g.joinBlob[w] = nil
-		}
+		g.setJoinBlob(w, nil)
 		g.cmu.Unlock()
 		g.heard(w)
 	case opReset:
 		g.cmu.Lock()
-		for i := range g.clients {
-			g.clients[i] = mclient{}
-		}
-		for w := range g.push {
-			g.push[w] = nil
-			g.joinBlob[w] = nil
+		g.clients = map[clientKey]*mclient{}
+		g.clientSeen = nil
+		g.push = map[int]*pushAsm{}
+		g.pushSeen = nil
+		g.joinBlob = map[int][]byte{}
+		g.joinSeen = nil
+		for w := range g.suspect {
 			g.suspect[w] = false
 		}
 		g.cmu.Unlock()
@@ -323,10 +426,9 @@ func (g *manager) snapPush(m *wire.Msg) {
 	a := g.push[w]
 	if m.Chunk == 0 || a == nil || a.episode != m.Episode {
 		a = &pushAsm{episode: m.Episode, nchunks: m.NChunks}
-		g.push[w] = a
 	}
 	if m.Chunk != a.next {
-		g.push[w] = nil
+		g.setPush(w, nil)
 		g.cmu.Unlock()
 		g.redirect(m)
 		return
@@ -336,7 +438,9 @@ func (g *manager) snapPush(m *wire.Msg) {
 	var done []byte
 	if a.next == a.nchunks {
 		done = a.buf
-		g.push[w] = nil
+		g.setPush(w, nil)
+	} else {
+		g.setPush(w, a) // LRU touch; an evicted stream restarts at chunk 0
 	}
 	g.cmu.Unlock()
 	if done != nil {
@@ -371,7 +475,7 @@ func (g *manager) joinReq(m *wire.Msg) {
 			if snap, err := g.n.cfg.Recover.Store.GetNode(k, w); err == nil {
 				blob := ckpt.EncodeNode(snap)
 				g.cmu.Lock()
-				g.joinBlob[w] = blob
+				g.setJoinBlob(w, blob)
 				g.cmu.Unlock()
 				reply.NChunks = int32((len(blob) + snapChunkSize - 1) / snapChunkSize)
 			}
@@ -387,8 +491,13 @@ func (g *manager) snapReq(m *wire.Msg) {
 	w := int(m.From)
 	g.cmu.Lock()
 	blob := g.joinBlob[w]
+	if blob != nil {
+		g.joinSeen = touchSeen(g.joinSeen, w) // an active stream stays resident
+	}
 	g.cmu.Unlock()
 	if blob == nil {
+		// No blob for the joiner — granted by a different leader, or
+		// evicted under cache pressure: re-run the join handshake here.
 		g.redirect(m)
 		return
 	}
@@ -414,6 +523,33 @@ func (g *manager) resume(m *wire.Msg) {
 	g.propose(encodeResume(m.From), g.commitReply(from, func() *wire.Msg {
 		return &wire.Msg{Kind: wire.KAck, Token: tok}
 	}))
+}
+
+// confChange commits a single-server voting-membership change (add or
+// remove the replica named by ReqFrom) through the consensus log. The
+// leader rejects a second change while one is uncommitted, and a change
+// that would shrink the quorum below usefulness, with a reasoned
+// KConfAck; transient leadership errors are dropped so the client's
+// retransmission re-resolves the leader.
+func (g *manager) confChange(m *wire.Msg) {
+	from, tok := m.From, m.Token
+	if g.rep == nil {
+		g.reply(from, &wire.Msg{
+			Kind: wire.KConfAck, Token: tok, Err: "manager: no consensus quorum active",
+		})
+		return
+	}
+	g.rep.ProposeConf(m.Flag == 1, int(m.ReqFrom), func(err error) {
+		if err != nil {
+			if errors.Is(err, consensus.ErrNotLeader) || errors.Is(err, consensus.ErrDeposed) ||
+				errors.Is(err, consensus.ErrStopped) || errors.Is(err, consensus.ErrBusy) {
+				return
+			}
+			g.reply(from, &wire.Msg{Kind: wire.KConfAck, Token: tok, Err: err.Error()})
+			return
+		}
+		g.reply(from, &wire.Msg{Kind: wire.KConfAck, Token: tok, Flag: 1})
+	})
 }
 
 // heard re-stamps a peer's liveness clock (after its resume commits).

@@ -316,3 +316,106 @@ func (s *mstate) encodeState() []byte {
 	}
 	return b
 }
+
+// restoreState replaces the state with a decoded encodeState image — a
+// consensus snapshot install bringing a far-behind or re-seeded replica
+// up without replaying the compacted log. The image's cluster size must
+// match; any truncation or trailing bytes is an error and leaves the
+// state untouched.
+func (s *mstate) restoreState(b []byte) error {
+	off := 0
+	short := fmt.Errorf("manager: state image truncated (%d bytes)", len(b))
+	u32 := func() (uint32, bool) {
+		if len(b)-off < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(b)-off < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, true
+	}
+	nn, ok := u32()
+	if !ok {
+		return short
+	}
+	if int(nn) != s.nn {
+		return fmt.Errorf("manager: state image is for %d nodes, cluster has %d", nn, s.nn)
+	}
+	confirmed := make([]int64, s.nn)
+	for w := range confirmed {
+		e, ok := u64()
+		if !ok {
+			return short
+		}
+		confirmed[w] = int64(e)
+	}
+	incs := make([]uint32, s.nn)
+	for w := range incs {
+		i, ok := u32()
+		if !ok {
+			return short
+		}
+		incs[w] = i
+	}
+	if len(b)-off < s.nn {
+		return short
+	}
+	rec := make([]bool, s.nn)
+	for w := range rec {
+		rec[w] = b[off+w] != 0
+	}
+	off += s.nn
+	re, ok := u64()
+	if !ok {
+		return short
+	}
+	nvt, ok := u32()
+	if !ok || int64(nvt)*4 > int64(len(b)-off) {
+		return short
+	}
+	var rvt vc.VC
+	for i := 0; i < int(nvt); i++ {
+		v, _ := u32()
+		rvt = append(rvt, int32(v))
+	}
+	neps, ok := u32()
+	if !ok {
+		return short
+	}
+	vts := map[int64][]int32{}
+	for i := 0; i < int(neps); i++ {
+		e, ok := u64()
+		if !ok {
+			return short
+		}
+		k, ok := u32()
+		if !ok || int64(k)*4 > int64(len(b)-off) {
+			return short
+		}
+		vt := make([]int32, k)
+		for j := range vt {
+			v, _ := u32()
+			vt[j] = int32(v)
+		}
+		vts[int64(e)] = vt
+	}
+	if off != len(b) {
+		return fmt.Errorf("manager: %d trailing state image bytes", len(b)-off)
+	}
+	s.mu.Lock()
+	s.ckptConfirmed = confirmed
+	s.incarnations = incs
+	s.recovering = rec
+	s.resumeEpisode = int64(re)
+	s.resumeVT = rvt
+	s.mgrVTs = vts
+	s.mu.Unlock()
+	return nil
+}

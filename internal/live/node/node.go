@@ -312,22 +312,30 @@ func New(tr transport.Transport, cfg Config) *Node {
 				n.repOut[p] = make(chan *wire.Msg, 64)
 			}
 		}
+		// Compaction is on by default: an unbounded runtime must hold a
+		// bounded log. Negative disables it (tests that want full replay).
+		ce := rc.CompactEvery
+		if ce == 0 {
+			ce = 512
+		} else if ce < 0 {
+			ce = 0
+		}
 		n.mgr.rep = consensus.New(consensus.Config{
 			Self:            n.id,
 			N:               n.nn,
+			Voters:          rc.Voters,
 			ElectionTimeout: et,
 			Seed:            rc.Seed + int64(rc.Incarnation)*7919,
-			Send: func(to int, m *wire.Msg) {
-				if to < 0 || to >= n.nn || to == n.id || n.repOut[to] == nil {
-					return
-				}
-				select {
-				case n.repOut[to] <- m:
-				default:
-				}
-			},
+			CompactEvery:    ce,
+			Send:            n.consensusSend,
 			Apply: func(_ int64, cmd []byte) {
 				if err := n.mgr.applyCmd(cmd); err != nil {
+					n.abortCluster(err)
+				}
+			},
+			SnapshotState: func() []byte { return n.mgr.st.encodeState() },
+			InstallState: func(app []byte) {
+				if err := n.mgr.st.restoreState(app); err != nil {
 					n.abortCluster(err)
 				}
 			},
@@ -338,13 +346,33 @@ func New(tr transport.Transport, cfg Config) *Node {
 			},
 			Bootstrap: true, // ignored once the Stable slot holds a term
 			Counters: consensus.Counters{
-				Terms:     &n.stats.ConsensusTerms,
-				Elections: &n.stats.ConsensusElections,
-				Commits:   &n.stats.ConsensusCommits,
+				Terms:        &n.stats.ConsensusTerms,
+				Elections:    &n.stats.ConsensusElections,
+				Commits:      &n.stats.ConsensusCommits,
+				Compactions:  &n.stats.ConsensusCompactions,
+				SnapInstalls: &n.stats.ConsensusSnapInstalls,
+				ConfChanges:  &n.stats.ConsensusConfChanges,
+				Quarantines:  &n.stats.ConsensusSlotQuarantines,
 			},
 		}, rc.Consensus)
 	}
 	return n
+}
+
+// consensusSend enqueues one outbound consensus frame on its peer's
+// buffered lane. A full lane drops the frame — the replica's event loop
+// must never block on a stalled transport, and the protocol is
+// self-retrying — but never silently: ConsensusLaneDrops counts every
+// discarded frame so sustained backpressure is visible in the stats.
+func (n *Node) consensusSend(to int, m *wire.Msg) {
+	if to < 0 || to >= n.nn || to == n.id || n.repOut[to] == nil {
+		return
+	}
+	select {
+	case n.repOut[to] <- m:
+	default:
+		atomic.AddInt64(&n.stats.ConsensusLaneDrops, 1)
+	}
 }
 
 // consensusOn reports whether this node participates in the replicated
@@ -881,7 +909,7 @@ func (n *Node) pullDiffs(pg page.ID) {
 func isReply(k wire.Kind) bool {
 	switch k {
 	case wire.KPageReply, wire.KDiffReply, wire.KAck, wire.KLockGrant, wire.KBarDepart, wire.KReleaseAck,
-		wire.KJoinGrant, wire.KSnapChunk, wire.KLogSegResp, wire.KNotLeader:
+		wire.KJoinGrant, wire.KSnapChunk, wire.KLogSegResp, wire.KNotLeader, wire.KConfAck:
 		return true
 	}
 	return false
@@ -1003,9 +1031,12 @@ func (n *Node) awaitRetry(to int, m *wire.Msg, ch chan *wire.Msg) *wire.Msg {
 // (nil, false) on expiry instead of failing the run — for callers that
 // re-resolve their target and retry as a fresh request (mgrRPC chasing
 // the quorum's leader). The pending token is withdrawn on expiry, so a
-// straggling reply is dropped as a duplicate.
-func (n *Node) rpcTry(to int, m *wire.Msg, wait time.Duration) (*wire.Msg, bool) {
-	tok, ch := n.newToken()
+// straggling reply is dropped as a duplicate. The request's token is
+// stamped into lane (see laneShift), so concurrent requesters — the
+// worker on lane 0, the supervisor's membership RPCs on confLane — each
+// keep their own monotonic dedup window at the receiver.
+func (n *Node) rpcTry(to int, m *wire.Msg, wait time.Duration, lane int64) (*wire.Msg, bool) {
+	tok, ch := n.newLaneToken(lane)
 	m.Token = tok
 	n.trySend(to, m)
 	deadline := time.Now().Add(wait)
@@ -1185,7 +1216,8 @@ func (n *Node) pump() {
 		// own event loop and its protocol is self-retrying, so a full
 		// inbox may simply drop.
 		switch m.Kind {
-		case wire.KVoteReq, wire.KVoteResp, wire.KAppend, wire.KAppendAck:
+		case wire.KVoteReq, wire.KVoteResp, wire.KAppend, wire.KAppendAck,
+			wire.KSnapInstall, wire.KSnapAck:
 			if g := n.mgr; g != nil && g.rep != nil {
 				g.rep.Deliver(m)
 			}
@@ -1255,7 +1287,8 @@ func (n *Node) handle(m *wire.Msg) {
 		n.handleBarRelease(m)
 	case wire.KLogSegReq:
 		n.handleLogSegReq(m)
-	case wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone, wire.KMgrSnap:
+	case wire.KJoinReq, wire.KSnapReq, wire.KSnapPush, wire.KResume, wire.KCkptDone, wire.KMgrSnap,
+		wire.KConfChange:
 		if n.mgr == nil {
 			n.fail(fmt.Errorf("node %d: manager message %v at non-manager", n.id, m.Kind))
 			return

@@ -61,6 +61,14 @@ type RecoverConfig struct {
 	LeaderHint int
 	// Seed drives the replica's randomized election timers.
 	Seed int64
+	// CompactEvery folds the consensus replica's applied log prefix into
+	// a snapshot and truncates it once it exceeds this many entries.
+	// 0 takes the default (512); negative disables compaction.
+	CompactEvery int64
+	// Voters names the initial voting membership of the quorum (nil:
+	// every node). Non-voting nodes still run replicas and can be
+	// promoted at runtime with ChangeMembership.
+	Voters []int
 }
 
 // RollbackError marks a worker unwound deliberately so the cluster can
@@ -197,14 +205,26 @@ func (n *Node) mgrRPC(m *wire.Msg) *wire.Msg {
 // assembler or join blob knows nothing of the stream — the final
 // KNotLeader is returned so the caller restarts the whole exchange.
 // Transient redirects during an unsettled election are still absorbed.
-func (n *Node) mgrRPCRedirect(m *wire.Msg) *wire.Msg {
+func (n *Node) mgrRPCRedirect(m *wire.Msg) *wire.Msg { return n.mgrRPCLane(m, 0) }
+
+// mgrRPCLane is mgrRPCRedirect with the requests issued on a token lane
+// of their own, for callers running concurrently with the worker's
+// lane-0 manager RPCs (the supervisor's membership changes).
+func (n *Node) mgrRPCLane(m *wire.Msg, lane int64) *wire.Msg {
 	if !n.consensusOn() {
-		return n.rpc(0, m)
+		return n.rpcLane(0, m, lane)
 	}
 	deadline := time.Now().Add(n.cfg.RPCTimeout)
 	perTry := 4 * n.cfg.RetryMax
 	if perTry < 250*time.Millisecond {
 		perTry = 250 * time.Millisecond
+	}
+	if lane == confLane && perTry > 500*time.Millisecond {
+		// Membership changes are already retried by their caller (the
+		// supervisor's promotion loop): chase each candidate leader
+		// briefly instead of camping on a dead or unsettled replica for
+		// the full retransmission budget.
+		perTry = 500 * time.Millisecond
 	}
 	to := int(n.leaderHint.Load())
 	if to < 0 || to >= n.nn {
@@ -225,7 +245,7 @@ func (n *Node) mgrRPCRedirect(m *wire.Msg) *wire.Msg {
 				n.id, m.Kind, n.cfg.RPCTimeout, to)})
 		}
 		req := *m
-		r, ok := n.rpcTry(to, &req, wait)
+		r, ok := n.rpcTry(to, &req, wait, lane)
 		if ok && r.Kind != wire.KNotLeader {
 			return r
 		}
@@ -560,4 +580,52 @@ func (n *Node) ConsensusLeader() (leader int, isLeader bool, ok bool) {
 	}
 	info := g.rep.Leader()
 	return info.Leader, info.IsLeader, true
+}
+
+// ConsensusVoters reports this node's current view of the quorum's
+// voting membership (nil when the quorum is inactive).
+func (n *Node) ConsensusVoters() []int {
+	if g := n.mgr; g != nil && g.rep != nil {
+		return g.rep.Leader().Voters
+	}
+	return nil
+}
+
+// confLane is the token lane of membership-change RPCs: the supervisor
+// issues them concurrently with the worker's lane-0 manager RPCs, and
+// each lane keeps its own monotonic dedup window at the leader.
+const confLane int64 = 0x3F0C
+
+// ChangeMembership commits a single-server change to the quorum's
+// voting membership through the current leader: add (or remove) node
+// target as a voter. It follows leader redirects like any manager RPC
+// and returns an error when the quorum is inactive, the change is
+// rejected (one change at a time; a removal may not shrink the voting
+// set below three), or no settled leader was reached in time. Safe to
+// call from supervisor goroutines while the worker runs.
+func (n *Node) ChangeMembership(add bool, target int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(runError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("node %d: membership change: %w", n.id, re.err)
+		}
+	}()
+	if !n.consensusOn() {
+		return fmt.Errorf("node %d: membership change without an active quorum", n.id)
+	}
+	m := &wire.Msg{Kind: wire.KConfChange, ReqFrom: int32(target)}
+	if add {
+		m.Flag = 1
+	}
+	r := n.mgrRPCLane(m, confLane)
+	if r.Kind == wire.KNotLeader {
+		return fmt.Errorf("node %d: membership change gave up chasing the leader", n.id)
+	}
+	if r.Flag != 1 {
+		return fmt.Errorf("node %d: membership change rejected: %s", n.id, r.Err)
+	}
+	return nil
 }

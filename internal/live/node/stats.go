@@ -3,8 +3,8 @@ package node
 import (
 	"sync/atomic"
 
-	"lrcdsm/internal/page"
 	"lrcdsm/internal/live/wire"
+	"lrcdsm/internal/page"
 )
 
 // Stats counts one live node's protocol activity. The counters mirror the
@@ -59,7 +59,7 @@ type Stats struct {
 	// machinery's activity. All zero on a healthy network.
 	RPCRetries     int64 `json:"rpc_retries"`     // requests retransmitted after a silent backoff window
 	DupRequests    int64 `json:"dup_requests"`    // retransmitted requests de-duplicated at this node
-	DupReplies    int64 `json:"dup_replies"`    // late/duplicate replies dropped (token already resolved)
+	DupReplies     int64 `json:"dup_replies"`     // late/duplicate replies dropped (token already resolved)
 	HeartbeatsSent int64 `json:"heartbeats_sent"` // liveness beacons sent to the manager
 	HeartbeatsRecv int64 `json:"heartbeats_recv"` // beacons received (manager only)
 
@@ -92,6 +92,21 @@ type Stats struct {
 	ConsensusElections int64 `json:"consensus_elections"`
 	ConsensusCommits   int64 `json:"consensus_commits"`
 	LeaderRedirects    int64 `json:"leader_redirects"`
+
+	// Long-haul control-plane counters. Compactions counts log prefixes
+	// this replica folded into snapshots; SnapInstalls snapshots it
+	// installed from a leader (catching up past compacted entries);
+	// ConfChanges committed voting-membership changes it applied;
+	// SlotQuarantines corrupt durable slots quarantined at load;
+	// LaneDrops outbound consensus frames discarded on a full peer lane;
+	// MgrCacheEvictions snapshot-chunk cache entries the manager evicted
+	// under its LRU bound.
+	ConsensusCompactions     int64 `json:"consensus_compactions"`
+	ConsensusSnapInstalls    int64 `json:"consensus_snap_installs"`
+	ConsensusConfChanges     int64 `json:"consensus_conf_changes"`
+	ConsensusSlotQuarantines int64 `json:"consensus_slot_quarantines"`
+	ConsensusLaneDrops       int64 `json:"consensus_lane_drops"`
+	MgrCacheEvictions        int64 `json:"mgr_cache_evictions"`
 }
 
 func (s *Stats) add(f *int64, d int64) { atomic.AddInt64(f, d) }
@@ -124,6 +139,9 @@ func (s *Stats) Snapshot() Stats {
 		{&out.ServeLockWaitNs, &s.ServeLockWaitNs},
 		{&out.ConsensusTerms, &s.ConsensusTerms}, {&out.ConsensusElections, &s.ConsensusElections},
 		{&out.ConsensusCommits, &s.ConsensusCommits}, {&out.LeaderRedirects, &s.LeaderRedirects},
+		{&out.ConsensusCompactions, &s.ConsensusCompactions}, {&out.ConsensusSnapInstalls, &s.ConsensusSnapInstalls},
+		{&out.ConsensusConfChanges, &s.ConsensusConfChanges}, {&out.ConsensusSlotQuarantines, &s.ConsensusSlotQuarantines},
+		{&out.ConsensusLaneDrops, &s.ConsensusLaneDrops}, {&out.MgrCacheEvictions, &s.MgrCacheEvictions},
 	} {
 		*c.dst = atomic.LoadInt64(c.src)
 	}

@@ -42,6 +42,28 @@ type RecoverOptions struct {
 	// before it rejoins, forcing the chunk-pull path from the manager's
 	// replica (requires Replicate).
 	LoseStoreOnCrash bool
+	// Stables supplies one durable consensus slot per node; nil selects
+	// fresh slots. Injecting them lets a harness inspect log growth or
+	// corrupt a slot mid-run (integrity soaks).
+	Stables []*consensus.Stable
+	// CompactEvery is the consensus log-compaction threshold handed to
+	// every replica (0: the node default of 512; negative: disabled).
+	CompactEvery int64
+	// Voters, when positive and below the cluster size, restricts the
+	// initial voting membership to nodes [0, Voters); the rest run
+	// non-voting replicas until promoted (AddReplicas, or
+	// Node.ChangeMembership). Zero means every node votes.
+	Voters int
+	// AddReplicas schedules runtime membership growth: each entry
+	// promotes Node to a voter once After has elapsed, retried through
+	// whichever replica currently leads until the change commits.
+	AddReplicas []ReplicaAdd
+}
+
+// ReplicaAdd schedules one runtime voter promotion.
+type ReplicaAdd struct {
+	Node  int
+	After time.Duration
 }
 
 // Kill crashes node victim: its engine and transport are torn down
@@ -244,22 +266,37 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 	// term/vote/log state outlives each node incarnation: a restarted
 	// replica rejoins the quorum with its history intact.
 	quorum := c.cfg.Nodes >= 3
-	var stables []*consensus.Stable
-	if quorum {
+	stables := opts.Stables
+	if quorum && stables == nil {
 		stables = make([]*consensus.Stable, c.cfg.Nodes)
 		for i := range stables {
 			stables[i] = consensus.NewStable()
 		}
 	}
+	if quorum && len(stables) != c.cfg.Nodes {
+		return nil, fmt.Errorf("live: %d consensus slots for %d nodes", len(stables), c.cfg.Nodes)
+	}
+	var voters []int
+	if opts.Voters > 0 && opts.Voters < c.cfg.Nodes {
+		if opts.Voters < 3 {
+			return nil, fmt.Errorf("live: initial voting membership of %d is below a usable quorum", opts.Voters)
+		}
+		voters = make([]int, opts.Voters)
+		for i := range voters {
+			voters[i] = i
+		}
+	}
 	leaderHint := 0
 	rcFor := func(i int) *node.RecoverConfig {
 		rc := &node.RecoverConfig{
-			Store:       stores[i],
-			Every:       opts.CheckpointEvery,
-			Replicate:   opts.Replicate,
-			Epoch:       epoch,
-			Incarnation: incarnations[i],
-			Seed:        opts.Seed + int64(i+1)*104729,
+			Store:        stores[i],
+			Every:        opts.CheckpointEvery,
+			Replicate:    opts.Replicate,
+			Epoch:        epoch,
+			Incarnation:  incarnations[i],
+			Seed:         opts.Seed + int64(i+1)*104729,
+			CompactEvery: opts.CompactEvery,
+			Voters:       voters,
 		}
 		if quorum {
 			rc.Consensus = stables[i]
@@ -297,6 +334,43 @@ func (c *Cluster) RunSupervised(worker func(core.Worker), opts RecoverOptions) (
 	c.mu.Unlock()
 	for _, nd := range nodes {
 		nd.Start()
+	}
+
+	// Runtime membership growth: each scheduled promotion is retried
+	// through the cluster's current engines until the change commits —
+	// an unsettled election or a rollback in flight only delays it.
+	confStop := make(chan struct{})
+	defer close(confStop)
+	if quorum {
+		for _, ar := range opts.AddReplicas {
+			go func(ar ReplicaAdd) {
+				timer := time.NewTimer(ar.After)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+				case <-confStop:
+					return
+				}
+				for {
+					c.mu.Lock()
+					nds := append([]*node.Node(nil), c.nodes...)
+					c.mu.Unlock()
+					for _, nd := range nds {
+						if nd == nil {
+							continue
+						}
+						if err := nd.ChangeMembership(true, ar.Node); err == nil {
+							return
+						}
+					}
+					select {
+					case <-time.After(25 * time.Millisecond):
+					case <-confStop:
+						return
+					}
+				}
+			}(ar)
+		}
 	}
 
 	teardown := func() {

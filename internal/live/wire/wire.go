@@ -33,12 +33,17 @@ import (
 // manager quorum elects leaders and commits commands with, the
 // not-leader redirect reply, the mgr-snap proposal carrying a barrier
 // episode's merged vector time to the leader, and a Term stamp on
-// KAbort so a deposed leader's stale abort verdicts are fenced. Decode
-// still accepts MinVersion frames — an old frame simply has none of
-// the newer fields and cannot carry the newer kinds — so a rolling
-// upgrade never wedges on the codec.
+// KAbort so a deposed leader's stale abort verdicts are fenced.
+// Version 6 added the long-haul control plane: chunked consensus
+// snapshot installation (snap-install/snap-ack), with which a leader
+// brings a far-behind or freshly seeded replica up after compacting
+// its log, and the single-server membership-change RPC pair
+// (conf-change/conf-ack) that grows or shrinks the voting quorum
+// without a restart. Decode still accepts MinVersion frames — an old
+// frame simply has none of the newer fields and cannot carry the newer
+// kinds — so a rolling upgrade never wedges on the codec.
 const (
-	Version    = 5
+	Version    = 6
 	MinVersion = 1
 )
 
@@ -170,6 +175,29 @@ const (
 	// so the snapshot travels as an RPC before releases fan out.
 	KMgrSnap
 
+	// Version 6 kinds (the long-haul control plane). firstV6Kind below
+	// must stay in sync with the first of them.
+
+	// KSnapInstall streams one chunk of the leader's consensus snapshot
+	// — the compacted committed prefix, folded into an encoded state
+	// image — to a replica too far behind its truncated log: LogIndex
+	// and LogTerm name the snapshot's position, Chunk/NChunks the
+	// stream position, Data the chunk payload.
+	KSnapInstall
+	// KSnapAck answers a snapshot chunk: Flag is 1 once the snapshot at
+	// LogIndex is fully installed, otherwise Chunk names the next chunk
+	// the assembling replica expects (its cursor doubles as a resend
+	// request after a drop).
+	KSnapAck
+	// KConfChange asks the manager leader to commit a single-server
+	// membership change: Flag is 1 to add (0 to remove) the voting
+	// replica named by ReqFrom. At most one change may be uncommitted
+	// at a time.
+	KConfChange
+	// KConfAck answers a membership change: Flag is 1 once the change
+	// committed, 0 with Err naming the rejection reason.
+	KConfAck
+
 	kindEnd
 )
 
@@ -186,6 +214,9 @@ const firstV4Kind = KLockForward
 // firstV5Kind is the first kind that requires wire version 5.
 const firstV5Kind = KVoteReq
 
+// firstV6Kind is the first kind that requires wire version 6.
+const firstV6Kind = KSnapInstall
+
 var kindNames = [...]string{
 	KHello: "hello", KPageReq: "page-req", KPageReply: "page-reply",
 	KDiffReq: "diff-req", KDiffReply: "diff-reply",
@@ -201,6 +232,8 @@ var kindNames = [...]string{
 	KVoteReq: "vote-req", KVoteResp: "vote-resp",
 	KAppend: "append", KAppendAck: "append-ack",
 	KNotLeader: "not-leader", KMgrSnap: "mgr-snap",
+	KSnapInstall: "snap-install", KSnapAck: "snap-ack",
+	KConfChange: "conf-change", KConfAck: "conf-ack",
 }
 
 func (k Kind) String() string {
@@ -268,10 +301,10 @@ type Msg struct {
 	Barrier int32
 	Episode int64
 	Page    int32
-	Chunk   int32 // snapshot chunk index (KSnapReq/KSnapChunk/KSnapPush)
-	NChunks int32 // total chunks in the snapshot being streamed
-	ReqFrom int32 // original requester of a forwarded lock request
-	Lo, Hi  int32 // interval-log segment range (Lo, Hi] (KLogSeg*)
+	Chunk   int32  // snapshot chunk index (KSnapReq/KSnapChunk/KSnapPush)
+	NChunks int32  // total chunks in the snapshot being streamed
+	ReqFrom int32  // original requester of a forwarded lock request
+	Lo, Hi  int32  // interval-log segment range (Lo, Hi] (KLogSeg*)
 	Err     string // abort reason (KAbort)
 
 	// Consensus fields (version 5). Term also stamps KAbort so a
@@ -283,10 +316,10 @@ type Msg struct {
 	Flag     uint8 // vote granted / append ok (KVoteResp/KAppendAck)
 	Leader   int32 // redirect hint, -1 unknown (KNotLeader)
 
-	VT      []int32 // vector time (requester VT, grant VT, page version)
-	Data    []byte  // full page image (page/diff replies)
-	Diffs   []Diff
-	Notices []Notice
+	VT       []int32 // vector time (requester VT, grant VT, page version)
+	Data     []byte  // full page image (page/diff replies)
+	Diffs    []Diff
+	Notices  []Notice
 	Interval *Interval // closed interval (release/arrive flushes)
 	Entries  []Entry   // replicated-log entries (KAppend)
 }
@@ -364,6 +397,10 @@ var fields = map[Kind]fieldSet{
 	KAppendAck:    {term: true, logidx: true, flag: true},
 	KNotLeader:    {term: true, leader: true},
 	KMgrSnap:      {episode: true, vt: true, attempt: true},
+	KSnapInstall:  {term: true, logidx: true, logterm: true, chunk: true, data: true},
+	KSnapAck:      {term: true, logidx: true, chunk: true, flag: true},
+	KConfChange:   {flag: true, reqfrom: true, attempt: true},
+	KConfAck:      {flag: true, errstr: true},
 }
 
 // Encode serializes m into a fresh buffer.
@@ -500,6 +537,9 @@ func Decode(b []byte) (*Msg, error) {
 	}
 	if r.err == nil && v < 5 && k >= firstV5Kind {
 		return nil, fmt.Errorf("wire: kind %v requires version 5, frame is version %d", k, v)
+	}
+	if r.err == nil && v < 6 && k >= firstV6Kind {
+		return nil, fmt.Errorf("wire: kind %v requires version 6, frame is version %d", k, v)
 	}
 	m := &Msg{Kind: k}
 	m.From = r.i32()

@@ -63,6 +63,11 @@ func sampleMsgs() []*Msg {
 		{Kind: KAppendAck, From: 2, Epoch: 1, Term: 5, LogIndex: 14, Flag: 1},
 		{Kind: KNotLeader, From: 2, Token: 31, Epoch: 1, Term: 5, Leader: 1},
 		{Kind: KMgrSnap, From: 0, Token: 32, Epoch: 1, Episode: 9, VT: []int32{3, 3, 3, 3}, Attempt: 1},
+		{Kind: KSnapInstall, From: 0, Epoch: 1, Term: 6, LogIndex: 512, LogTerm: 5, Chunk: 1, NChunks: 3, Data: bytes.Repeat([]byte{0xc3}, 64)},
+		{Kind: KSnapAck, From: 2, Epoch: 1, Term: 6, LogIndex: 512, Chunk: 2, NChunks: 3, Flag: 1},
+		{Kind: KConfChange, From: 3, Token: 40, Epoch: 2, Flag: 1, ReqFrom: 4, Attempt: 1},
+		{Kind: KConfAck, From: 0, Token: 40, Epoch: 2, Flag: 1},
+		{Kind: KConfAck, From: 0, Token: 41, Epoch: 2, Err: "consensus: a membership change is already pending"},
 	}
 }
 
@@ -373,6 +378,40 @@ func TestDecodeV4Compat(t *testing.T) {
 		}
 		if !reflect.DeepEqual(&want, got) {
 			t.Errorf("%v: v4 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, &want)
+		}
+	}
+}
+
+// encodeV5 builds a version-5 frame for kinds that existed in v5.
+// Version 6 added no fields to pre-v6 kinds — only the four long-haul
+// control-plane kinds — so the v5 layout is the full layout restamped.
+func encodeV5(m *Msg) []byte {
+	b := Encode(m)
+	b[0] = 5
+	return b
+}
+
+// TestDecodeV5Compat checks the v6 versioning contract: a v5 frame of a
+// v5-or-older kind still decodes unchanged (v6 widened no existing
+// kind), while the v6-only snapshot-transfer and membership kinds are
+// rejected when stamped as v5.
+func TestDecodeV5Compat(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Kind >= firstV6Kind {
+			b := Encode(m)
+			b[0] = 5
+			if _, err := Decode(b); err == nil {
+				t.Errorf("%v: v6-only kind accepted in a v5 frame", m.Kind)
+			}
+			continue
+		}
+		got, err := Decode(encodeV5(m))
+		if err != nil {
+			t.Errorf("%v: v5 frame rejected: %v", m.Kind, err)
+			continue
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: v5 round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, m)
 		}
 	}
 }

@@ -1,0 +1,128 @@
+package serve_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"lrcdsm/internal/core"
+	"lrcdsm/internal/live"
+	"lrcdsm/internal/live/consensus"
+	"lrcdsm/internal/live/transport"
+	"lrcdsm/internal/serve"
+	"lrcdsm/internal/serve/loadgen"
+)
+
+// TestEnduranceServe is the serving half of the long-haul soak: a
+// durable 4-node serving cluster absorbs repeated coordinator kills in
+// the middle of an open-loop load, and every acknowledged write must
+// still be present — byte-identical to a fault-free 1-node reference —
+// while the replicated consensus log stays bounded by compaction.
+// Opt-in via DSM_ENDURANCE=1, like TestEndurance in internal/live;
+// `make endurance` runs both.
+func TestEnduranceServe(t *testing.T) {
+	if os.Getenv("DSM_ENDURANCE") == "" {
+		t.Skip("set DSM_ENDURANCE=1 to run the long-haul soak")
+	}
+	const compactEvery = 8
+	scfg := testServeCfg()
+	scfg.Durable = true
+	lcfg := testLoadCfg(loadgen.Mix{Name: "update-uniform", ReadFrac: 0.5, Dist: "uniform"})
+	lcfg.Ops = 1200
+	lcfg.Clients = 4
+
+	nodes := 4
+	stables := make([]*consensus.Stable, nodes)
+	for i := range stables {
+		stables[i] = consensus.NewStable()
+	}
+	cl, err := live.New(live.Config{
+		Nodes: nodes, Protocol: core.LH, RPCTimeout: 60 * time.Second,
+		Net: transport.NewInprocNet(nodes),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := serve.NewStore(cl, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(st)
+
+	type out struct {
+		stats *live.Stats
+		err   error
+	}
+	done := make(chan out, 1)
+	go func() {
+		stats, rerr := cl.RunSupervised(srv.NodeWorker, live.RecoverOptions{
+			MaxRestarts: 4, CheckpointEvery: 1, Replicate: true, Seed: 7,
+			Stables: stables, CompactEvery: compactEvery,
+		})
+		done <- out{stats, rerr}
+	}()
+
+	// Kill the coordinator three times while the load is in flight,
+	// and sample the replicas' durable log length throughout.
+	stopKill := make(chan struct{})
+	killed := make(chan int, 1)
+	go func() {
+		kills, maxLog := 0, 0
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		next := time.After(200 * time.Millisecond)
+		for {
+			select {
+			case <-tick.C:
+				for _, s := range stables {
+					if ll := s.LogLen(); ll > maxLog {
+						maxLog = ll
+					}
+				}
+			case <-next:
+				if kills < 3 {
+					cl.Kill(0, 5*time.Millisecond)
+					kills++
+					next = time.After(300 * time.Millisecond)
+				}
+			case <-stopKill:
+				if maxLog > 2*compactEvery {
+					t.Errorf("consensus log reached %d entries, bound is %d (2x compaction threshold)",
+						maxLog, 2*compactEvery)
+				}
+				killed <- kills
+				return
+			}
+		}
+	}()
+
+	res, lerr := loadgen.Run(lcfg, func(int) (loadgen.Driver, error) { return srv, nil })
+	close(stopKill)
+	kills := <-killed
+	srv.Shutdown()
+	o := <-done
+	if lerr != nil {
+		t.Fatalf("load: %v", lerr)
+	}
+	if o.err != nil {
+		t.Fatalf("cluster (after %d kills): %v", kills, o.err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d read-your-writes violations under kills", res.Violations)
+	}
+	if kills == 0 {
+		t.Fatal("the load finished before a single coordinator kill fired")
+	}
+	if o.stats.Total.CheckpointsTaken == 0 {
+		t.Error("durable run took no checkpoints")
+	}
+	if o.stats.Total.ConsensusCompactions == 0 {
+		t.Error("no replica compacted the consensus log")
+	}
+
+	ref := runServe(t, 1, nil, testServeCfg(), lcfg, nil)
+	gotRun := &serveRun{cl: cl, res: res, stats: o.stats}
+	compareKeys(t, scfg, gotRun, ref, lcfg.Keys)
+	t.Logf("served %d ops across %d coordinator kills (%d checkpoints, %d compactions)",
+		res.Ops, kills, o.stats.Total.CheckpointsTaken, o.stats.Total.ConsensusCompactions)
+}
